@@ -1,0 +1,20 @@
+"""Ablations — quantify each protocol rule (Sec 1.2 intuition):
+A1 removes the light buffer, A2 removes the weight-scaled coin."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_ablations
+
+
+def test_ablations(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_ablations,
+        n=384,
+        weight_vector=(1.0, 2.0, 3.0, 4.0),
+        rounds=2500,
+    )
+    emit(table)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["full protocol"][-1] == "weighted"
+    assert by_name["A2 unweighted lightening"][-1] == "uniform"

@@ -1,0 +1,34 @@
+"""E10 — consensus baselines destroy diversity (Sec 1.1 contrast):
+Voter / 2-Choices / 3-Majority fixate, Diversification does not."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_baselines, experiment_epidemic
+
+
+def test_e10b_epidemic_threshold(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_epidemic,
+        n=200,
+        seeds=5,
+    )
+    emit(table)
+    rows = {row[0]: row for row in table.rows}
+    # Sub-threshold dies, strongly super-threshold survives.
+    assert rows[0.1][2].startswith("0/")
+    assert rows[8.0][2] == "5/5"
+
+
+def test_e10_baselines(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_baselines,
+        n=128,
+        weight_vector=(1.0, 2.0, 3.0, 4.0),
+        rounds=3000,
+    )
+    emit(table)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["diversification"][1] == 4  # all colours alive
+    assert by_name["voter"][1] < 4  # consensus killed colours

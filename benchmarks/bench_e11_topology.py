@@ -1,0 +1,19 @@
+"""E11 — topology extension (future work, Sec 3): the protocol on
+sparse graphs; sustainability is topology-independent."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_topology
+
+
+def test_e11_topology(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_topology,
+        n=256,
+        weight_vector=(1.0, 2.0, 3.0),
+        rounds=3000,
+    )
+    emit(table)
+    # Sustainability holds on every topology.
+    assert all(row[-1] for row in table.rows), table.render()

@@ -1,0 +1,60 @@
+"""E12 — engine validation: agent vs aggregate marginal agreement and
+raw step throughput of both engines."""
+
+from conftest import run_once
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+from repro.engine.population import Population
+from repro.engine.simulator import Simulation
+from repro.experiments import experiment_engines
+from repro.experiments.workloads import colours_from_counts, worst_case_counts
+
+
+def test_e12_engine_equivalence(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_engines,
+        n=128,
+        weight_vector=(1.0, 2.0, 3.0),
+        rounds=120,
+        seeds=24,
+    )
+    emit(table)
+    assert all(row[-1] for row in table.rows), table.render()
+
+
+def test_agent_engine_throughput(benchmark):
+    """Steps/second of the agent-level engine (n=1024, k=4)."""
+    weights = WeightTable([1.0, 2.0, 3.0, 4.0])
+    protocol = Diversification(weights)
+    population = Population.from_colours(
+        colours_from_counts(worst_case_counts(1024, 4)), protocol, k=4
+    )
+    simulation = Simulation(protocol, population, rng=0)
+    benchmark(lambda: simulation.run(50_000))
+
+
+def test_aggregate_engine_throughput(benchmark):
+    """Steps/second of the event-driven aggregate engine (n=1024)."""
+    weights = WeightTable([1.0, 2.0, 3.0, 4.0])
+    engine = AggregateSimulation(
+        weights, dark_counts=worst_case_counts(1024, 4), rng=0
+    )
+    benchmark(lambda: engine.run(500_000))
+
+
+def test_aggregate_per_step_throughput(benchmark):
+    """Steps/second of the per-step aggregate mode (baseline for the
+    event-driven speedup)."""
+    weights = WeightTable([1.0, 2.0, 3.0, 4.0])
+    engine = AggregateSimulation(
+        weights, dark_counts=worst_case_counts(1024, 4), rng=0
+    )
+
+    def run_steps():
+        for _ in range(20_000):
+            engine.step()
+
+    benchmark(run_steps)

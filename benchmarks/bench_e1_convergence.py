@@ -1,0 +1,34 @@
+"""E1 — convergence time vs n (Thm 1.3: T = O(w² n log n)).
+
+Regenerates the convergence-scaling table for uniform and skewed
+weights.  The paper has no empirical table; the reproduced "figure" is
+the scaling relationship itself (flat T/(n ln n) column).
+"""
+
+from conftest import run_once
+
+from repro.experiments import experiment_convergence_scaling
+
+
+def test_e1_convergence_scaling(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_convergence_scaling,
+        ns=(128, 256, 512, 1024),
+        weight_vectors=((1.0, 1.0, 1.0, 1.0), (1.0, 2.0, 3.0, 4.0)),
+        seeds=3,
+    )
+    emit(table)
+    assert table.rows
+
+
+def test_e1_single_run_kernel(benchmark):
+    """Microbenchmark of one convergence measurement (n=256)."""
+    from repro.core.weights import WeightTable
+    from repro.experiments import measure_convergence_time
+
+    weights = WeightTable([1.0, 2.0])
+    result = benchmark(
+        lambda: measure_convergence_time(weights, 256, seed=0)
+    )
+    assert result is None or result > 0

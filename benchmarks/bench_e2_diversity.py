@@ -1,0 +1,22 @@
+"""E2 — stabilised diversity error vs n (Def 1.1(1): Õ(1/√n)).
+
+The reproduced shape: fitted power-law exponent ≈ −0.5 and every
+measured error inside the sqrt(log n / n) band.
+"""
+
+from conftest import run_once
+
+from repro.experiments import experiment_diversity_error
+
+
+def test_e2_diversity_error(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_diversity_error,
+        ns=(128, 256, 512, 1024, 2048),
+        weight_vector=(1.0, 2.0, 3.0, 4.0),
+        seeds=3,
+    )
+    emit(table)
+    within = [row[-1] for row in table.rows]
+    assert all(within), f"diversity errors left the band: {table.render()}"

@@ -1,0 +1,19 @@
+"""E3b — Phase-1 hitting times (Lemmas 2.1, 2.2): light mass reaches
+its region in O(n w/ε) steps; minorities rise in O(w n log n / ε)."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_phase1
+
+
+def test_e3b_phase1(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_phase1,
+        ns=(256, 512, 1024, 2048),
+        weight_vector=(1.0, 2.0, 3.0),
+        seeds=3,
+    )
+    emit(table)
+    # Every row must report both hitting times for all seeds.
+    assert all(row[-1] == "3/3" for row in table.rows), table.render()

@@ -1,0 +1,19 @@
+"""E4 — Phase-3 equilibrium counts (Thm 2.13): A_i ≈ w_i n/(1+w) and
+a_i ≈ (w_i/w) n/(1+w) within additive error O(n^{3/4} log^{1/4} n)."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_equilibrium
+
+
+def test_e4_equilibrium(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_equilibrium,
+        n=2048,
+        weight_vector=(1.0, 2.0, 3.0, 4.0),
+        settle_factor=10.0,
+        window_samples=128,
+    )
+    emit(table)
+    assert all(row[-1] for row in table.rows), table.render()

@@ -1,0 +1,20 @@
+"""E5 — fairness (Thm 2.12): per-agent time-occupancy approaches
+w_i/w, split dark/light per the stationary distribution of Sec 2.4."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_fairness
+
+
+def test_e5_fairness(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_fairness,
+        n=192,
+        weight_vector=(1.0, 2.0, 3.0),
+        horizon_rounds=(200, 800, 3200),
+    )
+    emit(table)
+    # Deviation shrinks with the horizon (column 3 = mean colour dev).
+    mean_devs = [row[3] for row in table.rows]
+    assert mean_devs[-1] < mean_devs[0]

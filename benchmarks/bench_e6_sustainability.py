@@ -1,0 +1,22 @@
+"""E6 — sustainability (Def 1.1(3)): no colour ever vanishes under
+Diversification, even from singleton starts; consensus baselines fail."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_sustainability
+
+
+def test_e6_sustainability(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_sustainability,
+        n=128,
+        weight_vector=(1.0, 1.0, 2.0, 4.0),
+        steps_per_agent=600,
+        seeds=10,
+    )
+    emit(table)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["diversification"][-1] is True
+    # At least one baseline loses a colour from the same start.
+    assert not all(row[-1] for row in table.rows)

@@ -1,0 +1,19 @@
+"""E7 — adversarial robustness (Sec 1): agent floods and new colours
+are absorbed; the system returns to the diversity band."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_adversary
+
+
+def test_e7_adversary(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_adversary,
+        n=1024,
+        weight_vector=(1.0, 2.0, 3.0),
+        settle_factor=8.0,
+    )
+    emit(table)
+    # Both shocks must report a recovery time.
+    assert all(row[4] != "-" for row in table.rows), table.render()

@@ -1,0 +1,18 @@
+"""E8 — the equilibrium Markov chain (Sec 2.4): πP = π, mixing,
+visit concentration (Thm A.2) and the P± perturbation sandwich."""
+
+from conftest import run_once
+
+from repro.experiments import experiment_markov_chain
+
+
+def test_e8_markov_chain(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_markov_chain,
+        n=256,
+        weight_vector=(1.0, 2.0, 3.0),
+        sim_steps=400_000,
+    )
+    emit(table)
+    assert all(row[-1] for row in table.rows), table.render()

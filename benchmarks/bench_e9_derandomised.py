@@ -1,0 +1,35 @@
+"""E9 — the derandomised multi-shade protocol (Sec 1.2; open problem
+of Sec 3): reaches the same fair shares as the randomised protocol."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    experiment_derandomised,
+    experiment_derandomised_scaling,
+)
+
+
+def test_e9_derandomised(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_derandomised,
+        n=384,
+        weight_vector=(1, 2, 3),
+        rounds=2500,
+        seeds=3,
+    )
+    emit(table)
+    # Both protocol variants stay within the diversity band.
+    assert all(row[4] for row in table.rows), table.render()
+
+
+def test_e9b_derandomised_scaling(benchmark, emit):
+    table = run_once(
+        benchmark,
+        experiment_derandomised_scaling,
+        ns=(256, 512, 1024, 2048),
+        weight_vector=(1, 2, 3),
+        seeds=3,
+    )
+    emit(table)
+    assert all(row[-1] for row in table.rows), table.render()

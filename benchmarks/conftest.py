@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment table (the paper-shaped
+rows) and times the underlying computation.  Tables are printed and
+also written to ``benchmarks/results/<id>.txt`` so the rows survive
+pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Persist (txt/csv/json) and print an ExperimentTable."""
+
+    def _emit(table) -> None:
+        from repro.experiments.export import save_table
+
+        save_table(table, results_dir)
+        print()
+        print(table.render())
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed execution (experiments are
+    seconds-long; statistical repetition is wasteful)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,73 @@
+"""Topology comparison — the future-work direction of Sec 3.
+
+The paper analyses the complete graph; what happens on sparse
+interaction graphs?  We run the same protocol, same weights, same
+horizon on four topologies and compare the stabilised diversity error
+and colour survival.
+
+Run:  python examples/topology_comparison.py
+"""
+
+import numpy as np
+
+from repro import Diversification, MinCountTracker, Population, Simulation, WeightTable
+from repro.experiments.report import format_table
+from repro.experiments.workloads import colours_from_counts, worst_case_counts
+from repro.topology import CompleteGraph, CycleGraph, TorusGrid, random_regular
+
+
+def main() -> None:
+    n = 256  # 16 x 16 torus
+    weights = WeightTable([1.0, 2.0, 3.0])
+    fair = weights.fair_shares()
+    topologies = [
+        ("complete", CompleteGraph(n)),
+        ("random-regular-8", random_regular(n, 8, seed=0)),
+        ("torus 16x16", TorusGrid(16, 16)),
+        ("cycle", CycleGraph(n)),
+    ]
+    rows = []
+    for name, topology in topologies:
+        local = weights.copy()
+        protocol = Diversification(local)
+        population = Population.from_colours(
+            colours_from_counts(worst_case_counts(n, 3)), protocol, k=3
+        )
+        tracker = MinCountTracker()
+        simulation = Simulation(
+            protocol, population, topology=topology, rng=3,
+            observers=[tracker],
+        )
+        # Average the error over the final stretch of a long run.
+        simulation.run(2_000 * n)
+        errors = []
+        for _ in range(20):
+            simulation.run(50 * n)
+            shares = population.colour_counts() / n
+            errors.append(float(np.abs(shares - fair).max()))
+        rows.append(
+            [
+                name,
+                topology.degree(0),
+                f"{np.mean(errors):.4f}",
+                f"{np.max(errors):.4f}",
+                int(tracker.min_colour_counts.min()),
+            ]
+        )
+    print(format_table(
+        ["topology", "degree", "mean error", "max error",
+         "min colour count"],
+        rows,
+        title=(
+            f"Diversification on sparse graphs (n={n}, weights 1,2,3, "
+            "same horizon)"
+        ),
+    ))
+    print()
+    print("Expected shape: expander-like graphs track the complete graph;")
+    print("the cycle mixes slowly and carries a larger error.  The")
+    print("sustainability invariant (min count >= 1) is topology-free.")
+
+
+if __name__ == "__main__":
+    main()

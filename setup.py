@@ -1,0 +1,6 @@
+"""Legacy shim: lets ``pip install -e .`` work in offline environments
+where the ``wheel`` package is unavailable (metadata in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — reproduction of *Diversity, Fairness, and Sustainability in
+Population Protocols* (Kang, Mallmann-Trenn, Rivera; PODC 2021).
+
+Quickstart::
+
+    from repro import Diversification, WeightTable, run_aggregate
+
+    weights = WeightTable([1.0, 2.0, 3.0])   # three tasks, skewed needs
+    record = run_aggregate(weights, n=1000, steps=500_000)
+    print(record.final_colour_counts)        # ≈ n·w_i/w per colour
+
+Packages:
+
+* :mod:`repro.core` — the Diversification protocol family and Def 1.1;
+* :mod:`repro.engine` — agent-level and aggregate simulators;
+* :mod:`repro.topology` — complete graph plus future-work graphs;
+* :mod:`repro.baselines` — consensus dynamics of the related work;
+* :mod:`repro.analysis` — potentials, the equilibrium chain, bounds;
+* :mod:`repro.adversary` — structural interventions;
+* :mod:`repro.experiments` — the E1-E12 reproduction suite.
+"""
+
+from .core import (
+    DARK,
+    LIGHT,
+    AgentState,
+    DerandomisedDiversification,
+    Diversification,
+    GoodnessReport,
+    Protocol,
+    WeightTable,
+    assess_goodness,
+    diversity_bound,
+    diversity_error,
+    is_diverse,
+    is_fair,
+    is_sustainable,
+    weights_from_demands,
+)
+from .engine import (
+    AggregateSimulation,
+    ConvergenceDetector,
+    MinCountTracker,
+    OccupancyTracker,
+    Population,
+    Simulation,
+    make_rng,
+)
+from .experiments import (
+    RunRecord,
+    run_agent,
+    run_aggregate,
+    run_diversification_agent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AgentState",
+    "DARK",
+    "LIGHT",
+    "Protocol",
+    "Diversification",
+    "DerandomisedDiversification",
+    "WeightTable",
+    "weights_from_demands",
+    "GoodnessReport",
+    "assess_goodness",
+    "diversity_bound",
+    "diversity_error",
+    "is_diverse",
+    "is_fair",
+    "is_sustainable",
+    "AggregateSimulation",
+    "Simulation",
+    "Population",
+    "OccupancyTracker",
+    "MinCountTracker",
+    "ConvergenceDetector",
+    "make_rng",
+    "RunRecord",
+    "run_aggregate",
+    "run_agent",
+    "run_diversification_agent",
+]

@@ -1,0 +1,14 @@
+"""Adversarial structural changes: agent injection, colour addition,
+and colour removal via recolouring (Sec 1 robustness claims)."""
+
+from .interventions import AddAgents, AddColour, Intervention, RecolourColour
+from .schedule import InterventionSchedule, run_with_interventions
+
+__all__ = [
+    "Intervention",
+    "AddAgents",
+    "AddColour",
+    "RecolourColour",
+    "InterventionSchedule",
+    "run_with_interventions",
+]

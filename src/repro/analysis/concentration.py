@@ -1,0 +1,109 @@
+"""Concentration inequalities used by the paper's analysis.
+
+* :func:`chung_lu_tail` — the Chung–Lu-type bound of Lemma 2.11 for
+  contracting supermartingale-like processes (Eq. (16));
+* :func:`contraction_expectation_bound` — the iterated drift bound of
+  Eq. (30): ``E M(t) <= (1-α)^t M(0) + β/α``;
+* :func:`markov_chain_chernoff` — the Chernoff bound for ergodic Markov
+  chains of Theorem A.2 (Chung, Lam, Liu, Mitzenmacher);
+* :func:`azuma_hoeffding` — the martingale tail used in Lemma 2.1.
+
+These are *bounds*, not estimators: the test-suite checks them against
+simulated processes (the bound must dominate the empirical tail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def chung_lu_tail(
+    lam: float, alpha: float, delta: float, gamma: float
+) -> float:
+    """Right-tail bound of Lemma 2.11 (Eq. (16)).
+
+    For a non-negative process with drift
+    ``E(M(t) | F_{t-1}) <= (1-α) M(t-1) + β``, per-step deviation at
+    most ``γ`` and conditional variance at most ``δ²``:
+
+        P(M(t) >= E M(t) + λ) <= exp( −λ²/2 / (δ²/(2α−α²) + λγ/3) )
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if lam <= 0:
+        raise ValueError("lambda must be positive")
+    if delta < 0 or gamma < 0:
+        raise ValueError("delta and gamma must be non-negative")
+    denominator = delta**2 / (2.0 * alpha - alpha**2) + lam * gamma / 3.0
+    if denominator <= 0:
+        return 0.0
+    return float(np.exp(-(lam**2 / 2.0) / denominator))
+
+
+def contraction_expectation_bound(
+    m0: float, alpha: float, beta: float, t: int
+) -> float:
+    """Iterated drift bound: ``E M(t) <= (1-α)^t M(0) + β/α``.
+
+    This is the inequality the paper iterates in Eq. (30) to show each
+    potential halves every ``O(w n)`` steps.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    if beta < 0 or m0 < 0 or t < 0:
+        raise ValueError("m0, beta, t must be non-negative")
+    return float((1.0 - alpha) ** t * m0 + beta / alpha)
+
+
+def halving_time(alpha: float, safety: float = 3.0) -> int:
+    """Steps after which the contraction factor is below 1/8
+    (``(1-α)^T <= 1/8`` with a safety margin), cf. the choice of
+    ``T = ⌊q w n⌋`` in the proof of Lemma 2.6."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    return int(np.ceil(safety * np.log(8.0) / alpha))
+
+
+def markov_chain_chernoff(
+    pi_state: float,
+    t: int,
+    t_mix: int,
+    delta: float,
+    constant: float = 1.0,
+) -> float:
+    """Theorem A.2 failure bound for state-visit concentration.
+
+    Bounds ``P(|N_i − π(i) t| > δ π(i) t)`` by
+    ``c · exp(−δ² π(i) t / (72 T_mix))`` where ``T_mix`` is the
+    1/8-mixing time.
+    """
+    if not 0.0 < pi_state <= 1.0:
+        raise ValueError("pi_state must be in (0, 1]")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    if t < 0 or t_mix < 1:
+        raise ValueError("need t >= 0 and t_mix >= 1")
+    return float(
+        constant * np.exp(-(delta**2) * pi_state * t / (72.0 * t_mix))
+    )
+
+
+def markov_visit_halfwidth(
+    pi_state: float, t: int, t_mix: int, failure: float = 1e-3
+) -> float:
+    """Invert Theorem A.2: half-width ``δ π t`` guaranteeing the visit
+    count lies inside ``π t ± δ π t`` except with probability
+    ``failure``."""
+    if not 0.0 < failure < 1.0:
+        raise ValueError("failure must be in (0, 1)")
+    delta_sq = 72.0 * t_mix * np.log(1.0 / failure) / (pi_state * t)
+    return float(np.sqrt(delta_sq) * pi_state * t)
+
+
+def azuma_hoeffding(ell: int, deviation: float) -> float:
+    """Azuma–Hoeffding tail for a ±1 martingale after ``ell`` steps:
+    ``P(S_ell <= -deviation) <= exp(-deviation²/(2 ell))`` — the form
+    used in the proof of Lemma 2.1."""
+    if ell < 1 or deviation < 0:
+        raise ValueError("need ell >= 1 and deviation >= 0")
+    return float(np.exp(-(deviation**2) / (2.0 * ell)))

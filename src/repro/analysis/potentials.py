@@ -1,0 +1,81 @@
+"""The three potential functions of the paper's analysis.
+
+Phase 2 tracks the imbalance of dark and light counts via
+
+    φ(t) = Σ_i Σ_j (A_i/w_i − A_j/w_j)²       (Eq. (10))
+    ψ(t) = Σ_i Σ_j (a_i/w_i − a_j/w_j)²       (Eq. (11))
+
+and Phase 3 tracks the dark/light mass split via
+
+    σ²(t) = (A(t)/w − a(t))²                  (Lemma 2.14)
+
+Both φ and ψ admit the closed form ``2k·Σ q_i² − 2(Σ q_i)²`` with
+``q_i = A_i/w_i`` (used inside the paper's own proofs), which is what we
+compute.  The expected post-convergence plateaus are ``O(w n log n)``
+for φ and ψ (Thm 2.8) and ``O(n^{3/2} √log n)`` for σ² (Lemma 2.14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.weights import WeightTable
+
+
+def _normalised(counts: np.ndarray, weights: WeightTable) -> np.ndarray:
+    values = np.asarray(counts, dtype=np.float64)
+    return values / weights.as_array()
+
+
+def phi(dark_counts: np.ndarray, weights: WeightTable) -> float:
+    """Dark-count imbalance potential φ (Eq. (10))."""
+    q = _normalised(dark_counts, weights)
+    k = q.size
+    return float(2.0 * k * np.dot(q, q) - 2.0 * q.sum() ** 2)
+
+
+def psi(light_counts: np.ndarray, weights: WeightTable) -> float:
+    """Light-count imbalance potential ψ (Eq. (11))."""
+    return phi(light_counts, weights)
+
+
+def sigma_squared(
+    dark_total: float, light_total: float, weights: WeightTable
+) -> float:
+    """Phase-3 potential σ² = (A/w − a)² (Lemma 2.14)."""
+    return float((dark_total / weights.total - light_total) ** 2)
+
+
+def pairwise_imbalance(counts: np.ndarray, weights: WeightTable) -> float:
+    """Direct O(k²) evaluation of Σ_i Σ_j (c_i/w_i − c_j/w_j)².
+
+    Slower than :func:`phi`; exists as an independent cross-check used
+    by the test suite.
+    """
+    q = _normalised(counts, weights)
+    diffs = q[:, None] - q[None, :]
+    return float((diffs**2).sum())
+
+
+def phi_plateau(n: int, weights: WeightTable, constant: float = 1.0) -> float:
+    """Theoretical plateau ``C · w n log n`` for φ and ψ (Thm 2.8)."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return constant * weights.total * n * float(np.log(n))
+
+def sigma_plateau(n: int, constant: float = 1.0) -> float:
+    """Theoretical plateau ``C · n^{3/2} √log n`` for σ² (Lemma 2.14)."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return constant * n**1.5 * float(np.sqrt(np.log(n)))
+
+
+def theorem_1_3_statistic(
+    colour_counts: np.ndarray, weights: WeightTable
+) -> float:
+    """The Theorem 1.3 double sum Σ_i Σ_j (C_i/w_i − C_j/w_j)².
+
+    The theorem asserts this is ``O(w n log n)`` for all ``t`` in
+    ``[T, n^8]`` with ``T = O(w² n log n)``.
+    """
+    return phi(colour_counts, weights)

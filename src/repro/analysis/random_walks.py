@@ -1,0 +1,118 @@
+"""Biased random walks and the gambler's ruin (Theorem A.1, Feller).
+
+Phase 1 of the paper's analysis couples the aggregate quantities
+``a(t)`` and ``A_i(t)`` with biased random walks on ``{0..b}`` and uses
+the classical absorption formulas.  This module provides those formulas
+exactly as stated, plus a simulator used to validate the coupling
+empirically (experiment E3's Phase-1 panel and the unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RuinProbabilities:
+    """Absorption behaviour of a biased walk started at ``s`` on
+    ``{0..b}`` with up-probability ``p`` (Theorem A.1)."""
+
+    hit_top: float
+    hit_bottom: float
+    expected_time: float
+
+
+def gamblers_ruin(p: float, b: int, s: int) -> RuinProbabilities:
+    """Exact absorption probabilities and expected time (Thm A.1).
+
+    Args:
+        p: Probability of moving up at an interior state.
+        b: Absorbing top boundary (bottom is 0).
+        s: Starting state, ``0 <= s <= b``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly between 0 and 1")
+    if b < 1:
+        raise ValueError("need b >= 1")
+    if not 0 <= s <= b:
+        raise ValueError("start must satisfy 0 <= s <= b")
+    if s == 0:
+        return RuinProbabilities(0.0, 1.0, 0.0)
+    if s == b:
+        return RuinProbabilities(1.0, 0.0, 0.0)
+    if p == 0.5:
+        hit_top = s / b
+        expected = float(s * (b - s))
+        return RuinProbabilities(hit_top, 1.0 - hit_top, expected)
+    ratio = (1.0 - p) / p
+    # Guard against overflow for strongly downward-biased long walks.
+    log_rs = s * np.log(ratio)
+    log_rb = b * np.log(ratio)
+    if max(log_rs, log_rb) > 700:
+        # ratio**b astronomically large: walk almost surely hits 0.
+        hit_top = 0.0 if ratio > 1 else 1.0
+    else:
+        rs, rb = np.exp(log_rs), np.exp(log_rb)
+        hit_top = (rs - 1.0) / (rb - 1.0)
+        rsafe = min(rs, 1e290)
+        rbsafe = min(rb, 1e290)
+        expected = (
+            s / (1.0 - 2.0 * p)
+            - (b / (1.0 - 2.0 * p)) * (1.0 - rsafe) / (1.0 - rbsafe)
+        )
+        return RuinProbabilities(
+            float(hit_top), float(1.0 - hit_top), float(expected)
+        )
+    return RuinProbabilities(hit_top, 1.0 - hit_top, float("inf"))
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """Result of one simulated biased walk."""
+
+    absorbed_at: int  # 0 or b
+    steps: int
+
+
+def simulate_biased_walk(
+    p: float,
+    b: int,
+    s: int,
+    *,
+    rng: int | np.random.Generator | None = None,
+    max_steps: int = 100_000_000,
+) -> WalkOutcome:
+    """Run one biased walk to absorption (or ``max_steps``)."""
+    if not 0 <= s <= b:
+        raise ValueError("start must satisfy 0 <= s <= b")
+    rng = make_rng(rng)
+    position = s
+    steps = 0
+    while 0 < position < b:
+        if steps >= max_steps:
+            raise RuntimeError("walk did not absorb within max_steps")
+        # Draw uniforms in blocks for speed.
+        block = rng.random(min(4096, max_steps - steps))
+        for u in block:
+            position += 1 if u < p else -1
+            steps += 1
+            if position == 0 or position == b:
+                break
+    return WalkOutcome(absorbed_at=position, steps=steps)
+
+
+def escape_probability_bound(
+    epsilon: float, n: int, w: float, c: float = 1.0
+) -> float:
+    """The Lemma 2.1-style failure bound ``exp(-c n ε² / w)``.
+
+    Used to predict how unlikely it is for the light mass to fall back
+    out of region ``S_1`` once reached.
+    """
+    if epsilon <= 0 or n < 1 or w <= 0:
+        raise ValueError("need epsilon > 0, n >= 1, w > 0")
+    return float(np.exp(-c * n * epsilon**2 / w))

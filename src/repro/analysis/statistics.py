@@ -1,0 +1,144 @@
+"""Empirical statistics over recorded simulation series.
+
+These helpers turn recorded count series into the quantities the
+paper's theorems talk about: convergence times, stabilised-window
+errors, occupancy agreement, and scaling-law fits for the
+``O(w² n log n)`` convergence claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.properties import fair_share_deviation
+from ..core.weights import WeightTable
+
+
+def tv_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions."""
+    return float(0.5 * np.abs(np.asarray(p, float) - np.asarray(q, float)).sum())
+
+
+def empirical_shares(colour_counts: np.ndarray) -> np.ndarray:
+    """Colour fractions ``C_i / n`` from a snapshot or series."""
+    counts = np.asarray(colour_counts, dtype=np.float64)
+    return counts / counts.sum(axis=-1, keepdims=True)
+
+
+def max_share_error_series(
+    counts_series: np.ndarray, weights: WeightTable
+) -> np.ndarray:
+    """Per-snapshot worst-colour deviation from fair shares, ``(T,)``."""
+    series = np.atleast_2d(np.asarray(counts_series, dtype=np.float64))
+    return fair_share_deviation(series, weights).max(axis=-1)
+
+
+def convergence_time(
+    times: np.ndarray,
+    counts_series: np.ndarray,
+    weights: WeightTable,
+    bound: float,
+    *,
+    dwell_fraction: float = 1.0,
+) -> int | None:
+    """First recorded time after which the diversity error stays bounded.
+
+    Returns the earliest recorded time ``t`` such that the error is
+    ``<= bound`` for at least ``dwell_fraction`` of all subsequent
+    snapshots (1.0 = every subsequent snapshot).  ``None`` when no such
+    time exists in the record.
+    """
+    if not 0.0 < dwell_fraction <= 1.0:
+        raise ValueError("dwell_fraction must be in (0, 1]")
+    errors = max_share_error_series(counts_series, weights)
+    below = errors <= bound
+    total = len(below)
+    # Suffix share of in-bound snapshots.
+    suffix_hits = np.cumsum(below[::-1])[::-1]
+    suffix_len = total - np.arange(total)
+    ok = (below) & (suffix_hits / suffix_len >= dwell_fraction)
+    hits = np.nonzero(ok)[0]
+    if hits.size == 0:
+        return None
+    return int(np.asarray(times)[hits[0]])
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y ≈ coefficient · x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> PowerLawFit:
+    """Log-log linear regression; robust R² in log space."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two same-length vectors of length >= 2")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    residual = ((ly - predicted) ** 2).sum()
+    total = ((ly - ly.mean()) ** 2).sum()
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=float(r_squared),
+    )
+
+
+@dataclass(frozen=True)
+class NLogNFit:
+    """Least-squares fit of ``t ≈ c · n log n``."""
+
+    constant: float
+    relative_residual: float
+
+
+def fit_n_log_n(ns: np.ndarray, ts: np.ndarray) -> NLogNFit:
+    """Fit convergence times against the ``n log n`` shape (Thm 1.3)."""
+    ns = np.asarray(ns, dtype=np.float64)
+    ts = np.asarray(ts, dtype=np.float64)
+    if ns.size != ts.size or ns.size < 2:
+        raise ValueError("need two same-length vectors of length >= 2")
+    basis = ns * np.log(ns)
+    constant = float((basis * ts).sum() / (basis * basis).sum())
+    predicted = constant * basis
+    residual = float(
+        np.sqrt(((ts - predicted) ** 2).mean()) / max(ts.mean(), 1e-12)
+    )
+    return NLogNFit(constant=constant, relative_residual=residual)
+
+
+def colour_survival(counts_series: np.ndarray) -> np.ndarray:
+    """Per-colour flag: did the colour survive the whole record?"""
+    series = np.atleast_2d(np.asarray(counts_series))
+    return (series >= 1).all(axis=0)
+
+
+def occupancy_agreement(
+    occupancy: np.ndarray, weights: WeightTable
+) -> dict[str, float]:
+    """Summary of per-agent occupancy vs the fair shares.
+
+    Returns mean/max absolute deviation and the mean TV distance
+    between each agent's occupancy row and the fair-share vector.
+    """
+    occ = np.asarray(occupancy, dtype=np.float64)
+    fair = weights.fair_shares()
+    deviations = np.abs(occ - fair[None, :])
+    tv = 0.5 * deviations.sum(axis=1)
+    return {
+        "mean_abs_deviation": float(deviations.mean()),
+        "max_abs_deviation": float(deviations.max()),
+        "mean_tv": float(tv.mean()),
+        "max_tv": float(tv.max()),
+    }

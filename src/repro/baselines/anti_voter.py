@@ -1,0 +1,39 @@
+"""The anti-voter model (Sec 1.1, refs [1, 31]).
+
+Two colours; the scheduled agent adopts the *opposite* of the sampled
+agent's colour.  The process reaches a fluctuating equilibrium around
+the 50/50 split and agents keep switching — an early precedent for
+diversity and fairness, but limited to two colours and unweighted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+
+
+class AntiVoterModel(Protocol):
+    """Adopt the opposite colour of the sampled neighbour (k = 2)."""
+
+    name = "anti-voter"
+    arity = 1
+
+    def initial_state(self, colour: int) -> AgentState:
+        if colour not in (0, 1):
+            raise ValueError("the anti-voter model supports colours {0, 1}")
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        opposite = 1 - sampled[0].colour
+        if opposite == u.colour:
+            return u
+        return AgentState(opposite, DARK)

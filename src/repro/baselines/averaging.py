@@ -1,0 +1,122 @@
+"""Averaging / load-balancing processes (Sec 1.1, refs [2, 25, 29]).
+
+Agents hold real values; on an interaction both (or one) move to the
+average.  These dynamics achieve *value* consensus rather than colour
+diversity, and are included to contrast convergence behaviour and to
+reproduce the discrepancy-over-time shape discussed for the diffusion
+load-balancing model of [29] and the noisy averaging protocol of [25].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..engine.rng import make_rng
+
+
+class AveragingProcess:
+    """Pairwise averaging of real-valued opinions.
+
+    At each step two distinct agents are sampled u.a.r. and both adopt
+    the mean of their values, optionally corrupted by additive noise of
+    scale ``noise`` (the noisy-communication model of [25]).
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        *,
+        noise: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.values = np.asarray(values, dtype=np.float64).copy()
+        if self.values.ndim != 1 or self.values.size < 2:
+            raise ValueError("need a 1-D vector of at least two values")
+        if noise < 0:
+            raise ValueError("noise scale must be non-negative")
+        self.noise = float(noise)
+        self.rng = make_rng(rng)
+        self.time = 0
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return int(self.values.size)
+
+    def mean(self) -> float:
+        """Current mean opinion (invariant when noise == 0)."""
+        return float(self.values.mean())
+
+    def discrepancy(self) -> float:
+        """Max minus min opinion — the load-balancing gap of [29]."""
+        return float(self.values.max() - self.values.min())
+
+    def step(self) -> None:
+        """One pairwise averaging interaction."""
+        self.time += 1
+        rng = self.rng
+        u = int(rng.integers(0, self.n))
+        v = int(rng.integers(0, self.n - 1))
+        if v >= u:
+            v += 1
+        received_u = self.values[v]
+        received_v = self.values[u]
+        if self.noise:
+            received_u += rng.normal(0.0, self.noise)
+            received_v += rng.normal(0.0, self.noise)
+        self.values[u] = (self.values[u] + received_u) / 2.0
+        self.values[v] = (self.values[v] + received_v) / 2.0
+
+    def run(self, steps: int) -> "AveragingProcess":
+        """Execute ``steps`` interactions; returns self."""
+        for _ in range(steps):
+            self.step()
+        return self
+
+
+class MatchingDiffusion:
+    """Round-based diffusion load balancing in the matching model [29].
+
+    In every round a random perfect matching (or near-perfect for odd
+    ``n``) is drawn and matched pairs average their loads.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        *,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.values = np.asarray(values, dtype=np.float64).copy()
+        if self.values.ndim != 1 or self.values.size < 2:
+            raise ValueError("need a 1-D vector of at least two values")
+        self.rng = make_rng(rng)
+        self.rounds = 0
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return int(self.values.size)
+
+    def discrepancy(self) -> float:
+        """Max minus min load."""
+        return float(self.values.max() - self.values.min())
+
+    def round(self) -> None:
+        """One matching round: shuffle, pair consecutive, average."""
+        self.rounds += 1
+        order = self.rng.permutation(self.n)
+        pairs = (self.n // 2) * 2
+        left = order[0:pairs:2]
+        right = order[1:pairs:2]
+        means = (self.values[left] + self.values[right]) / 2.0
+        self.values[left] = means
+        self.values[right] = means
+
+    def run(self, rounds: int) -> "MatchingDiffusion":
+        """Execute ``rounds`` matching rounds; returns self."""
+        for _ in range(rounds):
+            self.round()
+        return self

@@ -1,0 +1,121 @@
+"""The Moran process (Sec 1.1, refs [18, 23]).
+
+A birth-death spreading process: at each step one agent is chosen to
+reproduce with probability proportional to the fitness of its colour,
+and a uniformly random agent adopts that colour.  Like the Voter model
+it fixates on a single colour, so it serves as another consensus
+baseline; fitness plays the role weights play in Diversification, but
+fitness advantages bias *which* colour wins rather than sustaining a
+weighted mixture.
+
+The process has a different scheduling structure (global
+fitness-proportional selection), so it is implemented as a standalone
+count-based dynamic rather than a :class:`~repro.core.protocol.Protocol`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..engine.rng import make_rng
+
+
+class MoranProcess:
+    """Count-based Moran process on the complete graph.
+
+    Args:
+        colour_counts: Initial number of agents per colour.
+        fitness: Per-colour fitness values (default all 1 — neutral
+            drift).
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        colour_counts: Sequence[int],
+        fitness: Sequence[float] | None = None,
+        *,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self._counts = [int(c) for c in colour_counts]
+        if any(c < 0 for c in self._counts):
+            raise ValueError("counts must be non-negative")
+        if sum(self._counts) < 2:
+            raise ValueError("need at least two agents")
+        if fitness is None:
+            fitness = [1.0] * len(self._counts)
+        self._fitness = [float(f) for f in fitness]
+        if len(self._fitness) != len(self._counts):
+            raise ValueError("fitness vector must match colour count")
+        if any(f <= 0 for f in self._fitness):
+            raise ValueError("fitness values must be positive")
+        self.rng = make_rng(rng)
+        self.time = 0
+
+    @property
+    def n(self) -> int:
+        """Population size (constant)."""
+        return sum(self._counts)
+
+    @property
+    def k(self) -> int:
+        """Number of colour slots."""
+        return len(self._counts)
+
+    def colour_counts(self) -> np.ndarray:
+        """Agents per colour."""
+        return np.asarray(self._counts, dtype=np.int64)
+
+    def has_fixated(self) -> bool:
+        """True once a single colour holds the whole population."""
+        return max(self._counts) == self.n
+
+    def step(self) -> bool:
+        """One birth-death event; True if the configuration changed."""
+        self.time += 1
+        rng = self.rng
+        masses = [c * f for c, f in zip(self._counts, self._fitness)]
+        total = sum(masses)
+        pick = rng.random() * total
+        acc = 0.0
+        parent = len(masses) - 1
+        for index, mass in enumerate(masses):
+            acc += mass
+            if pick < acc:
+                parent = index
+                break
+        pick = rng.random() * self.n
+        acc = 0.0
+        dier = self.k - 1
+        for index, count in enumerate(self._counts):
+            acc += count
+            if pick < acc:
+                dier = index
+                break
+        if dier == parent:
+            return False
+        self._counts[dier] -= 1
+        self._counts[parent] += 1
+        return True
+
+    def run(self, steps: int, *, stop_on_fixation: bool = True) -> int:
+        """Run up to ``steps`` events; returns the number executed."""
+        executed = 0
+        while executed < steps:
+            if stop_on_fixation and self.has_fixated():
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def absorption_time(self, max_steps: int) -> int | None:
+        """Steps until fixation, or None if ``max_steps`` elapsed."""
+        executed = 0
+        while not self.has_fixated():
+            if executed >= max_steps:
+                return None
+            self.step()
+            executed += 1
+        return executed

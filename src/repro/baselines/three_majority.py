@@ -1,0 +1,44 @@
+"""The 3-Majority dynamic (Sec 1.1, refs [4, 6, 22]).
+
+The scheduled agent samples two agents and considers the multiset of
+its own colour plus the two sampled colours: if a majority exists it
+adopts it, otherwise it picks one of the three uniformly at random.
+Another fast consensus process used as an anti-diversity baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+
+
+class ThreeMajority(Protocol):
+    """Majority of {own, sample, sample}; random among ties of three."""
+
+    name = "3-majority"
+    arity = 2
+
+    def initial_state(self, colour: int) -> AgentState:
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        colours = (u.colour, sampled[0].colour, sampled[1].colour)
+        # Majority exists iff at least two of the three agree.
+        if colours[0] == colours[1] or colours[0] == colours[2]:
+            winner = colours[0]
+        elif colours[1] == colours[2]:
+            winner = colours[1]
+        else:
+            winner = colours[int(rng.integers(0, 3))]
+        if winner == u.colour:
+            return u
+        return AgentState(winner, DARK)

@@ -1,0 +1,74 @@
+"""The "trivial" global-knowledge protocol the paper argues against
+(Sec 1, second paragraph).
+
+Each agent privately knows the full colour/weight table and, when
+scheduled, redraws its colour proportionally to the weights with some
+resampling probability.  This achieves the fair shares *in expectation*
+but:
+
+* it needs global knowledge (all colours and the normalisation
+  constant ``w``), i.e. memory and communication that simple agents do
+  not have;
+* it is **not sustainable** — a colour's support is a Binomial sample
+  and hits zero with positive probability every step;
+* it is **not robust**: the table is a private snapshot, so colours
+  added later are never adopted and removed colours keep being drawn
+  (experiment E7/A3 demonstrates both failure modes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+from ..core.weights import WeightTable
+
+
+class TrivialResampling(Protocol):
+    """Redraw own colour ~ weights (private snapshot) when scheduled.
+
+    Args:
+        weights: Weight table *snapshotted at construction* — later
+            additions to the live system table are deliberately not
+            seen, modelling the robustness failure.
+        resample_probability: Chance the scheduled agent redraws at all
+            (1.0 = redraw every activation).
+    """
+
+    name = "trivial-resampling"
+    arity = 1
+
+    def __init__(self, weights: WeightTable, resample_probability: float = 1.0):
+        if not 0.0 < resample_probability <= 1.0:
+            raise ValueError("resample_probability must be in (0, 1]")
+        self._snapshot = weights.copy()
+        self._shares = self._snapshot.fair_shares()
+        self._cumulative = np.cumsum(self._shares)
+        self.resample_probability = float(resample_probability)
+
+    @property
+    def known_k(self) -> int:
+        """Number of colours in the private snapshot."""
+        return self._snapshot.k
+
+    def initial_state(self, colour: int) -> AgentState:
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        if self.resample_probability < 1.0:
+            if rng.random() >= self.resample_probability:
+                return u
+        pick = rng.random()
+        colour = int(np.searchsorted(self._cumulative, pick, side="right"))
+        colour = min(colour, self._snapshot.k - 1)
+        if colour == u.colour:
+            return u
+        return AgentState(colour, DARK)

@@ -1,0 +1,36 @@
+"""The 2-Choices dynamic (Sec 1.1, refs [12-14, 16]).
+
+The scheduled agent samples two agents; it adopts their colour only if
+both agree.  A drift-amplifying consensus process: the plurality colour
+wins quickly, eliminating diversity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+
+
+class TwoChoices(Protocol):
+    """Adopt the sampled colour only when two samples agree."""
+
+    name = "2-choices"
+    arity = 2
+
+    def initial_state(self, colour: int) -> AgentState:
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        v1, v2 = sampled[0], sampled[1]
+        if v1.colour == v2.colour and v1.colour != u.colour:
+            return AgentState(v1.colour, DARK)
+        return u

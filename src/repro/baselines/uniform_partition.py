@@ -1,0 +1,72 @@
+"""Uniform k-partition helpers (Sec 1.1, Yasumi et al. [32-34]).
+
+With all weights equal to 1 the Diversification protocol becomes a
+protocol for the *uniform partition* problem — the paper notes the
+lightening coin degenerates to probability 1, making the rule
+deterministic.  The closest prior work (Yasumi et al.) studies this
+problem under deterministic/adversarial schedulers with a focus on
+state counts; reproducing their exact constructions is out of scope
+(different scheduling model), so this module provides:
+
+* :func:`uniform_partition_protocol` — the unit-weight Diversification
+  instance;
+* :class:`RandomRecolouring` — a strawman that relabels uniformly using
+  global knowledge of ``k`` (uniform in expectation, not sustainable);
+* :func:`partition_imbalance` — the max-min imbalance metric used by
+  the equi-partition literature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.diversification import Diversification
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+from ..core.weights import WeightTable
+
+
+def uniform_partition_protocol(k: int) -> Diversification:
+    """Diversification with unit weights: solves uniform k-partition.
+
+    Every colour targets the share ``1/k``; the lightening coin has
+    probability ``1/w_i = 1``, so the transition rule is deterministic
+    (cf. the remark after Eq. (2) in the paper).
+    """
+    return Diversification(WeightTable.uniform(k))
+
+
+class RandomRecolouring(Protocol):
+    """Strawman: relabel to a uniformly random colour on same-colour
+    meetings.  Requires knowing ``k`` (global knowledge) and lets the
+    last supporter of a colour switch away, so it is not sustainable.
+    """
+
+    name = "random-recolouring"
+    arity = 1
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError("need at least two colours")
+        self.k = k
+
+    def initial_state(self, colour: int) -> AgentState:
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        if sampled[0].colour == u.colour:
+            return AgentState(int(rng.integers(0, self.k)), DARK)
+        return u
+
+
+def partition_imbalance(colour_counts: Sequence[int] | np.ndarray) -> int:
+    """Max minus min colour count — the equi-partition quality metric."""
+    counts = np.asarray(colour_counts)
+    return int(counts.max() - counts.min())

@@ -1,0 +1,37 @@
+"""The Voter model — the canonical *consensus* dynamic (Sec 1.1).
+
+Each scheduled agent adopts the colour of the agent it samples.  The
+process reaches consensus (one colour) almost surely, destroying
+diversity and sustainability; it is the natural antagonist for the
+Diversification protocol in experiment E10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import DARK, AgentState
+
+
+class VoterModel(Protocol):
+    """Adopt the sampled neighbour's colour unconditionally."""
+
+    name = "voter"
+    arity = 1
+
+    def initial_state(self, colour: int) -> AgentState:
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        v = sampled[0]
+        if v.colour == u.colour:
+            return u
+        return AgentState(v.colour, DARK)

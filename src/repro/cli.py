@@ -1,0 +1,200 @@
+"""Command-line interface: run any reproduction experiment.
+
+Examples::
+
+    repro list
+    repro run e2 --quick
+    repro run e1
+    repro demo --n 2000 --weights 1,2,3 --rounds 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.properties import assess_goodness
+from .core.weights import WeightTable
+from .experiments import ALL_EXPERIMENTS, run_aggregate
+from .experiments.report import format_table
+
+QUICK_OVERRIDES: dict[str, dict] = {
+    "e1": {"ns": (128, 256), "seeds": 2},
+    "e2": {"ns": (128, 256, 512), "seeds": 2},
+    "e3": {"n": 512, "settle_factor": 8.0},
+    "e3b": {"ns": (128, 256), "seeds": 2},
+    "e4": {"n": 1024, "settle_factor": 6.0, "window_samples": 64},
+    "e5": {"n": 128, "horizon_rounds": (200, 800)},
+    "e6": {"n": 96, "steps_per_agent": 400, "seeds": 5},
+    "e7": {"n": 512, "settle_factor": 6.0},
+    "e8": {"n": 128, "sim_steps": 60_000},
+    "e9": {"n": 256, "rounds": 1500, "seeds": 2},
+    "e9b": {"ns": (128, 256, 512), "seeds": 2, "settle_rounds": 600,
+            "window_samples": 32},
+    "e10": {"n": 96, "rounds": 2000},
+    "e10b": {"n": 100, "seeds": 3, "steps_per_agent": 600},
+    "e11": {"n": 144, "rounds": 2000},
+    "e12": {"n": 96, "rounds": 100, "seeds": 12,
+            "throughput_steps": 60_000},
+    "ablations": {"n": 256, "rounds": 1500},
+}
+
+
+def _parse_weights(text: str) -> WeightTable:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+        return WeightTable(values)
+    except ValueError as error:
+        raise SystemExit(f"invalid --weights {text!r}: {error}") from error
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [name, fn.__doc__.strip().splitlines()[0] if fn.__doc__ else ""]
+        for name, fn in sorted(ALL_EXPERIMENTS.items())
+    ]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.experiments or sorted(ALL_EXPERIMENTS)
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {}
+        table = fn(**kwargs)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    weights = _parse_weights(args.weights)
+    steps = args.rounds * args.n
+    record = run_aggregate(
+        weights, args.n, steps, start=args.start, seed=args.seed
+    )
+    tail = max(1, len(record.times) // 4)
+    window = record.colour_counts[-tail:, : weights.k]
+    report = assess_goodness(window, weights)
+    final = record.final_colour_counts[: weights.k]
+    shares = final / final.sum()
+    rows = [
+        [i, weights.weight(i), int(final[i]), float(shares[i]),
+         float(weights.fair_shares()[i])]
+        for i in range(weights.k)
+    ]
+    print(format_table(
+        ["colour", "weight", "final count", "share", "fair share"], rows,
+        title=f"Diversification demo: n={args.n}, steps={steps}",
+    ))
+    print(
+        f"diversity error {report.diversity_error:.4f} "
+        f"(bound {report.diversity_bound:.4f}) -> "
+        f"diverse={report.diverse}, sustainable={report.sustainable}"
+    )
+    return 0
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    from .analysis.potentials import phi_plateau, sigma_plateau
+    from .experiments.phases import potential_series
+    from .experiments.report import format_series
+
+    weights = _parse_weights(args.weights)
+    steps = args.rounds * args.n
+    record = run_aggregate(
+        weights, args.n, steps, start=args.start, seed=args.seed,
+        record_interval=max(1, steps // 256),
+    )
+    series = potential_series(record)
+    times = series["times"].tolist()
+    print(format_series(
+        f"phi(t): dark imbalance (plateau bound "
+        f"{phi_plateau(args.n, weights):.3g})",
+        times, series["phi"].tolist(),
+    ))
+    print()
+    print(format_series(
+        "psi(t): light imbalance", times, series["psi"].tolist()
+    ))
+    print()
+    print(format_series(
+        f"sigma^2(t): dark/light mass split (plateau bound "
+        f"{sigma_plateau(args.n):.3g})",
+        times, series["sigma_sq"].tolist(),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Diversity, Fairness, and Sustainability in "
+            "Population Protocols' (PODC 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments and print tables")
+    p_run.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (default: all)",
+    )
+    p_run.add_argument(
+        "--quick", action="store_true",
+        help="smaller parameters for a fast pass",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_demo = sub.add_parser(
+        "demo", help="run one Diversification instance and report goodness"
+    )
+    p_demo.add_argument("--n", type=int, default=1000)
+    p_demo.add_argument("--weights", type=str, default="1,2,3")
+    p_demo.add_argument("--rounds", type=int, default=2000,
+                        help="parallel rounds (steps = rounds * n)")
+    p_demo.add_argument("--start", type=str, default="worst")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_series = sub.add_parser(
+        "series",
+        help="run once and chart the phi/psi/sigma potentials (Fig. 1)",
+    )
+    p_series.add_argument("--n", type=int, default=1000)
+    p_series.add_argument("--weights", type=str, default="1,2,3")
+    p_series.add_argument("--rounds", type=int, default=2000)
+    p_series.add_argument("--start", type=str, default="worst")
+    p_series.add_argument("--seed", type=int, default=0)
+    p_series.set_defaults(func=_cmd_series)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an
+        # error from the user's point of view.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

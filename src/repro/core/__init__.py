@@ -1,0 +1,52 @@
+"""Core contribution of the paper: the Diversification protocol family
+and the formal properties it satisfies (Def 1.1)."""
+
+from .ablations import EagerRecolouring, UnweightedLightening
+from .derandomised import DerandomisedDiversification
+from .diversification import Diversification
+from .properties import (
+    GoodnessReport,
+    assess_goodness,
+    diversity_bound,
+    diversity_error,
+    equilibrium_dark_counts,
+    equilibrium_light_counts,
+    fair_share_deviation,
+    fairness_deviation,
+    fairness_error,
+    is_diverse,
+    is_fair,
+    is_sustainable,
+    sustainability_invariant,
+)
+from .protocol import Protocol
+from .state import DARK, LIGHT, AgentState, dark, light
+from .weights import WeightTable, weights_from_demands
+
+__all__ = [
+    "AgentState",
+    "DARK",
+    "LIGHT",
+    "dark",
+    "light",
+    "Protocol",
+    "Diversification",
+    "DerandomisedDiversification",
+    "UnweightedLightening",
+    "EagerRecolouring",
+    "WeightTable",
+    "weights_from_demands",
+    "GoodnessReport",
+    "assess_goodness",
+    "diversity_bound",
+    "diversity_error",
+    "fair_share_deviation",
+    "fairness_deviation",
+    "fairness_error",
+    "equilibrium_dark_counts",
+    "equilibrium_light_counts",
+    "is_diverse",
+    "is_fair",
+    "is_sustainable",
+    "sustainability_invariant",
+]

@@ -1,0 +1,72 @@
+"""Derandomised Diversification protocol (Sec 1.2 of the paper).
+
+For non-negative *integer* weights the coin flip of the randomised
+protocol can be removed: colour ``i`` has ``1 + w_i`` shades of grey
+enumerated ``0`` (light) to ``w_i`` (dark).  When agent ``u`` is
+scheduled and samples ``v``:
+
+* if ``u`` and ``v`` share a colour and both have shade ``> 0``, ``u``
+  reduces its shade by one;
+* if ``u`` has shade 0 and ``v`` has shade ``> 0``, ``u`` adopts ``v``'s
+  colour ``j`` at full shade ``w_j``;
+* otherwise nothing happens.
+
+A full lighten cycle therefore takes ``w_i`` same-colour meetings instead
+of one meeting passing a ``1/w_i`` coin — the expected behaviour matches
+the randomised protocol while using ``ceil(log2(1 + w_i))`` bits of
+memory.  Analysing this variant is listed as an open problem in Sec 3;
+experiment E9 probes it empirically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .protocol import Protocol
+from .state import AgentState
+from .weights import WeightTable
+
+
+class DerandomisedDiversification(Protocol):
+    """Deterministic multi-shade variant for integer weights.
+
+    Args:
+        weights: Colour weight table; every weight must be integral.
+    """
+
+    name = "derandomised-diversification"
+    arity = 1
+
+    def __init__(self, weights: WeightTable):
+        if not weights.is_integer():
+            raise ValueError(
+                "derandomised protocol requires integer weights; "
+                f"got {list(weights)}"
+            )
+        self.weights = weights
+
+    def initial_state(self, colour: int) -> AgentState:
+        """Agents start at full shade ``w_i`` (fully committed)."""
+        if not 0 <= colour < self.weights.k:
+            raise ValueError(
+                f"colour {colour} outside weight table of size {self.weights.k}"
+            )
+        return AgentState(colour, self.max_shade(colour))
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        v = sampled[0]
+        if u.shade > 0 and v.shade > 0 and u.colour == v.colour:
+            return AgentState(u.colour, u.shade - 1)
+        if u.shade == 0 and v.shade > 0:
+            return AgentState(v.colour, self.max_shade(v.colour))
+        return u
+
+    def max_shade(self, colour: int) -> int:
+        return int(self.weights.weight(colour))

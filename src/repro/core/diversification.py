@@ -1,0 +1,70 @@
+"""The Diversification protocol (Sec 1.2, Eq. (2) of the paper).
+
+Each agent holds a colour ``i`` with weight ``w_i >= 1`` and one extra
+bit, the *shade*: dark (1) agents are committed to their colour, light
+(0) agents are open to change.  When agent ``u`` is scheduled and samples
+agent ``v``:
+
+1. if ``u`` is light and ``v`` is dark, ``u`` adopts ``v``'s colour and
+   becomes dark;
+2. if ``u`` and ``v`` are both dark with the same colour ``i``, ``u``
+   becomes light with probability ``1 / w_i``;
+3. otherwise nothing happens.
+
+The protocol needs no global knowledge: an agent only ever reads the
+colour, weight and shade of the single agent it samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .protocol import Protocol
+from .state import DARK, LIGHT, AgentState
+from .weights import WeightTable
+
+
+class Diversification(Protocol):
+    """Randomised Diversification protocol of Kang et al. (PODC 2021).
+
+    Args:
+        weights: Colour weight table.  The table is shared (not copied)
+            so that an adversary adding colours at run time is visible
+            to the protocol immediately.
+    """
+
+    name = "diversification"
+    arity = 1
+
+    def __init__(self, weights: WeightTable):
+        self.weights = weights
+
+    def initial_state(self, colour: int) -> AgentState:
+        """Agents start dark (``b_u(0) = 1`` in the paper)."""
+        self._check_colour(colour)
+        return AgentState(colour, DARK)
+
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        v = sampled[0]
+        if u.is_light and v.is_dark:
+            return AgentState(v.colour, DARK)
+        if u.is_dark and v.is_dark and u.colour == v.colour:
+            if rng.random() < self.weights.lighten_probability(u.colour):
+                return AgentState(u.colour, LIGHT)
+        return u
+
+    def max_shade(self, colour: int) -> int:
+        return DARK
+
+    def _check_colour(self, colour: int) -> None:
+        if not 0 <= colour < self.weights.k:
+            raise ValueError(
+                f"colour {colour} outside weight table of size {self.weights.k}"
+            )

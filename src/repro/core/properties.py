@@ -1,0 +1,170 @@
+"""Formal property definitions from Def 1.1: diversity, fairness,
+sustainability — and the "good protocol" combination.
+
+All checkers operate on plain numpy arrays so they can be used against
+either engine and against recorded time series:
+
+* ``colour_counts``: shape ``(k,)`` — agents per colour at one instant,
+  or shape ``(T, k)`` for a window of ``T`` snapshots.
+* ``occupancy``: shape ``(n, k)`` — fraction of time each agent spent in
+  each colour over a horizon (rows sum to 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .weights import WeightTable
+
+
+def fair_share_deviation(
+    colour_counts: np.ndarray, weights: WeightTable
+) -> np.ndarray:
+    """Per-colour deviation ``|C_i(t)/n - w_i/w|`` (Eq. (1)).
+
+    Accepts a single snapshot ``(k,)`` or a window ``(T, k)``; the result
+    has the same leading shape.
+    """
+    counts = np.asarray(colour_counts, dtype=np.float64)
+    n = counts.sum(axis=-1, keepdims=True)
+    if np.any(n <= 0):
+        raise ValueError("configuration must contain at least one agent")
+    return np.abs(counts / n - weights.fair_shares())
+
+
+def diversity_error(colour_counts: np.ndarray, weights: WeightTable) -> float:
+    """Worst-case deviation from the fair shares, over colours (and time)."""
+    return float(fair_share_deviation(colour_counts, weights).max())
+
+
+def diversity_bound(n: int, constant: float = 1.0) -> float:
+    """The ``Õ(1/√n)`` diversity target of Def 1.1(1).
+
+    We use ``constant * sqrt(log(n) / n)``, the explicit form delivered
+    by Thm 2.13 (error ``O(n^{3/4} log^{1/4} n)`` on counts translates to
+    ``O((log n / n)^{1/4} / n^{... }) <= O(sqrt(log n / n))`` on
+    fractions for the regimes we simulate).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    return constant * float(np.sqrt(np.log(n) / n))
+
+
+def is_diverse(
+    window_counts: np.ndarray,
+    weights: WeightTable,
+    constant: float = 1.0,
+) -> bool:
+    """Def 1.1(1) over a recorded window: every snapshot within the bound."""
+    window = np.atleast_2d(np.asarray(window_counts, dtype=np.float64))
+    n = int(round(window[0].sum()))
+    bound = diversity_bound(n, constant)
+    return bool(fair_share_deviation(window, weights).max() <= bound)
+
+
+def fairness_deviation(occupancy: np.ndarray, weights: WeightTable) -> np.ndarray:
+    """Per-agent, per-colour deviation of time-occupancy from ``w_i/w``.
+
+    ``occupancy[u, i]`` is the fraction of the horizon agent ``u`` spent
+    with colour ``i`` (Def 1.1(2)).
+    """
+    occ = np.asarray(occupancy, dtype=np.float64)
+    if occ.ndim != 2:
+        raise ValueError("occupancy must be an (n, k) matrix")
+    row_sums = occ.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        raise ValueError("occupancy rows must each sum to 1")
+    return np.abs(occ - weights.fair_shares()[None, :])
+
+
+def fairness_error(occupancy: np.ndarray, weights: WeightTable) -> float:
+    """Worst-case occupancy deviation over all agents and colours."""
+    return float(fairness_deviation(occupancy, weights).max())
+
+
+def is_fair(
+    occupancy: np.ndarray, weights: WeightTable, tolerance: float
+) -> bool:
+    """Def 1.1(2): every agent's occupancy within ``tolerance`` of fair."""
+    return fairness_error(occupancy, weights) <= tolerance
+
+
+def is_sustainable(window_counts: np.ndarray) -> bool:
+    """Def 1.1(3) over a window: no colour count ever hits zero."""
+    window = np.atleast_2d(np.asarray(window_counts))
+    return bool((window >= 1).all())
+
+
+def sustainability_invariant(dark_counts: np.ndarray) -> bool:
+    """The invariant the paper's proof rests on: each colour keeps at
+    least one *dark* representative (a lone dark agent never changes).
+    """
+    window = np.atleast_2d(np.asarray(dark_counts))
+    return bool((window >= 1).all())
+
+
+def equilibrium_dark_counts(n: int, weights: WeightTable) -> np.ndarray:
+    """Perfect-equilibrium dark counts ``A_i = w_i n / (1 + w)`` (Eq. (7))."""
+    return n * weights.dark_shares()
+
+
+def equilibrium_light_counts(n: int, weights: WeightTable) -> np.ndarray:
+    """Perfect-equilibrium light counts ``a_i = (w_i/w) n/(1+w)`` (Eq. (7))."""
+    return n * weights.light_shares()
+
+
+@dataclass(frozen=True)
+class GoodnessReport:
+    """Summary of the three Def 1.1 properties over one recorded run."""
+
+    diversity_error: float
+    diversity_bound: float
+    diverse: bool
+    fairness_error: float | None
+    fair: bool | None
+    sustainable: bool
+
+    @property
+    def good(self) -> bool:
+        """The paper calls a protocol *good* when all three hold."""
+        fair = True if self.fair is None else self.fair
+        return self.diverse and fair and self.sustainable
+
+
+def assess_goodness(
+    window_counts: np.ndarray,
+    weights: WeightTable,
+    occupancy: np.ndarray | None = None,
+    diversity_constant: float = 1.0,
+    fairness_tolerance: float = 0.05,
+) -> GoodnessReport:
+    """Evaluate diversity, fairness and sustainability on recorded data.
+
+    Args:
+        window_counts: ``(T, k)`` colour counts in the stabilised window.
+        weights: Colour weights.
+        occupancy: Optional ``(n, k)`` per-agent occupancy fractions; when
+            omitted the fairness verdict is left undetermined (``None``).
+        diversity_constant: Slack constant for the ``sqrt(log n / n)``
+            diversity bound.
+        fairness_tolerance: Absolute occupancy tolerance for fairness.
+    """
+    window = np.atleast_2d(np.asarray(window_counts, dtype=np.float64))
+    n = int(round(window[0].sum()))
+    error = diversity_error(window, weights)
+    bound = diversity_bound(n, diversity_constant)
+    fair_error: float | None = None
+    fair: bool | None = None
+    if occupancy is not None:
+        fair_error = fairness_error(occupancy, weights)
+        fair = fair_error <= fairness_tolerance
+    return GoodnessReport(
+        diversity_error=error,
+        diversity_bound=bound,
+        diverse=error <= bound,
+        fairness_error=fair_error,
+        fair=fair,
+        sustainable=is_sustainable(window),
+    )

@@ -1,0 +1,66 @@
+"""Abstract interface for pairwise population protocols.
+
+The engine (``repro.engine``) drives any :class:`Protocol`: at each
+time-step it schedules a uniformly random agent ``u``, samples ``arity``
+other agents (``arity`` is 1 for true population protocols; 2 for
+2-Choices / 3-Majority style dynamics), and asks the protocol for ``u``'s
+next state.  Only the scheduled agent changes state, matching the model
+of Sec 1.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from .state import AgentState
+
+
+class Protocol(abc.ABC):
+    """A local update rule executed by the scheduled agent.
+
+    Subclasses must be stateless apart from configuration (weights etc.);
+    all per-agent state lives in :class:`~repro.core.state.AgentState`
+    so that the engine can store populations compactly.
+    """
+
+    #: Human-readable protocol name used in reports.
+    name: str = "protocol"
+
+    #: Number of other agents the scheduled agent samples per step.
+    arity: int = 1
+
+    @abc.abstractmethod
+    def initial_state(self, colour: int) -> AgentState:
+        """State of a fresh agent that starts with ``colour``."""
+
+    @abc.abstractmethod
+    def transition(
+        self,
+        u: AgentState,
+        sampled: Sequence[AgentState],
+        rng: np.random.Generator,
+    ) -> AgentState:
+        """Next state of the scheduled agent ``u``.
+
+        Args:
+            u: Current state of the scheduled agent.
+            sampled: States of the ``arity`` sampled agents (read-only).
+            rng: Source of randomness for randomised rules.
+
+        Returns:
+            The new state of ``u`` (may be ``u`` itself for a no-op).
+        """
+
+    def max_shade(self, colour: int) -> int:
+        """Largest shade value this protocol assigns to ``colour``.
+
+        Used by engines to size count tables.  Binary-shade protocols
+        return 1.
+        """
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

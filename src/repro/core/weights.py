@@ -1,0 +1,144 @@
+"""Colour weight tables.
+
+Every colour ``i`` carries a weight ``w_i >= 1`` expressing its importance
+(Sec 1.2 of the paper).  The fair share of colour ``i`` is ``w_i / w`` of
+the population, where ``w = sum_i w_i``.  The table supports dynamic
+colour addition because the paper's adversary may introduce new colours
+at run time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+MIN_WEIGHT = 1.0
+
+
+class WeightTable:
+    """Mapping from colour id to weight, with derived quantities.
+
+    Colours are dense integers ``0..k-1``.  Weights must satisfy
+    ``w_i >= 1`` as required by the protocol (the lightening probability
+    ``1/w_i`` must be a probability).
+
+    The table is mutable only through :meth:`add_colour`, which appends a
+    new colour with the next free id — matching the adversary model in
+    which colours are only ever *added*.
+    """
+
+    def __init__(self, weights: Sequence[float] | Mapping[int, float]):
+        if isinstance(weights, Mapping):
+            if sorted(weights) != list(range(len(weights))):
+                raise ValueError("colour ids must be dense integers 0..k-1")
+            values = [float(weights[i]) for i in range(len(weights))]
+        else:
+            values = [float(value) for value in weights]
+        if not values:
+            raise ValueError("at least one colour is required")
+        for colour, value in enumerate(values):
+            _validate_weight(colour, value)
+        self._weights: list[float] = values
+
+    @classmethod
+    def uniform(cls, k: int, weight: float = 1.0) -> "WeightTable":
+        """Table of ``k`` colours all sharing the same weight."""
+        if k < 1:
+            raise ValueError(f"need at least one colour, got k={k}")
+        return cls([weight] * k)
+
+    @property
+    def k(self) -> int:
+        """Number of colours currently in the system."""
+        return len(self._weights)
+
+    @property
+    def total(self) -> float:
+        """``w = sum_i w_i``, the normalisation constant."""
+        return float(sum(self._weights))
+
+    def weight(self, colour: int) -> float:
+        """Weight ``w_i`` of a colour."""
+        return self._weights[colour]
+
+    def __getitem__(self, colour: int) -> float:
+        return self._weights[colour]
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightTable):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:
+        return f"WeightTable({self._weights!r})"
+
+    def as_array(self) -> np.ndarray:
+        """Weights as a float64 numpy vector."""
+        return np.asarray(self._weights, dtype=np.float64)
+
+    def fair_shares(self) -> np.ndarray:
+        """Target colour fractions ``w_i / w`` (Def 1.1(1))."""
+        array = self.as_array()
+        return array / array.sum()
+
+    def dark_shares(self) -> np.ndarray:
+        """Equilibrium dark fractions ``w_i / (1 + w)`` (Eq. (7))."""
+        array = self.as_array()
+        return array / (1.0 + array.sum())
+
+    def light_shares(self) -> np.ndarray:
+        """Equilibrium light fractions ``(w_i / w) / (1 + w)`` (Eq. (7))."""
+        array = self.as_array()
+        total = array.sum()
+        return array / (total * (1.0 + total))
+
+    def lighten_probability(self, colour: int) -> float:
+        """Probability ``1 / w_i`` of a dark agent turning light."""
+        return 1.0 / self._weights[colour]
+
+    def add_colour(self, weight: float) -> int:
+        """Append a new colour; returns its id (the next dense integer)."""
+        colour = len(self._weights)
+        _validate_weight(colour, float(weight))
+        self._weights.append(float(weight))
+        return colour
+
+    def is_integer(self) -> bool:
+        """True when every weight is integral (derandomised protocol)."""
+        return all(float(value).is_integer() for value in self._weights)
+
+    def copy(self) -> "WeightTable":
+        """Independent copy of the table."""
+        return WeightTable(list(self._weights))
+
+
+def _validate_weight(colour: int, value: float) -> None:
+    if not np.isfinite(value):
+        raise ValueError(f"weight of colour {colour} must be finite")
+    if value < MIN_WEIGHT:
+        raise ValueError(
+            f"weight of colour {colour} must be >= {MIN_WEIGHT}, got {value}"
+        )
+
+
+def weights_from_demands(demands: Iterable[float]) -> WeightTable:
+    """Build a table from task demands by rescaling so min weight is 1.
+
+    Task-allocation workloads are often expressed as relative demands
+    (e.g. "forage twice as much as brood care").  The protocol requires
+    ``w_i >= 1``; dividing by the minimum demand preserves the ratios.
+    """
+    values = [float(value) for value in demands]
+    if not values:
+        raise ValueError("at least one demand is required")
+    lowest = min(values)
+    if lowest <= 0:
+        raise ValueError("demands must be positive")
+    return WeightTable([value / lowest for value in values])

@@ -1,0 +1,32 @@
+"""Simulation engines: agent-level (any topology, any protocol) and
+aggregate count-based (complete graph, Diversification family)."""
+
+from .aggregate import AggregateSimulation
+from .multishade import MultiShadeAggregate
+from .observers import (
+    ConvergenceDetector,
+    MinCountTracker,
+    Observer,
+    OccupancyTracker,
+)
+from .population import Population
+from .rng import make_rng, seed_stream, spawn
+from .scheduler import RoundRobinScheduler, Scheduler, UniformScheduler
+from .simulator import Simulation
+
+__all__ = [
+    "AggregateSimulation",
+    "MultiShadeAggregate",
+    "Simulation",
+    "Population",
+    "Observer",
+    "OccupancyTracker",
+    "MinCountTracker",
+    "ConvergenceDetector",
+    "Scheduler",
+    "UniformScheduler",
+    "RoundRobinScheduler",
+    "make_rng",
+    "spawn",
+    "seed_stream",
+]

@@ -1,0 +1,223 @@
+"""Aggregate (count-based) simulator for the *derandomised* protocol.
+
+The derandomised Diversification protocol (Sec 1.2) replaces the
+``1/w_i`` coin with ``1 + w_i`` shades of grey.  On the complete graph
+the configuration is again exchangeable, so the process is fully
+described by the counts ``S_i[s]`` of agents holding colour ``i`` at
+shade ``s ∈ {0..w_i}``.  Exactly two event types change the counts:
+
+* **decrement** — the scheduled agent has colour ``i`` at shade
+  ``s > 0`` and samples *another* positive-shade agent of the same
+  colour: ``S_i[s] -= 1, S_i[s-1] += 1``.  Probability
+  ``S_i[s] (P_i − 1) / (n (n − 1))`` where ``P_i = Σ_{s≥1} S_i[s]``.
+* **adopt** — the scheduled agent has shade 0 (any colour) and samples
+  a positive-shade agent of colour ``j``: it joins colour ``j`` at full
+  shade ``w_j``.  Probability ``Z · P_j / (n (n − 1))`` with
+  ``Z = Σ_i S_i[0]``.
+
+As with :class:`~repro.engine.aggregate.AggregateSimulation`, no-op
+steps are skipped in geometrically-distributed jumps, which keeps the
+simulation exact in distribution.  Analysing this protocol is an open
+problem of the paper (Sec 3); this engine makes the empirical study
+(experiment E9) feasible at large ``n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.weights import WeightTable
+from .rng import make_rng
+
+
+class MultiShadeAggregate:
+    """Count-based simulator of the derandomised protocol.
+
+    Args:
+        weights: Integer weight table.
+        colour_counts: Initial number of agents per colour; all agents
+            start at full shade ``w_i`` (the protocol's initial state).
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        weights: WeightTable,
+        colour_counts: Sequence[int],
+        *,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if not weights.is_integer():
+            raise ValueError("derandomised protocol requires integer weights")
+        if len(colour_counts) != weights.k:
+            raise ValueError(
+                f"colour_counts must have length k={weights.k}"
+            )
+        if any(int(c) < 0 for c in colour_counts):
+            raise ValueError("counts must be non-negative")
+        self.weights = weights
+        #: shade_counts[i][s] = agents of colour i at shade s.
+        self._shades: list[list[int]] = []
+        for colour, count in enumerate(colour_counts):
+            full = int(weights.weight(colour))
+            row = [0] * (full + 1)
+            row[full] = int(count)
+            self._shades.append(row)
+        self.rng = make_rng(rng)
+        self.time = 0
+        if self.n < 2:
+            raise ValueError("need at least two agents")
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def n(self) -> int:
+        """Total number of agents."""
+        return sum(sum(row) for row in self._shades)
+
+    @property
+    def k(self) -> int:
+        """Number of colours."""
+        return len(self._shades)
+
+    def shade_counts(self, colour: int) -> list[int]:
+        """Counts per shade ``0..w_i`` for one colour (copy)."""
+        return list(self._shades[colour])
+
+    def colour_counts(self) -> np.ndarray:
+        """``C_i`` per colour."""
+        return np.asarray(
+            [sum(row) for row in self._shades], dtype=np.int64
+        )
+
+    def dark_counts(self) -> np.ndarray:
+        """Positive-shade (committed) agents per colour, ``P_i``."""
+        return np.asarray(
+            [sum(row[1:]) for row in self._shades], dtype=np.int64
+        )
+
+    def light_counts(self) -> np.ndarray:
+        """Shade-0 (open) agents per colour, ``Z_i``."""
+        return np.asarray(
+            [row[0] for row in self._shades], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamics
+
+    def _rates(self):
+        """Per-event unnormalised rates (scaled by n(n-1)).
+
+        Returns (decrement_terms, positive_totals, adopt_total,
+        decrement_total) where decrement_terms[i][s] is the rate of the
+        decrement event at (colour i, shade s).
+        """
+        positive = [sum(row[1:]) for row in self._shades]
+        zero_total = sum(row[0] for row in self._shades)
+        decrement_terms: list[list[float]] = []
+        decrement_total = 0.0
+        for colour, row in enumerate(self._shades):
+            partner = positive[colour] - 1
+            terms = [0.0] * len(row)
+            if partner > 0:
+                for shade in range(1, len(row)):
+                    rate = row[shade] * partner
+                    terms[shade] = rate
+                    decrement_total += rate
+            decrement_terms.append(terms)
+        adopt_total = zero_total * sum(positive)
+        return decrement_terms, positive, adopt_total, decrement_total
+
+    def step(self) -> bool:
+        """One faithful time-step; True if the configuration changed."""
+        self.time += 1
+        decrement_terms, positive, adopt_total, decrement_total = (
+            self._rates()
+        )
+        denom = self.n * (self.n - 1)
+        p_active = (adopt_total + decrement_total) / denom
+        if self.rng.random() >= p_active:
+            return False
+        self._apply_event(
+            decrement_terms, positive, adopt_total, decrement_total
+        )
+        return True
+
+    def run(self, steps: int) -> "MultiShadeAggregate":
+        """Advance exactly ``steps`` time-steps using event jumps."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        horizon = self.time + steps
+        rng = self.rng
+        while self.time < horizon:
+            decrement_terms, positive, adopt_total, decrement_total = (
+                self._rates()
+            )
+            denom = self.n * (self.n - 1)
+            p_active = (adopt_total + decrement_total) / denom
+            if p_active <= 0.0:
+                self.time = horizon
+                break
+            gap = int(rng.geometric(min(p_active, 1.0)))
+            if self.time + gap > horizon:
+                self.time = horizon
+                break
+            self.time += gap
+            self._apply_event(
+                decrement_terms, positive, adopt_total, decrement_total
+            )
+        return self
+
+    def _apply_event(
+        self, decrement_terms, positive, adopt_total, decrement_total
+    ) -> None:
+        rng = self.rng
+        pick = rng.random() * (adopt_total + decrement_total)
+        if pick < adopt_total:
+            # Adopt: a shade-0 agent (colour i ∝ Z_i) joins colour j
+            # (∝ P_j) at full shade.
+            zeros = [row[0] for row in self._shades]
+            source = _pick(zeros, rng)
+            target = _pick(positive, rng)
+            self._shades[source][0] -= 1
+            full = int(self.weights.weight(target))
+            self._shades[target][full] += 1
+        else:
+            # Decrement: pick (colour, shade) ∝ term.
+            pick -= adopt_total
+            acc = 0.0
+            for colour, terms in enumerate(decrement_terms):
+                for shade in range(1, len(terms)):
+                    acc += terms[shade]
+                    if pick < acc:
+                        self._shades[colour][shade] -= 1
+                        self._shades[colour][shade - 1] += 1
+                        return
+            # Numerical edge: apply to the last positive term.
+            for colour in reversed(range(self.k)):
+                terms = decrement_terms[colour]
+                for shade in reversed(range(1, len(terms))):
+                    if terms[shade] > 0:
+                        self._shades[colour][shade] -= 1
+                        self._shades[colour][shade - 1] += 1
+                        return
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiShadeAggregate(n={self.n}, k={self.k}, t={self.time})"
+
+
+def _pick(masses: Sequence[float], rng: np.random.Generator) -> int:
+    total = float(sum(masses))
+    pick = rng.random() * total
+    acc = 0.0
+    for index, mass in enumerate(masses):
+        acc += mass
+        if pick < acc:
+            return index
+    for index in reversed(range(len(masses))):
+        if masses[index] > 0:
+            return index
+    raise ValueError("cannot sample from all-zero masses")

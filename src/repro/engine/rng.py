@@ -1,0 +1,36 @@
+"""Reproducible randomness utilities.
+
+Every stochastic component in the library accepts a
+:class:`numpy.random.Generator`.  These helpers centralise construction
+and deterministic splitting so that experiments are reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Build a generator from a seed, pass through an existing generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` statistically independent children."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def seed_stream(base_seed: int) -> Iterator[int]:
+    """Infinite deterministic stream of distinct 63-bit seeds."""
+    sequence = np.random.SeedSequence(base_seed)
+    while True:
+        (child,) = sequence.spawn(1)
+        yield int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+        sequence = child

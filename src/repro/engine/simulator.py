@@ -1,0 +1,171 @@
+"""Agent-level discrete-event simulator.
+
+Implements the paper's execution model exactly: at every time-step one
+agent is scheduled (uniformly at random by default), samples ``arity``
+other agents — uniformly over the whole population on the complete
+graph, or over its neighbourhood on an explicit topology — and applies
+the protocol's transition rule.  Only the scheduled agent changes state.
+
+The loop amortises random-number generation in blocks and notifies
+observers only on actual state changes, so instrumented runs stay fast.
+Populations may grow between (not during) ``run`` calls, which is how
+the adversary interventions of :mod:`repro.adversary` are applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core.protocol import Protocol
+from ..core.state import AgentState
+from .observers import Observer
+from .population import Population
+from .rng import make_rng
+from .scheduler import Scheduler, UniformScheduler
+
+_BLOCK = 4096
+
+
+class Simulation:
+    """Drives a :class:`~repro.core.protocol.Protocol` over a population.
+
+    Args:
+        protocol: The local update rule.
+        population: Initial population (mutated in place).
+        topology: Optional interaction graph from :mod:`repro.topology`;
+            ``None`` means the complete graph (the paper's setting).
+        scheduler: Activation policy; defaults to the uniform scheduler.
+        rng: Seed or generator for all randomness.
+        observers: Change-driven instrumentation.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        population: Population,
+        *,
+        topology=None,
+        scheduler: Scheduler | None = None,
+        rng: int | np.random.Generator | None = None,
+        observers: Iterable[Observer] = (),
+    ):
+        if population.n < 2:
+            raise ValueError("need at least two agents to interact")
+        self.protocol = protocol
+        self.population = population
+        self.topology = topology
+        self.scheduler = scheduler or UniformScheduler()
+        self.rng = make_rng(rng)
+        self.observers: list[Observer] = list(observers)
+        self.time = 0
+        self.changes = 0
+        if topology is not None and topology.n != population.n:
+            raise ValueError(
+                f"topology has {topology.n} nodes but population has "
+                f"{population.n} agents"
+            )
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach an observer before (or between) runs."""
+        self.observers.append(observer)
+
+    def colour_counts(self):
+        """``C_i`` per colour (delegates to the population)."""
+        return self.population.colour_counts()
+
+    def dark_counts(self):
+        """``A_i`` per colour (delegates to the population)."""
+        return self.population.dark_counts()
+
+    def light_counts(self):
+        """``a_i`` per colour (delegates to the population)."""
+        return self.population.light_counts()
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one time-step; returns True if a state changed."""
+        u = int(self.scheduler.draw_block(self.population.n, 1, self.rng)[0])
+        sampled = self._sample_partners(u, self.protocol.arity)
+        return self._apply(u, sampled)
+
+    def run(self, steps: int) -> "Simulation":
+        """Execute ``steps`` time-steps; returns self for chaining."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        for observer in self.observers:
+            observer.on_start(self)
+        remaining = steps
+        arity = self.protocol.arity
+        population = self.population
+        complete = self.topology is None
+        while remaining > 0:
+            block = min(remaining, _BLOCK)
+            n = population.n
+            initiators = self.scheduler.draw_block(n, block, self.rng)
+            if complete:
+                partners = self.rng.integers(
+                    0, n - 1, size=(block, arity)
+                )
+            else:
+                partners = None
+            for index in range(block):
+                u = int(initiators[index])
+                if complete:
+                    row = partners[index]
+                    sampled = [
+                        population.state_of(
+                            int(v) + 1 if v >= u else int(v)
+                        )
+                        for v in row
+                    ]
+                else:
+                    sampled = [
+                        population.state_of(
+                            self.topology.sample_neighbour(u, self.rng)
+                        )
+                        for _ in range(arity)
+                    ]
+                self._apply(u, sampled)
+            remaining -= block
+        for observer in self.observers:
+            observer.on_end(self)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _sample_partners(self, u: int, arity: int) -> list[AgentState]:
+        population = self.population
+        if self.topology is None:
+            n = population.n
+            sampled = []
+            for _ in range(arity):
+                v = int(self.rng.integers(0, n - 1))
+                if v >= u:
+                    v += 1
+                sampled.append(population.state_of(v))
+            return sampled
+        return [
+            population.state_of(self.topology.sample_neighbour(u, self.rng))
+            for _ in range(arity)
+        ]
+
+    def _apply(self, u: int, sampled: list[AgentState]) -> bool:
+        self.time += 1
+        old = self.population.state_of(u)
+        new = self.protocol.transition(old, sampled, self.rng)
+        if new == old:
+            return False
+        self.population.set_state(u, new)
+        self.changes += 1
+        for observer in self.observers:
+            observer.on_change(self, u, old, new)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Simulation(protocol={self.protocol.name!r}, "
+            f"n={self.population.n}, t={self.time})"
+        )

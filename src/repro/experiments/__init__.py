@@ -1,0 +1,123 @@
+"""Experiment harness: workloads, recording, runners and the
+paper-claim experiment suite (E1-E12 + ablations)."""
+
+from .baselines_exp import experiment_baselines, experiment_epidemic
+from .export import (
+    record_to_csv,
+    record_to_json,
+    save_table,
+    table_to_csv,
+    table_to_json,
+)
+from .replication import (
+    Summary,
+    replicate,
+    replicate_and_summarise,
+    summarise,
+)
+from .chain import experiment_markov_chain
+from .convergence import (
+    experiment_convergence_scaling,
+    experiment_diversity_error,
+    measure_convergence_time,
+    measure_stabilised_error,
+)
+from .engines import experiment_engines, paired_final_counts
+from .fairness import experiment_fairness, run_fairness
+from .phase1 import experiment_phase1, hitting_times
+from .phases import experiment_equilibrium, experiment_potentials, potential_series
+from .recorder import CountRecorder
+from .report import format_series, format_table, format_value
+from .robustness import experiment_adversary, experiment_sustainability
+from .runner import (
+    RunRecord,
+    initial_counts,
+    run_agent,
+    run_aggregate,
+    run_diversification_agent,
+)
+from .table import ExperimentTable
+from .topology_exp import experiment_topology
+from .variants import (
+    experiment_ablations,
+    experiment_derandomised,
+    experiment_derandomised_scaling,
+)
+from .workloads import (
+    colours_from_counts,
+    equilibrium_split,
+    proportional_counts,
+    random_counts,
+    uniform_counts,
+    worst_case_counts,
+)
+
+ALL_EXPERIMENTS = {
+    "e1": experiment_convergence_scaling,
+    "e2": experiment_diversity_error,
+    "e3": experiment_potentials,
+    "e3b": experiment_phase1,
+    "e4": experiment_equilibrium,
+    "e5": experiment_fairness,
+    "e6": experiment_sustainability,
+    "e7": experiment_adversary,
+    "e8": experiment_markov_chain,
+    "e9": experiment_derandomised,
+    "e9b": experiment_derandomised_scaling,
+    "e10": experiment_baselines,
+    "e10b": experiment_epidemic,
+    "e11": experiment_topology,
+    "e12": experiment_engines,
+    "ablations": experiment_ablations,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentTable",
+    "CountRecorder",
+    "RunRecord",
+    "run_aggregate",
+    "run_agent",
+    "run_diversification_agent",
+    "initial_counts",
+    "worst_case_counts",
+    "uniform_counts",
+    "proportional_counts",
+    "random_counts",
+    "equilibrium_split",
+    "colours_from_counts",
+    "format_table",
+    "format_series",
+    "format_value",
+    "measure_convergence_time",
+    "measure_stabilised_error",
+    "potential_series",
+    "run_fairness",
+    "paired_final_counts",
+    "experiment_convergence_scaling",
+    "experiment_diversity_error",
+    "experiment_potentials",
+    "experiment_phase1",
+    "hitting_times",
+    "experiment_equilibrium",
+    "experiment_fairness",
+    "experiment_sustainability",
+    "experiment_adversary",
+    "experiment_markov_chain",
+    "experiment_derandomised",
+    "experiment_derandomised_scaling",
+    "experiment_baselines",
+    "experiment_epidemic",
+    "table_to_csv",
+    "table_to_json",
+    "save_table",
+    "record_to_csv",
+    "record_to_json",
+    "replicate",
+    "summarise",
+    "replicate_and_summarise",
+    "Summary",
+    "experiment_topology",
+    "experiment_engines",
+    "experiment_ablations",
+]

@@ -1,0 +1,120 @@
+"""Experiment E12: engine equivalence and throughput.
+
+The aggregate engine must be exact in distribution against the
+agent-level engine.  This experiment compares the marginal colour-count
+distributions of both engines at a common horizon across many seeds
+(methodological validation; also exercised by the property tests).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from ..core.diversification import Diversification
+from ..core.weights import WeightTable
+from ..engine.aggregate import AggregateSimulation
+from ..engine.population import Population
+from ..engine.rng import make_rng, spawn
+from ..engine.simulator import Simulation
+from .table import ExperimentTable
+from .workloads import colours_from_counts, worst_case_counts
+
+
+def paired_final_counts(
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    seeds: int,
+    *,
+    base_seed: int = 5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Final colour counts from both engines over ``seeds`` runs each.
+
+    Returns (agent_runs, aggregate_runs) with shape ``(seeds, k)``.
+    """
+    rng = make_rng(base_seed)
+    agent_rows, aggregate_rows = [], []
+    children = spawn(rng, 2 * seeds)
+    for index in range(seeds):
+        local = weights.copy()
+        protocol = Diversification(local)
+        population = Population.from_colours(
+            colours_from_counts(worst_case_counts(n, local.k)),
+            protocol, k=local.k,
+        )
+        Simulation(protocol, population, rng=children[2 * index]).run(steps)
+        agent_rows.append(population.colour_counts())
+
+        local = weights.copy()
+        engine = AggregateSimulation(
+            local,
+            dark_counts=worst_case_counts(n, local.k),
+            rng=children[2 * index + 1],
+        )
+        engine.run(steps)
+        aggregate_rows.append(engine.colour_counts())
+    return np.asarray(agent_rows), np.asarray(aggregate_rows)
+
+
+def experiment_engines(
+    n: int = 128,
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    rounds: int = 120,
+    seeds: int = 24,
+    throughput_steps: int = 200_000,
+) -> ExperimentTable:
+    """E12: agent vs aggregate marginals and raw throughput.
+
+    Expected shape: per-colour mean final counts agree within a few
+    standard errors; the aggregate engine is markedly faster.
+    """
+    weights = WeightTable(weight_vector)
+    steps = rounds * n
+    agent_rows, aggregate_rows = paired_final_counts(
+        weights, n, steps, seeds
+    )
+    table = ExperimentTable(
+        "E12",
+        "Engine equivalence (exact-in-distribution aggregate fast path)",
+        ["colour", "agent mean", "aggregate mean", "pooled stderr",
+         "|Δ|/stderr", "consistent"],
+    )
+    for colour in range(weights.k):
+        a = agent_rows[:, colour].astype(float)
+        b = aggregate_rows[:, colour].astype(float)
+        stderr = float(
+            np.sqrt(a.var(ddof=1) / len(a) + b.var(ddof=1) / len(b))
+        )
+        z = abs(a.mean() - b.mean()) / max(stderr, 1e-9)
+        table.add_row(
+            colour, float(a.mean()), float(b.mean()), stderr, z, z <= 4.0
+        )
+
+    # Throughput.
+    local = weights.copy()
+    protocol = Diversification(local)
+    population = Population.from_colours(
+        colours_from_counts(worst_case_counts(n, local.k)), protocol,
+        k=local.k,
+    )
+    sim = Simulation(protocol, population, rng=1)
+    start = _time.perf_counter()
+    sim.run(throughput_steps)
+    agent_rate = throughput_steps / (_time.perf_counter() - start)
+
+    local = weights.copy()
+    engine = AggregateSimulation(
+        local, dark_counts=worst_case_counts(n, local.k), rng=1
+    )
+    start = _time.perf_counter()
+    engine.run(throughput_steps)
+    aggregate_rate = throughput_steps / (_time.perf_counter() - start)
+    table.add_note(
+        f"throughput: agent engine {agent_rate:,.0f} steps/s, aggregate "
+        f"engine {aggregate_rate:,.0f} steps/s "
+        f"(x{aggregate_rate / agent_rate:.1f})"
+    )
+    return table

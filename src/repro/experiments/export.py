@@ -1,0 +1,116 @@
+"""Export of experiment tables and run records to CSV / JSON.
+
+Downstream users typically want the raw rows for their own plotting
+pipelines; these helpers serialise :class:`ExperimentTable` and
+:class:`~repro.experiments.runner.RunRecord` without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+
+import numpy as np
+
+from .runner import RunRecord
+from .table import ExperimentTable
+
+
+def _plain(value):
+    """JSON/CSV-safe scalar."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def table_to_csv(table: ExperimentTable) -> str:
+    """Render a table as CSV (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow([_plain(value) for value in row])
+    return buffer.getvalue()
+
+
+def table_to_json(table: ExperimentTable) -> str:
+    """Render a table as a JSON document with metadata and notes."""
+    payload = {
+        "experiment": table.experiment,
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [[_plain(value) for value in row] for row in table.rows],
+        "notes": list(table.notes),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def save_table(
+    table: ExperimentTable,
+    directory: str | pathlib.Path,
+    *,
+    formats: tuple[str, ...] = ("txt", "csv", "json"),
+) -> list[pathlib.Path]:
+    """Write the table in the requested formats; returns the paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = table.experiment.lower()
+    written = []
+    for fmt in formats:
+        path = directory / f"{stem}.{fmt}"
+        if fmt == "txt":
+            path.write_text(table.render() + "\n")
+        elif fmt == "csv":
+            path.write_text(table_to_csv(table))
+        elif fmt == "json":
+            path.write_text(table_to_json(table))
+        else:
+            raise ValueError(f"unknown format {fmt!r}")
+        written.append(path)
+    return written
+
+
+def record_to_csv(record: RunRecord) -> str:
+    """Serialise a run record's time series as CSV.
+
+    Columns: ``time, C_0..C_{k-1}, A_0..A_{k-1}, a_0..a_{k-1}``.
+    """
+    k = record.colour_counts.shape[1]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["time"]
+        + [f"C_{i}" for i in range(k)]
+        + [f"A_{i}" for i in range(k)]
+        + [f"a_{i}" for i in range(k)]
+    )
+    for index, time in enumerate(record.times):
+        writer.writerow(
+            [int(time)]
+            + [int(v) for v in record.colour_counts[index]]
+            + [int(v) for v in record.dark_counts[index]]
+            + [int(v) for v in record.light_counts[index]]
+        )
+    return buffer.getvalue()
+
+
+def record_to_json(record: RunRecord) -> str:
+    """Serialise a run record (metadata + series) as JSON."""
+    payload = {
+        "n": record.n,
+        "k": record.weights.k,
+        "weights": list(record.weights),
+        "steps": record.steps,
+        "times": [int(t) for t in record.times],
+        "colour_counts": record.colour_counts.tolist(),
+        "dark_counts": record.dark_counts.tolist(),
+        "light_counts": record.light_counts.tolist(),
+    }
+    return json.dumps(payload)

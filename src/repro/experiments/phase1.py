@@ -1,0 +1,106 @@
+"""Experiment E3b: Phase 1 — "the rise of the minorities" (Sec 2.1).
+
+Lemma 2.1: from any start, the light mass ``a(t)`` reaches
+``(1−ε) n/(w+1)`` within ``O(n w/ε)`` steps and stays there
+(exponentially long).  Lemma 2.2: each under-represented dark colour
+``A_i`` then climbs to ``(1−3ε) w_i n/(1+w)`` within
+``O(w n log n / ε)`` steps — slowly at first (a singleton colour is
+rarely sampled) and then increasingly fast, the biased-random-walk
+picture the proofs couple against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.weights import WeightTable
+from ..engine.aggregate import AggregateSimulation
+from ..engine.rng import make_rng, spawn
+from .table import ExperimentTable
+from .workloads import worst_case_counts
+
+
+def hitting_times(
+    weights: WeightTable,
+    n: int,
+    *,
+    epsilon: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+    max_steps_factor: float = 60.0,
+) -> dict:
+    """T1 (light mass region R1) and T2 (all dark colours risen) from
+    the worst-case start, one run."""
+    weights = weights.copy()
+    w = weights.total
+    engine = AggregateSimulation(
+        weights, dark_counts=worst_case_counts(n, weights.k), rng=seed
+    )
+    light_target = (1.0 - epsilon) * n / (w + 1.0)
+    dark_targets = (1.0 - 3.0 * epsilon) * weights.dark_shares() * n
+    max_steps = int(max_steps_factor * w * w * n * np.log(n))
+
+    t1 = engine.run_until(
+        lambda e: e.light_counts().sum() >= light_target,
+        max_steps=max_steps,
+    )
+    t2 = None
+    if t1 is not None:
+        t2 = engine.run_until(
+            lambda e: bool((e.dark_counts() >= dark_targets).all()),
+            max_steps=max_steps,
+        )
+    return {"t1": t1, "t2": t2, "n": n, "w": w, "epsilon": epsilon}
+
+
+def experiment_phase1(
+    ns=(256, 512, 1024, 2048),
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    epsilon: float = 0.2,
+    seeds: int = 3,
+    base_seed: int = 777,
+) -> ExperimentTable:
+    """E3b: Phase-1 hitting times vs the Lemma 2.1/2.2 scales.
+
+    Expected shape: ``T1/(n w)`` roughly flat in ``n`` (Lemma 2.1's
+    ``O(n w/ε)``); ``T2/(w n ln n)`` roughly flat (Lemma 2.2's
+    ``O(w n log n / ε)``).
+    """
+    weights = WeightTable(weight_vector)
+    table = ExperimentTable(
+        "E3b",
+        "Phase 1 hitting times: light mass (Lemma 2.1) and minority "
+        "rise (Lemma 2.2)",
+        ["n", "mean T1", "T1/(n w)", "mean T2", "T2/(w n ln n)", "hits"],
+    )
+    w = weights.total
+    for n in ns:
+        rng = make_rng(base_seed + n)
+        t1s, t2s = [], []
+        for child in spawn(rng, seeds):
+            result = hitting_times(
+                weights, n, epsilon=epsilon, seed=child
+            )
+            if result["t1"] is not None:
+                t1s.append(result["t1"])
+            if result["t2"] is not None:
+                t2s.append(result["t2"])
+        mean_t1 = float(np.mean(t1s)) if t1s else None
+        mean_t2 = float(np.mean(t2s)) if t2s else None
+        table.add_row(
+            n,
+            "-" if mean_t1 is None else mean_t1,
+            "-" if mean_t1 is None else mean_t1 / (n * w),
+            "-" if mean_t2 is None else mean_t2,
+            "-" if mean_t2 is None else mean_t2 / (w * n * np.log(n)),
+            f"{len(t1s)}/{len(t2s)}",
+        )
+    table.add_note(
+        f"epsilon={epsilon}: targets a ≥ (1−ε)n/(w+1) and "
+        "A_i ≥ (1−3ε)·w_i n/(1+w) for all i"
+    )
+    table.add_note(
+        "expected shape: T1/(n w) and T2/(w n ln n) roughly constant "
+        "in n (the paper's Phase-1 bounds, constants unoptimised)"
+    )
+    return table

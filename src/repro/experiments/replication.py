@@ -1,0 +1,103 @@
+"""Replication helpers: run a measurement across independent seeds and
+summarise it with confidence intervals.
+
+Simulation papers report means over repetitions; this module provides
+the boilerplate so experiments stay focused on their measurement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..engine.rng import make_rng, spawn
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean with spread statistics for a replicated measurement."""
+
+    mean: float
+    std: float
+    stderr: float
+    ci_low: float
+    ci_high: float
+    count: int
+
+    def as_row(self) -> list[float]:
+        """Convenient [mean, std, ci_low, ci_high] for table rows."""
+        return [self.mean, self.std, self.ci_low, self.ci_high]
+
+
+def replicate(
+    measurement: Callable[[np.random.Generator], float],
+    repetitions: int,
+    *,
+    base_seed: int | np.random.Generator | None = 0,
+    skip_none: bool = True,
+) -> list[float]:
+    """Run ``measurement`` once per independent child generator.
+
+    Args:
+        measurement: Callable taking a generator and returning a scalar
+            (or None for "no result", dropped when ``skip_none``).
+        repetitions: Number of independent runs.
+        base_seed: Seed of the parent generator.
+        skip_none: Drop None results instead of failing.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    children = spawn(make_rng(base_seed), repetitions)
+    values = []
+    for child in children:
+        value = measurement(child)
+        if value is None:
+            if skip_none:
+                continue
+            raise ValueError("measurement returned None")
+        values.append(float(value))
+    return values
+
+
+def summarise(
+    values: Sequence[float], *, confidence: float = 0.95
+) -> Summary:
+    """Mean, deviation and a Student-t confidence interval."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(data.mean())
+    if data.size == 1:
+        return Summary(mean, 0.0, 0.0, mean, mean, 1)
+    std = float(data.std(ddof=1))
+    stderr = std / float(np.sqrt(data.size))
+    halfwidth = float(
+        stats.t.ppf(0.5 + confidence / 2.0, df=data.size - 1) * stderr
+    )
+    return Summary(
+        mean=mean,
+        std=std,
+        stderr=stderr,
+        ci_low=mean - halfwidth,
+        ci_high=mean + halfwidth,
+        count=int(data.size),
+    )
+
+
+def replicate_and_summarise(
+    measurement: Callable[[np.random.Generator], float],
+    repetitions: int,
+    *,
+    base_seed: int | np.random.Generator | None = 0,
+    confidence: float = 0.95,
+) -> Summary:
+    """Convenience: :func:`replicate` then :func:`summarise`."""
+    return summarise(
+        replicate(measurement, repetitions, base_seed=base_seed),
+        confidence=confidence,
+    )

@@ -1,0 +1,202 @@
+"""Experiments E6 and E7: sustainability and adversarial robustness.
+
+E6 stresses Def 1.1(3): from the worst-case start (singleton colours)
+no colour may ever vanish; consensus baselines are shown to violate
+this immediately.  E7 injects adversarial shocks — agent floods and
+brand-new colours — and measures recovery (Sec 1: "when an adversary
+adds agents or colours, the protocol quickly returns into a state of
+diversity and fairness").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversary.interventions import AddAgents, AddColour
+from ..adversary.schedule import InterventionSchedule
+from ..baselines.uniform_partition import RandomRecolouring
+from ..baselines.voter import VoterModel
+from ..core.diversification import Diversification
+from ..core.properties import diversity_bound
+from ..core.weights import WeightTable
+from ..engine.observers import MinCountTracker
+from ..engine.population import Population
+from ..engine.rng import make_rng, spawn
+from ..engine.simulator import Simulation
+from .runner import run_aggregate
+from .table import ExperimentTable
+from .workloads import colours_from_counts, worst_case_counts
+
+
+def minimum_counts_under(
+    protocol_factory,
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(min colour counts, min dark counts) over one agent-level run."""
+    weights = weights.copy()
+    protocol = protocol_factory(weights)
+    population = Population.from_colours(
+        colours_from_counts(worst_case_counts(n, weights.k)),
+        protocol,
+        k=weights.k,
+    )
+    tracker = MinCountTracker()
+    Simulation(protocol, population, rng=seed, observers=[tracker]).run(steps)
+    return tracker.min_colour_counts.copy(), tracker.min_dark_counts.copy()
+
+
+def experiment_sustainability(
+    n: int = 128,
+    weight_vector=(1.0, 1.0, 2.0, 4.0),
+    *,
+    steps_per_agent: int = 600,
+    seeds: int = 10,
+    base_seed: int = 1234,
+) -> ExperimentTable:
+    """E6: colour survival from singleton starts (Def 1.1(3)).
+
+    Expected shape: Diversification never loses a colour in any run
+    (min dark count stays >= 1) — the structural invariant; the Voter
+    model loses colours routinely from the same start.  Random
+    recolouring also keeps lone supporters (change requires meeting
+    one's own colour) but needs global knowledge of k and ignores
+    weights — its failure is diversity, not sustainability.
+    """
+    weights = WeightTable(weight_vector)
+    steps = steps_per_agent * n
+    rng = make_rng(base_seed)
+    contenders = [
+        ("diversification", lambda w: Diversification(w)),
+        ("voter", lambda w: VoterModel()),
+        ("random-recolouring", lambda w: RandomRecolouring(w.k)),
+    ]
+    table = ExperimentTable(
+        "E6",
+        "Sustainability from singleton starts (Def 1.1(3))",
+        ["protocol", "runs", "runs w/ all colours alive",
+         "min colour count seen", "min dark count seen", "sustainable"],
+    )
+    for name, factory in contenders:
+        survived = 0
+        overall_min = np.inf
+        overall_dark_min = np.inf
+        for child in spawn(rng, seeds):
+            mins, dark_mins = minimum_counts_under(
+                factory, weights, n, steps, seed=child
+            )
+            overall_min = min(overall_min, int(mins.min()))
+            overall_dark_min = min(overall_dark_min, int(dark_mins.min()))
+            if mins.min() >= 1:
+                survived += 1
+        table.add_row(
+            name, seeds, survived, int(overall_min),
+            int(overall_dark_min), survived == seeds,
+        )
+    table.add_note(
+        "the structural invariant: a lone dark agent of a colour never "
+        "changes, so Diversification keeps min dark count >= 1 with "
+        "probability 1"
+    )
+    return table
+
+
+def recovery_time_after(
+    times: np.ndarray,
+    counts: np.ndarray,
+    weights: WeightTable,
+    shock_time: int,
+    bound: float,
+) -> int | None:
+    """First recorded time after ``shock_time`` back inside the band."""
+    fair = weights.fair_shares()
+    k = len(fair)
+    for index in range(len(times)):
+        if times[index] <= shock_time:
+            continue
+        row = counts[index][:k]
+        shares = row / row.sum()
+        if np.abs(shares - fair).max() <= bound:
+            return int(times[index])
+    return None
+
+
+def experiment_adversary(
+    n: int = 1024,
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    seed: int = 404,
+    settle_factor: float = 8.0,
+) -> ExperimentTable:
+    """E7: recovery after adversarial agent floods and colour addition.
+
+    Two shocks: (1) flood — colour 0 gains n/2 fresh dark agents;
+    (2) a brand-new colour (weight 2) arrives with a single dark agent.
+    Expected shape: the diversity error spikes at each shock and decays
+    back inside the band; the new colour ends near its fair share.
+    """
+    weights = WeightTable(weight_vector)
+    w = weights.total
+    settle = int(settle_factor * w * w * n * np.log(n))
+    shock1 = settle
+    shock2 = settle + settle
+    total = 3 * settle
+    schedule = InterventionSchedule(
+        [
+            (shock1, AddAgents(colour=0, count=n // 2, dark=True)),
+            (shock2, AddColour(weight=2.0, count=1, dark=True)),
+        ]
+    )
+    record = run_aggregate(
+        weights, n, total, start="worst", seed=seed,
+        record_interval=max(1, total // 1024), schedule=schedule,
+    )
+    final_weights = record.weights  # includes the added colour
+    table = ExperimentTable(
+        "E7",
+        "Adversarial robustness: agent flood and new colour (Sec 1)",
+        ["event", "time", "population after", "k after",
+         "recovery time", "recovery Δt / (n ln n)"],
+    )
+    bound = diversity_bound(record.n, 1.0)
+
+    def _describe(label, shock_time, weights_at, k_at):
+        recovery = recovery_time_after(
+            record.times,
+            record.colour_counts[:, :k_at],
+            weights_at,
+            shock_time,
+            bound,
+        )
+        population_after = int(
+            record.colour_counts[
+                np.searchsorted(record.times, shock_time, side="right")
+            ].sum()
+        )
+        delta = None if recovery is None else recovery - shock_time
+        table.add_row(
+            label, shock_time, population_after, k_at,
+            "-" if recovery is None else recovery,
+            "-" if delta is None else delta / (record.n * np.log(record.n)),
+        )
+
+    _describe("flood colour 0 (+n/2 dark)", shock1, weights, weights.k)
+    _describe("new colour (w=2, 1 dark)", shock2, final_weights,
+              final_weights.k)
+    final_counts = record.final_colour_counts
+    final_shares = final_counts / final_counts.sum()
+    fair = final_weights.fair_shares()
+    table.add_note(
+        "final shares vs fair shares (incl. new colour): "
+        + ", ".join(
+            f"c{i}: {final_shares[i]:.3f}/{fair[i]:.3f}"
+            for i in range(final_weights.k)
+        )
+    )
+    table.add_note(
+        f"diversity band used for recovery: ±{bound:.4f} on every share"
+    )
+    return table

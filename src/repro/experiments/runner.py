@@ -1,0 +1,157 @@
+"""High-level run helpers tying engines, workloads and recording
+together.  These are the functions examples, benchmarks and the CLI
+build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..adversary.schedule import InterventionSchedule, run_with_interventions
+from ..core.diversification import Diversification
+from ..core.protocol import Protocol
+from ..core.weights import WeightTable
+from ..engine.aggregate import AggregateSimulation
+from ..engine.population import Population
+from ..engine.simulator import Simulation
+from .recorder import CountRecorder
+from .workloads import (
+    colours_from_counts,
+    proportional_counts,
+    random_counts,
+    uniform_counts,
+    worst_case_counts,
+)
+
+STARTS = ("worst", "uniform", "proportional", "random")
+
+
+def initial_counts(
+    start: str,
+    n: int,
+    weights: WeightTable,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Dispatch a named workload to its per-colour counts."""
+    if start == "worst":
+        return worst_case_counts(n, weights.k)
+    if start == "uniform":
+        return uniform_counts(n, weights.k)
+    if start == "proportional":
+        return proportional_counts(n, weights)
+    if start == "random":
+        return random_counts(n, weights.k, rng)
+    raise ValueError(f"unknown start {start!r}; choose from {STARTS}")
+
+
+@dataclass
+class RunRecord:
+    """Recorded outcome of one simulation run."""
+
+    n: int
+    weights: WeightTable
+    steps: int
+    times: np.ndarray
+    colour_counts: np.ndarray
+    dark_counts: np.ndarray
+    light_counts: np.ndarray
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def final_colour_counts(self) -> np.ndarray:
+        """Counts at the final recorded snapshot."""
+        return self.colour_counts[-1]
+
+
+def run_aggregate(
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    *,
+    start: str = "worst",
+    seed: int | np.random.Generator | None = None,
+    record_interval: int | None = None,
+    schedule: InterventionSchedule | None = None,
+    lighten_probabilities=None,
+) -> RunRecord:
+    """Run the Diversification dynamics on the aggregate engine.
+
+    All agents start dark (the paper's initial condition).  Snapshots
+    are recorded every ``record_interval`` steps (default: ``steps/256``
+    rounded up).
+    """
+    weights = weights.copy()  # keep the caller's table pristine
+    dark = initial_counts(start, n, weights, seed)
+    engine = AggregateSimulation(
+        weights,
+        dark_counts=dark,
+        rng=seed,
+        lighten_probabilities=lighten_probabilities,
+    )
+    if record_interval is None:
+        record_interval = max(1, steps // 256)
+    recorder = CountRecorder(record_interval)
+    run_with_interventions(engine, steps, schedule, recorder=recorder)
+    return RunRecord(
+        n=engine.n,
+        weights=weights,
+        steps=steps,
+        times=recorder.times(),
+        colour_counts=recorder.colour_counts(),
+        dark_counts=recorder.dark_counts(),
+        light_counts=recorder.light_counts(),
+    )
+
+
+def run_agent(
+    protocol: Protocol,
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    *,
+    start: str = "worst",
+    seed: int | np.random.Generator | None = None,
+    record_interval: int | None = None,
+    topology=None,
+    observers=(),
+    schedule: InterventionSchedule | None = None,
+) -> RunRecord:
+    """Run any protocol on the agent-level engine with recording."""
+    counts = initial_counts(start, n, weights, seed)
+    population = Population.from_colours(
+        colours_from_counts(counts), protocol, k=weights.k
+    )
+    simulation = Simulation(
+        protocol,
+        population,
+        topology=topology,
+        rng=seed,
+        observers=list(observers),
+    )
+    if record_interval is None:
+        record_interval = max(1, steps // 256)
+    recorder = CountRecorder(record_interval)
+    run_with_interventions(simulation, steps, schedule, recorder=recorder)
+    return RunRecord(
+        n=population.n,
+        weights=weights,
+        steps=steps,
+        times=recorder.times(),
+        colour_counts=recorder.colour_counts(),
+        dark_counts=recorder.dark_counts(),
+        light_counts=recorder.light_counts(),
+        extras={"simulation": simulation},
+    )
+
+
+def run_diversification_agent(
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    **kwargs,
+) -> RunRecord:
+    """Agent-level run of the Diversification protocol itself."""
+    weights = weights.copy()
+    return run_agent(Diversification(weights), weights, n, steps, **kwargs)

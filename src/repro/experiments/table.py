@@ -1,0 +1,46 @@
+"""Result container shared by all experiments in the suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import format_table
+
+
+@dataclass
+class ExperimentTable:
+    """One paper-shaped results table.
+
+    Attributes:
+        experiment: Short id, e.g. ``"E1"``.
+        title: Human-readable description with the paper reference.
+        headers: Column names.
+        rows: Table rows (values formatted lazily).
+        notes: Free-form remarks (expected shape, pass/fail summary).
+    """
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row."""
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a remark shown under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Full plain-text rendering."""
+        body = format_table(
+            self.headers, self.rows, title=f"[{self.experiment}] {self.title}"
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return body
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

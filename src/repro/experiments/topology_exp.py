@@ -1,0 +1,74 @@
+"""Experiment E11: Diversification beyond the complete graph (Sec 3).
+
+The paper's analysis is for the complete graph; extending it to other
+topologies is explicitly future work.  This experiment runs the same
+protocol on sparse graphs and reports how the diversity error and
+sustainability behave — the expected shape is graceful degradation:
+expander-like graphs behave like the complete graph, the cycle is
+slower and noisier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.diversification import Diversification
+from ..core.weights import WeightTable
+from ..engine.observers import MinCountTracker
+from ..topology import CompleteGraph, CycleGraph, TorusGrid, random_regular
+from .runner import run_agent
+from .table import ExperimentTable
+
+
+def experiment_topology(
+    n: int = 256,
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    rounds: int = 3000,
+    seed: int = 1618,
+) -> ExperimentTable:
+    """E11: diversity error per topology at a fixed horizon.
+
+    ``n`` must be a perfect square for the torus entry.
+    """
+    weights = WeightTable(weight_vector)
+    steps = rounds * n
+    side = int(round(np.sqrt(n)))
+    if side * side != n:
+        raise ValueError(f"n={n} must be a perfect square for the torus")
+    topologies = (
+        ("complete", CompleteGraph(n)),
+        ("random-regular-8", random_regular(n, 8, seed=seed)),
+        ("torus", TorusGrid(side, side)),
+        ("cycle", CycleGraph(n)),
+    )
+    fair = weights.fair_shares()
+    table = ExperimentTable(
+        "E11",
+        "Topology extension (future work, Sec 3): same protocol on "
+        "sparse graphs",
+        ["topology", "degree", "tail max |share − w_i/w|",
+         "min colour count", "all colours alive"],
+    )
+    for name, topology in topologies:
+        local = weights.copy()
+        tracker = MinCountTracker()
+        record = run_agent(
+            Diversification(local), local, n, steps,
+            start="worst", seed=seed, topology=topology,
+            observers=[tracker],
+        )
+        tail = max(1, len(record.times) // 4)
+        counts = record.colour_counts[-tail:, : local.k].astype(float)
+        shares = counts / counts.sum(axis=1, keepdims=True)
+        error = float(np.abs(shares - fair).max())
+        min_seen = int(tracker.min_colour_counts.min())
+        table.add_row(
+            name, topology.degree(0), error, min_seen, min_seen >= 1
+        )
+    table.add_note(
+        "expected shape: complete ≈ random-regular < torus < cycle in "
+        "error; sustainability holds everywhere (the invariant is "
+        "topology-independent)"
+    )
+    return table

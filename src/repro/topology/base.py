@@ -1,0 +1,72 @@
+"""Interaction topologies.
+
+The paper analyses the complete graph; Sec 3 lists other topologies as
+future work.  A topology only needs to answer one question for the
+engine: given the scheduled agent, which agent does it sample?
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Topology(abc.ABC):
+    """Interaction graph over ``n`` agents (nodes ``0..n-1``)."""
+
+    name: str = "topology"
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("a topology needs at least two nodes")
+        self.n = n
+
+    @abc.abstractmethod
+    def sample_neighbour(self, u: int, rng: np.random.Generator) -> int:
+        """A uniformly random neighbour of ``u``."""
+
+    @abc.abstractmethod
+    def degree(self, u: int) -> int:
+        """Number of neighbours of ``u``."""
+
+    def is_connected(self) -> bool:
+        """Whether the interaction graph is connected (default: probe
+        via breadth-first search over :meth:`neighbours`)."""
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for other in self.neighbours(node):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == self.n
+
+    @abc.abstractmethod
+    def neighbours(self, u: int) -> list[int]:
+        """Explicit neighbour list of ``u`` (for tests and audits)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class CompleteGraph(Topology):
+    """Every pair of distinct agents may interact (the paper's model).
+
+    The engine special-cases ``topology=None`` to this graph for speed;
+    the explicit class exists so topology sweeps can treat the complete
+    graph uniformly with the others.
+    """
+
+    name = "complete"
+
+    def sample_neighbour(self, u: int, rng: np.random.Generator) -> int:
+        v = int(rng.integers(0, self.n - 1))
+        return v + 1 if v >= u else v
+
+    def degree(self, u: int) -> int:
+        return self.n - 1
+
+    def neighbours(self, u: int) -> list[int]:
+        return [v for v in range(self.n) if v != u]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightTable
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator; tests must not depend on call order
+    across fixtures."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_weights() -> WeightTable:
+    """Four unit-weight colours (the uniform-partition special case)."""
+    return WeightTable.uniform(4)
+
+
+@pytest.fixture
+def skewed_weights() -> WeightTable:
+    """Three colours with weights 1, 2, 3 (w = 6)."""
+    return WeightTable([1.0, 2.0, 3.0])

@@ -1,0 +1,91 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_accepts_experiments(self):
+        args = build_parser().parse_args(["run", "e1", "e2", "--quick"])
+        assert args.experiments == ["e1", "e2"]
+        assert args.quick
+
+
+class TestQuickOverrides:
+    def test_every_override_names_a_real_experiment(self):
+        from repro.cli import QUICK_OVERRIDES
+        from repro.experiments import ALL_EXPERIMENTS
+
+        unknown = set(QUICK_OVERRIDES) - set(ALL_EXPERIMENTS)
+        assert not unknown, f"orphan quick overrides: {unknown}"
+
+    def test_every_experiment_has_a_quick_override(self):
+        from repro.cli import QUICK_OVERRIDES
+        from repro.experiments import ALL_EXPERIMENTS
+
+        missing = set(ALL_EXPERIMENTS) - set(QUICK_OVERRIDES)
+        assert not missing, f"experiments without quick mode: {missing}"
+
+    def test_overrides_are_valid_kwargs(self):
+        import inspect
+
+        from repro.cli import QUICK_OVERRIDES
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for name, overrides in QUICK_OVERRIDES.items():
+            parameters = inspect.signature(
+                ALL_EXPERIMENTS[name]
+            ).parameters
+            for key in overrides:
+                assert key in parameters, f"{name}: bad kwarg {key!r}"
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "e12" in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_quick_e8(self, capsys):
+        assert main(["run", "e8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E8]" in out
+
+    def test_demo(self, capsys):
+        code = main(
+            ["demo", "--n", "200", "--weights", "1,2", "--rounds", "400",
+             "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diversity error" in out
+        assert "fair share" in out
+
+    def test_demo_invalid_weights(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--weights", "0.2,zzz"])
+
+    def test_series(self, capsys):
+        code = main(
+            ["series", "--n", "120", "--rounds", "200", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi(t)" in out
+        assert "psi(t)" in out
+        assert "sigma^2(t)" in out
+        assert "*" in out  # the ASCII chart rendered

@@ -1,0 +1,110 @@
+"""Integration tests: agent-level vs aggregate engine equivalence.
+
+The aggregate engine must be exact in distribution.  We compare the
+mean and spread of final colour counts across many seeds at a common
+horizon, for both the per-step and the event-driven modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+from repro.engine.population import Population
+from repro.engine.rng import make_rng, spawn
+from repro.engine.simulator import Simulation
+from repro.experiments.workloads import colours_from_counts
+
+
+def agent_final_counts(weights, dark0, steps, seed):
+    protocol = Diversification(weights.copy())
+    population = Population.from_colours(
+        colours_from_counts(dark0), protocol, k=weights.k
+    )
+    Simulation(protocol, population, rng=seed).run(steps)
+    return population.colour_counts(), population.dark_counts()
+
+
+def aggregate_final_counts(weights, dark0, steps, seed, per_step=False):
+    engine = AggregateSimulation(
+        weights.copy(), dark_counts=dark0, rng=seed
+    )
+    if per_step:
+        for _ in range(steps):
+            engine.step()
+    else:
+        engine.run(steps)
+    return engine.colour_counts(), engine.dark_counts()
+
+
+@pytest.fixture(scope="module")
+def comparison_data():
+    weights = WeightTable([1.0, 3.0])
+    dark0 = np.array([30, 10])
+    steps = 4000
+    seeds = 48
+    rng = make_rng(777)
+    children = spawn(rng, 3 * seeds)
+    agent, agg_event, agg_step = [], [], []
+    for i in range(seeds):
+        agent.append(
+            agent_final_counts(weights, dark0, steps, children[3 * i])
+        )
+        agg_event.append(
+            aggregate_final_counts(
+                weights, dark0, steps, children[3 * i + 1]
+            )
+        )
+        agg_step.append(
+            aggregate_final_counts(
+                weights, dark0, steps, children[3 * i + 2], per_step=True
+            )
+        )
+    stack = lambda rows, idx: np.array([r[idx] for r in rows], dtype=float)
+    return {
+        "agent_colour": stack(agent, 0),
+        "agent_dark": stack(agent, 1),
+        "event_colour": stack(agg_event, 0),
+        "event_dark": stack(agg_event, 1),
+        "step_colour": stack(agg_step, 0),
+        "step_dark": stack(agg_step, 1),
+    }
+
+
+def zscore(a: np.ndarray, b: np.ndarray) -> float:
+    stderr = np.sqrt(a.var(ddof=1) / len(a) + b.var(ddof=1) / len(b))
+    return float(abs(a.mean() - b.mean()) / max(stderr, 1e-9))
+
+
+class TestEquivalence:
+    def test_event_driven_matches_agent_colour_counts(self, comparison_data):
+        for colour in range(2):
+            z = zscore(
+                comparison_data["agent_colour"][:, colour],
+                comparison_data["event_colour"][:, colour],
+            )
+            assert z < 4.0, f"colour {colour} z={z}"
+
+    def test_event_driven_matches_agent_dark_counts(self, comparison_data):
+        for colour in range(2):
+            z = zscore(
+                comparison_data["agent_dark"][:, colour],
+                comparison_data["event_dark"][:, colour],
+            )
+            assert z < 4.0, f"colour {colour} z={z}"
+
+    def test_per_step_matches_event_driven(self, comparison_data):
+        for colour in range(2):
+            z = zscore(
+                comparison_data["step_colour"][:, colour],
+                comparison_data["event_colour"][:, colour],
+            )
+            assert z < 4.0, f"colour {colour} z={z}"
+
+    def test_spreads_comparable(self, comparison_data):
+        """Not just the means: the standard deviations should agree
+        within a factor of 2 (generous; they estimate the same law)."""
+        agent_std = comparison_data["agent_colour"][:, 0].std(ddof=1)
+        event_std = comparison_data["event_colour"][:, 0].std(ddof=1)
+        assert 0.5 <= (agent_std + 1) / (event_std + 1) <= 2.0

@@ -1,0 +1,45 @@
+"""Integration: every example script is importable and structured
+correctly (a main() guard, a module docstring).  Full example runs are
+minutes-long and exercised manually; import catches syntax/API drift.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestExampleScripts:
+    def test_importable(self, path):
+        spec = importlib.util.spec_from_file_location(
+            f"example_{path.stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # runs top level, not main()
+        assert hasattr(module, "main"), f"{path.name} lacks main()"
+
+    def test_has_docstring(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), (
+            f"{path.name} lacks a module docstring"
+        )
+        assert "Run:" in source, f"{path.name} lacks run instructions"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLE_FILES}
+    required = {
+        "quickstart",
+        "ant_task_allocation",
+        "adversarial_resilience",
+        "derandomised_partition",
+        "topology_comparison",
+        "fairness_tracking",
+    }
+    assert required <= names

@@ -1,0 +1,70 @@
+"""Integration: multi-shade aggregate vs agent-level derandomised
+protocol — marginal distributions must agree."""
+
+import numpy as np
+import pytest
+
+from repro.core.derandomised import DerandomisedDiversification
+from repro.core.weights import WeightTable
+from repro.engine.multishade import MultiShadeAggregate
+from repro.engine.population import Population
+from repro.engine.rng import make_rng, spawn
+from repro.engine.simulator import Simulation
+from repro.experiments.workloads import colours_from_counts
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    weights = WeightTable([1.0, 3.0])
+    counts0 = np.array([30, 10])
+    steps = 6000
+    seeds = 40
+    children = spawn(make_rng(31337), 2 * seeds)
+    agent_rows, aggregate_rows = [], []
+    agent_light, aggregate_light = [], []
+    for index in range(seeds):
+        protocol = DerandomisedDiversification(weights.copy())
+        population = Population.from_colours(
+            colours_from_counts(counts0), protocol, k=2
+        )
+        Simulation(protocol, population, rng=children[2 * index]).run(steps)
+        agent_rows.append(population.colour_counts())
+        agent_light.append(population.light_counts())
+
+        engine = MultiShadeAggregate(
+            weights.copy(), colour_counts=counts0,
+            rng=children[2 * index + 1],
+        )
+        engine.run(steps)
+        aggregate_rows.append(engine.colour_counts())
+        aggregate_light.append(engine.light_counts())
+    return (
+        np.asarray(agent_rows, float),
+        np.asarray(aggregate_rows, float),
+        np.asarray(agent_light, float),
+        np.asarray(aggregate_light, float),
+    )
+
+
+def zscore(a, b):
+    stderr = np.sqrt(a.var(ddof=1) / len(a) + b.var(ddof=1) / len(b))
+    return float(abs(a.mean() - b.mean()) / max(stderr, 1e-9))
+
+
+class TestMultiShadeEquivalence:
+    def test_colour_count_marginals_agree(self, paired_runs):
+        agent, aggregate, _, _ = paired_runs
+        for colour in range(2):
+            z = zscore(agent[:, colour], aggregate[:, colour])
+            assert z < 4.0, f"colour {colour}: z={z}"
+
+    def test_shade_zero_marginals_agree(self, paired_runs):
+        _, _, agent_light, aggregate_light = paired_runs
+        for colour in range(2):
+            z = zscore(agent_light[:, colour], aggregate_light[:, colour])
+            assert z < 4.0, f"colour {colour} light: z={z}"
+
+    def test_population_conserved_everywhere(self, paired_runs):
+        agent, aggregate, _, _ = paired_runs
+        assert (agent.sum(axis=1) == 40).all()
+        assert (aggregate.sum(axis=1) == 40).all()

@@ -1,0 +1,87 @@
+"""Property-based tests: sustainability survives arbitrary adversarial
+schedules of agent/colour additions (the paper's robustness claim)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import AddAgents, AddColour, InterventionSchedule
+from repro.adversary.schedule import run_with_interventions
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+
+
+@st.composite
+def adversarial_run(draw):
+    k = draw(st.integers(1, 3))
+    weights = WeightTable(
+        [float(w) for w in draw(
+            st.lists(st.integers(1, 5), min_size=k, max_size=k)
+        )]
+    )
+    dark = draw(st.lists(st.integers(1, 20), min_size=k, max_size=k))
+    if sum(dark) < 2:
+        dark[0] += 2
+    total_steps = draw(st.integers(100, 3000))
+    events = []
+    for _ in range(draw(st.integers(0, 4))):
+        time_step = draw(st.integers(0, total_steps))
+        if draw(st.booleans()):
+            events.append(
+                (time_step, AddAgents(
+                    colour=draw(st.integers(0, k - 1)),
+                    count=draw(st.integers(1, 10)),
+                    dark=draw(st.booleans()),
+                ))
+            )
+        else:
+            # New colours arrive dark with >= 1 supporter, as the
+            # paper's sustainability condition requires.
+            events.append(
+                (time_step, AddColour(
+                    weight=float(draw(st.integers(1, 5))),
+                    count=draw(st.integers(1, 5)),
+                    dark=True,
+                ))
+            )
+    seed = draw(st.integers(0, 2**31 - 1))
+    return weights, dark, total_steps, events, seed
+
+
+class TestAdversarialSustainability:
+    @given(adversarial_run())
+    @settings(max_examples=40, deadline=None)
+    def test_dark_invariant_survives_interventions(self, setup):
+        weights, dark, total_steps, events, seed = setup
+        engine = AggregateSimulation(weights, dark_counts=dark, rng=seed)
+        schedule = InterventionSchedule(events)
+        run_with_interventions(engine, total_steps, schedule)
+        assert (engine.dark_counts() >= 1).all()
+        assert engine.time == total_steps
+
+    @given(adversarial_run())
+    @settings(max_examples=40, deadline=None)
+    def test_population_accounting_exact(self, setup):
+        weights, dark, total_steps, events, seed = setup
+        engine = AggregateSimulation(weights, dark_counts=dark, rng=seed)
+        expected_n = engine.n + sum(
+            event.count for _, event in events
+        )
+        run_with_interventions(
+            engine, total_steps, InterventionSchedule(events)
+        )
+        assert engine.n == expected_n
+
+    @given(adversarial_run())
+    @settings(max_examples=30, deadline=None)
+    def test_k_grows_by_colour_additions(self, setup):
+        weights, dark, total_steps, events, seed = setup
+        engine = AggregateSimulation(weights, dark_counts=dark, rng=seed)
+        k0 = engine.k
+        additions = sum(
+            isinstance(event, AddColour) for _, event in events
+        )
+        run_with_interventions(
+            engine, total_steps, InterventionSchedule(events)
+        )
+        assert engine.k == k0 + additions

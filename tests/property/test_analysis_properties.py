@@ -1,0 +1,118 @@
+"""Property-based tests for the analysis toolbox."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.markov import (
+    equilibrium_chain,
+    stationary_distribution,
+    theoretical_stationary,
+    total_variation,
+)
+from repro.analysis.random_walks import gamblers_ruin
+from repro.core.weights import WeightTable
+
+weights_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=30.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+).map(WeightTable)
+
+
+class TestChainProperties:
+    @given(weights_strategy, st.integers(2, 10_000))
+    @settings(max_examples=80)
+    def test_chain_is_stochastic(self, weights, n):
+        P = equilibrium_chain(weights, n)
+        assert (P >= 0).all()
+        np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(weights_strategy, st.integers(2, 10_000))
+    @settings(max_examples=80)
+    def test_theoretical_pi_is_stationary(self, weights, n):
+        P = equilibrium_chain(weights, n)
+        pi = theoretical_stationary(weights)
+        np.testing.assert_allclose(pi @ P, pi, atol=1e-12)
+        assert abs(pi.sum() - 1.0) < 1e-12
+
+    @given(weights_strategy, st.integers(2, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_agrees_with_theory(self, weights, n):
+        P = equilibrium_chain(weights, n)
+        assert total_variation(
+            stationary_distribution(P), theoretical_stationary(weights)
+        ) < 1e-7
+
+    @given(weights_strategy)
+    @settings(max_examples=80)
+    def test_dark_mass_dominates_light_mass_per_colour(self, weights):
+        """π(D_i) = w·π(L_i) >= π(L_i), since w >= k >= 1."""
+        pi = theoretical_stationary(weights)
+        k = weights.k
+        for i in range(k):
+            assert pi[i] >= pi[k + i] - 1e-12
+            np.testing.assert_allclose(
+                pi[i], weights.total * pi[k + i], atol=1e-12
+            )
+
+
+class TestGamblersRuinProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+        st.integers(1, 200),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=200)
+    def test_probabilities_valid(self, p, b, s):
+        assume(s <= b)
+        assume(abs(p - 0.5) > 1e-9 or True)
+        result = gamblers_ruin(p, b, s)
+        assert -1e-9 <= result.hit_top <= 1 + 1e-9
+        assert abs(result.hit_top + result.hit_bottom - 1.0) < 1e-9
+
+    @given(
+        st.floats(min_value=0.51, max_value=0.95),
+        st.integers(2, 100),
+    )
+    @settings(max_examples=100)
+    def test_upward_bias_beats_fair_coin(self, p, b):
+        s = b // 2
+        assume(0 < s < b)
+        assert gamblers_ruin(p, b, s).hit_top >= (
+            gamblers_ruin(0.5, b, s).hit_top - 1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(2, 60),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_start(self, p, b):
+        values = [gamblers_ruin(p, b, s).hit_top for s in range(b + 1)]
+        assert all(
+            a <= c + 1e-9 for a, c in zip(values, values[1:])
+        )
+
+
+class TestWeightTableProperties:
+    @given(weights_strategy)
+    @settings(max_examples=150)
+    def test_share_identities(self, weights):
+        fair = weights.fair_shares()
+        dark = weights.dark_shares()
+        light = weights.light_shares()
+        assert abs(fair.sum() - 1.0) < 1e-9
+        np.testing.assert_allclose(dark + light, fair, atol=1e-12)
+        # dark share / light share = w for every colour.
+        np.testing.assert_allclose(
+            dark, weights.total * light, atol=1e-12
+        )
+
+    @given(weights_strategy, st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=100)
+    def test_add_colour_preserves_prefix(self, weights, extra):
+        before = list(weights)
+        weights.add_colour(extra)
+        assert list(weights)[:-1] == before
+        assert weights.weight(weights.k - 1) == extra

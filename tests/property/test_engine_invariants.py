@@ -1,0 +1,167 @@
+"""Property-based tests for engine-level invariants: conservation,
+sustainability, count consistency."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+from repro.engine.population import Population
+from repro.engine.simulator import Simulation
+
+
+@st.composite
+def aggregate_setup(draw):
+    k = draw(st.integers(1, 5))
+    weights = WeightTable(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    dark = draw(
+        st.lists(st.integers(1, 30), min_size=k, max_size=k)
+    )
+    light = draw(
+        st.lists(st.integers(0, 10), min_size=k, max_size=k)
+    )
+    if sum(dark) + sum(light) < 2:
+        dark[0] += 2
+    seed = draw(st.integers(0, 2**31 - 1))
+    steps = draw(st.integers(0, 3000))
+    return weights, dark, light, seed, steps
+
+
+class TestAggregateInvariants:
+    @given(aggregate_setup())
+    @settings(max_examples=60, deadline=None)
+    def test_population_conserved(self, setup):
+        weights, dark, light, seed, steps = setup
+        engine = AggregateSimulation(
+            weights, dark_counts=dark, light_counts=light, rng=seed
+        )
+        n0 = engine.n
+        engine.run(steps)
+        assert engine.n == n0
+        assert engine.time == steps
+
+    @given(aggregate_setup())
+    @settings(max_examples=60, deadline=None)
+    def test_sustainability_invariant(self, setup):
+        """Dark counts that start >= 1 never reach 0 (the paper's
+        sustainability argument, verified mechanically)."""
+        weights, dark, light, seed, steps = setup
+        engine = AggregateSimulation(
+            weights, dark_counts=dark, light_counts=light, rng=seed
+        )
+        engine.run(steps)
+        assert (engine.dark_counts() >= 1).all()
+
+    @given(aggregate_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_non_negative(self, setup):
+        weights, dark, light, seed, steps = setup
+        engine = AggregateSimulation(
+            weights, dark_counts=dark, light_counts=light, rng=seed
+        )
+        for _ in range(min(steps, 500)):
+            engine.step()
+            assert (engine.dark_counts() >= 0).all()
+            assert (engine.light_counts() >= 0).all()
+
+
+@st.composite
+def agent_setup(draw):
+    k = draw(st.integers(1, 4))
+    weights = WeightTable(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    counts = draw(st.lists(st.integers(1, 12), min_size=k, max_size=k))
+    if sum(counts) < 2:
+        counts[0] += 1
+    seed = draw(st.integers(0, 2**31 - 1))
+    steps = draw(st.integers(0, 2000))
+    return weights, counts, seed, steps
+
+
+class TestAgentEngineInvariants:
+    @given(agent_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_population_and_counts_consistent(self, setup):
+        weights, counts, seed, steps = setup
+        protocol = Diversification(weights)
+        colours = [
+            colour for colour, count in enumerate(counts)
+            for _ in range(count)
+        ]
+        population = Population.from_colours(colours, protocol, k=weights.k)
+        simulation = Simulation(protocol, population, rng=seed)
+        simulation.run(steps)
+        # Recompute counts from raw states and compare with the
+        # incrementally maintained tallies.
+        recomputed_colour = np.zeros(weights.k, dtype=np.int64)
+        recomputed_dark = np.zeros(weights.k, dtype=np.int64)
+        for state in population.states():
+            recomputed_colour[state.colour] += 1
+            if state.shade > 0:
+                recomputed_dark[state.colour] += 1
+        np.testing.assert_array_equal(
+            recomputed_colour, population.colour_counts()
+        )
+        np.testing.assert_array_equal(
+            recomputed_dark, population.dark_counts()
+        )
+        np.testing.assert_array_equal(
+            population.colour_counts(),
+            population.dark_counts() + population.light_counts(),
+        )
+
+    @given(agent_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_sustainability_agent_engine(self, setup):
+        weights, counts, seed, steps = setup
+        protocol = Diversification(weights)
+        colours = [
+            colour for colour, count in enumerate(counts)
+            for _ in range(count)
+        ]
+        population = Population.from_colours(colours, protocol, k=weights.k)
+        simulation = Simulation(protocol, population, rng=seed)
+        simulation.run(steps)
+        assert (population.dark_counts() >= 1).all()
+
+
+class TestPotentialInvariants:
+    @given(
+        st.lists(st.integers(0, 500), min_size=2, max_size=6),
+        st.lists(
+            st.floats(min_value=1.0, max_value=20.0, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_phi_non_negative_and_zero_iff_balanced(self, counts, weights):
+        from repro.analysis.potentials import phi
+
+        size = min(len(counts), len(weights))
+        counts_arr = np.asarray(counts[:size], dtype=float)
+        table = WeightTable(weights[:size])
+        value = phi(counts_arr, table)
+        assert value >= -1e-6
+        ratios = counts_arr / table.as_array()
+        if np.allclose(ratios, ratios[0]):
+            assert abs(value) < 1e-6
+        else:
+            assert value > 0

@@ -1,0 +1,69 @@
+"""Property-based tests for the multi-shade aggregate engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import WeightTable
+from repro.engine.multishade import MultiShadeAggregate
+
+
+@st.composite
+def multishade_setup(draw):
+    k = draw(st.integers(1, 4))
+    weights = WeightTable(
+        [float(w) for w in draw(
+            st.lists(st.integers(1, 6), min_size=k, max_size=k)
+        )]
+    )
+    counts = draw(st.lists(st.integers(1, 25), min_size=k, max_size=k))
+    if sum(counts) < 2:
+        counts[0] += 1
+    seed = draw(st.integers(0, 2**31 - 1))
+    steps = draw(st.integers(0, 4000))
+    return weights, counts, seed, steps
+
+
+class TestMultiShadeInvariants:
+    @given(multishade_setup())
+    @settings(max_examples=50, deadline=None)
+    def test_population_conserved(self, setup):
+        weights, counts, seed, steps = setup
+        engine = MultiShadeAggregate(weights, counts, rng=seed)
+        n0 = engine.n
+        engine.run(steps)
+        assert engine.n == n0
+        assert engine.time == steps
+
+    @given(multishade_setup())
+    @settings(max_examples=50, deadline=None)
+    def test_shades_stay_in_declared_range(self, setup):
+        weights, counts, seed, steps = setup
+        engine = MultiShadeAggregate(weights, counts, rng=seed)
+        engine.run(steps)
+        for colour in range(engine.k):
+            row = engine.shade_counts(colour)
+            assert len(row) == int(weights.weight(colour)) + 1
+            assert all(c >= 0 for c in row)
+
+    @given(multishade_setup())
+    @settings(max_examples=50, deadline=None)
+    def test_sustainability_invariant(self, setup):
+        """Colours that start with a positive-shade agent always keep
+        at least one — the derandomised analogue of the paper's
+        sustainability argument."""
+        weights, counts, seed, steps = setup
+        engine = MultiShadeAggregate(weights, counts, rng=seed)
+        engine.run(steps)
+        assert (engine.dark_counts() >= 1).all()
+
+    @given(multishade_setup())
+    @settings(max_examples=30, deadline=None)
+    def test_count_views_consistent(self, setup):
+        weights, counts, seed, steps = setup
+        engine = MultiShadeAggregate(weights, counts, rng=seed)
+        engine.run(steps)
+        np.testing.assert_array_equal(
+            engine.colour_counts(),
+            engine.dark_counts() + engine.light_counts(),
+        )

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the protocol transition rules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.derandomised import DerandomisedDiversification
+from repro.core.diversification import Diversification
+from repro.core.state import DARK, LIGHT, AgentState
+from repro.core.weights import WeightTable
+
+weights_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+).map(WeightTable)
+
+integer_weights_strategy = st.lists(
+    st.integers(min_value=1, max_value=10).map(float),
+    min_size=1,
+    max_size=6,
+).map(WeightTable)
+
+
+@st.composite
+def diversification_case(draw):
+    weights = draw(weights_strategy)
+    k = weights.k
+    u = AgentState(
+        draw(st.integers(0, k - 1)), draw(st.sampled_from([LIGHT, DARK]))
+    )
+    v = AgentState(
+        draw(st.integers(0, k - 1)), draw(st.sampled_from([LIGHT, DARK]))
+    )
+    seed = draw(st.integers(0, 2**32 - 1))
+    return weights, u, v, seed
+
+
+class TestDiversificationRule:
+    @given(diversification_case())
+    @settings(max_examples=300)
+    def test_output_state_always_valid(self, case):
+        weights, u, v, seed = case
+        protocol = Diversification(weights)
+        rng = np.random.default_rng(seed)
+        new = protocol.transition(u, [v], rng)
+        assert 0 <= new.colour < weights.k
+        assert new.shade in (LIGHT, DARK)
+
+    @given(diversification_case())
+    @settings(max_examples=300)
+    def test_colour_changes_only_via_rule_one(self, case):
+        weights, u, v, seed = case
+        protocol = Diversification(weights)
+        rng = np.random.default_rng(seed)
+        new = protocol.transition(u, [v], rng)
+        if new.colour != u.colour:
+            assert u.is_light and v.is_dark
+            assert new.colour == v.colour
+            assert new.is_dark
+
+    @given(diversification_case())
+    @settings(max_examples=300)
+    def test_lightening_only_on_same_dark_colour(self, case):
+        weights, u, v, seed = case
+        protocol = Diversification(weights)
+        rng = np.random.default_rng(seed)
+        new = protocol.transition(u, [v], rng)
+        if u.is_dark and new.is_light:
+            assert v.is_dark and v.colour == u.colour
+            assert new.colour == u.colour
+
+    @given(diversification_case())
+    @settings(max_examples=300)
+    def test_dark_observer_never_adopts(self, case):
+        """A dark agent's colour is immutable in a single interaction."""
+        weights, u, v, seed = case
+        protocol = Diversification(weights)
+        rng = np.random.default_rng(seed)
+        if u.is_dark:
+            new = protocol.transition(u, [v], rng)
+            assert new.colour == u.colour
+
+
+@st.composite
+def derandomised_case(draw):
+    weights = draw(integer_weights_strategy)
+    k = weights.k
+    u_colour = draw(st.integers(0, k - 1))
+    v_colour = draw(st.integers(0, k - 1))
+    u = AgentState(
+        u_colour, draw(st.integers(0, int(weights.weight(u_colour))))
+    )
+    v = AgentState(
+        v_colour, draw(st.integers(0, int(weights.weight(v_colour))))
+    )
+    return weights, u, v
+
+
+class TestDerandomisedRule:
+    @given(derandomised_case())
+    @settings(max_examples=300)
+    def test_shade_stays_in_range(self, case):
+        weights, u, v = case
+        protocol = DerandomisedDiversification(weights)
+        new = protocol.transition(u, [v], np.random.default_rng(0))
+        assert 0 <= new.shade <= int(weights.weight(new.colour))
+
+    @given(derandomised_case())
+    @settings(max_examples=300)
+    def test_shade_decreases_by_at_most_one(self, case):
+        weights, u, v = case
+        protocol = DerandomisedDiversification(weights)
+        new = protocol.transition(u, [v], np.random.default_rng(0))
+        if new.colour == u.colour:
+            assert new.shade in (u.shade, u.shade - 1,
+                                 int(weights.weight(u.colour)))
+
+    @given(derandomised_case())
+    @settings(max_examples=300)
+    def test_adoption_only_from_shade_zero(self, case):
+        weights, u, v = case
+        protocol = DerandomisedDiversification(weights)
+        new = protocol.transition(u, [v], np.random.default_rng(0))
+        if new.colour != u.colour:
+            assert u.shade == 0
+            assert v.shade > 0
+            assert new.shade == int(weights.weight(v.colour))
+
+    @given(derandomised_case())
+    @settings(max_examples=200)
+    def test_deterministic(self, case):
+        weights, u, v = case
+        protocol = DerandomisedDiversification(weights)
+        a = protocol.transition(u, [v], np.random.default_rng(0))
+        b = protocol.transition(u, [v], np.random.default_rng(999))
+        assert a == b

@@ -1,0 +1,74 @@
+"""Unit tests for the ablated protocol variants."""
+
+import pytest
+
+from repro.core.ablations import EagerRecolouring, UnweightedLightening
+from repro.core.state import DARK, LIGHT, AgentState, dark, light
+from repro.core.weights import WeightTable
+
+
+class FixedRng:
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+@pytest.fixture
+def weights():
+    return WeightTable([1.0, 3.0])
+
+
+class TestUnweightedLightening:
+    def test_same_dark_colour_always_lightens(self, weights, rng):
+        protocol = UnweightedLightening(weights)
+        # Even the heavy colour lightens deterministically.
+        new = protocol.transition(dark(1), [dark(1)], rng)
+        assert new == AgentState(1, LIGHT)
+
+    def test_light_adopts_dark(self, weights, rng):
+        protocol = UnweightedLightening(weights)
+        assert protocol.transition(light(0), [dark(1)], rng) == dark(1)
+
+    def test_other_cases_noop(self, weights, rng):
+        protocol = UnweightedLightening(weights)
+        assert protocol.transition(dark(0), [dark(1)], rng) == dark(0)
+        assert protocol.transition(dark(0), [light(0)], rng) == dark(0)
+        assert protocol.transition(light(0), [light(1)], rng) == light(0)
+
+    def test_initial_state_dark(self, weights):
+        assert UnweightedLightening(weights).initial_state(1) == dark(1)
+
+
+class TestEagerRecolouring:
+    def test_arity_two(self, weights):
+        assert EagerRecolouring(weights).arity == 2
+
+    def test_same_colour_coin_success_adopts_second_sample(self, weights):
+        protocol = EagerRecolouring(weights)
+        new = protocol.transition(
+            dark(1), [dark(1), dark(0)], FixedRng(0.2)
+        )
+        assert new == AgentState(0, DARK)
+
+    def test_same_colour_coin_failure_keeps(self, weights):
+        protocol = EagerRecolouring(weights)
+        state = dark(1)
+        assert (
+            protocol.transition(state, [dark(1), dark(0)], FixedRng(0.9))
+            == state
+        )
+
+    def test_unit_weight_always_switches(self, weights):
+        protocol = EagerRecolouring(weights)
+        new = protocol.transition(
+            dark(0), [dark(0), dark(1)], FixedRng(0.999999)
+        )
+        # weight 1 -> probability 1; FixedRng below 1.0 always succeeds.
+        assert new.colour == 1
+
+    def test_different_colour_noop(self, weights, rng):
+        protocol = EagerRecolouring(weights)
+        state = dark(0)
+        assert protocol.transition(state, [dark(1), dark(1)], rng) == state

@@ -1,0 +1,78 @@
+"""Unit tests for the averaging / load-balancing baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.averaging import AveragingProcess, MatchingDiffusion
+
+
+class TestAveragingProcess:
+    def test_mean_invariant_without_noise(self):
+        process = AveragingProcess([0.0, 1.0, 2.0, 3.0], rng=0)
+        before = process.mean()
+        process.run(5000)
+        assert process.mean() == pytest.approx(before)
+
+    def test_discrepancy_shrinks(self):
+        process = AveragingProcess([0.0] * 10 + [10.0] * 10, rng=1)
+        initial = process.discrepancy()
+        process.run(20_000)
+        assert process.discrepancy() < initial / 100
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            AveragingProcess([1.0])
+
+    def test_noise_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            AveragingProcess([0.0, 1.0], noise=-0.1)
+
+    def test_noise_perturbs_mean(self):
+        process = AveragingProcess([0.0, 1.0] * 50, noise=0.5, rng=2)
+        before = process.mean()
+        process.run(20_000)
+        # Noisy averaging drifts; it should not stay numerically equal.
+        assert process.mean() != pytest.approx(before, abs=1e-12)
+
+    def test_time_counter(self):
+        process = AveragingProcess([0.0, 1.0], rng=3)
+        process.run(7)
+        assert process.time == 7
+
+    def test_values_stay_in_convex_hull_without_noise(self):
+        process = AveragingProcess([-5.0, 3.0, 11.0], rng=4)
+        process.run(5000)
+        assert process.values.min() >= -5.0 - 1e-9
+        assert process.values.max() <= 11.0 + 1e-9
+
+
+class TestMatchingDiffusion:
+    def test_mean_invariant(self):
+        process = MatchingDiffusion([0.0, 4.0, 8.0, 12.0], rng=0)
+        before = process.values.mean()
+        process.run(50)
+        assert process.values.mean() == pytest.approx(before)
+
+    def test_discrepancy_decays_geometrically(self):
+        process = MatchingDiffusion(
+            np.arange(64, dtype=float), rng=1
+        )
+        initial = process.discrepancy()
+        process.run(40)
+        assert process.discrepancy() < initial / 50
+
+    def test_odd_population_leaves_one_unmatched(self):
+        process = MatchingDiffusion([0.0, 10.0, 20.0], rng=2)
+        process.round()
+        # Exactly one pair averaged: two values equal.
+        values = sorted(process.values.tolist())
+        assert len(values) == 3
+
+    def test_round_counter(self):
+        process = MatchingDiffusion([0.0, 1.0], rng=3)
+        process.run(9)
+        assert process.rounds == 9
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            MatchingDiffusion([1.0])

@@ -1,0 +1,130 @@
+"""Unit tests for the concentration inequalities (Lemma 2.11, Thm A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    azuma_hoeffding,
+    chung_lu_tail,
+    contraction_expectation_bound,
+    halving_time,
+    markov_chain_chernoff,
+    markov_visit_halfwidth,
+)
+
+
+class TestChungLuTail:
+    def test_matches_eq_16(self):
+        lam, alpha, delta, gamma = 10.0, 0.1, 2.0, 1.0
+        expected = np.exp(
+            -(lam**2 / 2) / (delta**2 / (2 * alpha - alpha**2) + lam * gamma / 3)
+        )
+        assert chung_lu_tail(lam, alpha, delta, gamma) == pytest.approx(
+            expected
+        )
+
+    def test_decreasing_in_lambda(self):
+        values = [chung_lu_tail(lam, 0.1, 2.0, 1.0) for lam in (1, 5, 25)]
+        assert values[0] > values[1] > values[2]
+
+    def test_bounded_by_one(self):
+        assert chung_lu_tail(0.01, 0.5, 10.0, 10.0) <= 1.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chung_lu_tail(1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            chung_lu_tail(-1.0, 0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            chung_lu_tail(1.0, 0.5, -1.0, 1.0)
+
+    def test_dominates_contracting_process_tail(self):
+        """Empirical check: simulate M(t+1) = (1-a)M(t) + noise and
+        verify the bound dominates the observed tail frequency."""
+        rng = np.random.default_rng(0)
+        alpha, beta, gamma = 0.2, 1.0, 1.0
+        runs, horizon = 2000, 60
+        finals = np.empty(runs)
+        for r in range(runs):
+            m = 0.0
+            for _ in range(horizon):
+                # bounded, conditionally mean <= (1-alpha) m + beta
+                m = (1 - alpha) * m + beta + rng.uniform(-gamma, gamma)
+                m = max(m, 0.0)
+            finals[r] = m
+        mean = finals.mean()
+        lam = 2.5
+        observed = (finals >= mean + lam).mean()
+        bound = chung_lu_tail(lam, alpha, delta=gamma, gamma=gamma)
+        assert observed <= bound + 0.01
+
+
+class TestContractionBound:
+    def test_formula(self):
+        assert contraction_expectation_bound(
+            100.0, 0.5, 2.0, 3
+        ) == pytest.approx(100 * 0.125 + 4.0)
+
+    def test_limit_is_beta_over_alpha(self):
+        value = contraction_expectation_bound(1000.0, 0.3, 2.0, 500)
+        assert value == pytest.approx(2.0 / 0.3, rel=1e-6)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            contraction_expectation_bound(1.0, 1.5, 1.0, 1)
+        with pytest.raises(ValueError):
+            contraction_expectation_bound(-1.0, 0.5, 1.0, 1)
+
+
+class TestHalvingTime:
+    def test_halving_suffices(self):
+        alpha = 0.01
+        t = halving_time(alpha)
+        assert (1 - alpha) ** t <= 1 / 8
+
+    def test_scales_inversely_with_alpha(self):
+        assert halving_time(0.001) > halving_time(0.1)
+
+
+class TestMarkovChernoff:
+    def test_matches_formula(self):
+        value = markov_chain_chernoff(0.2, 10_000, 50, 0.1)
+        expected = np.exp(-(0.01 * 0.2 * 10_000) / (72 * 50))
+        assert value == pytest.approx(expected)
+
+    def test_decreasing_in_t(self):
+        a = markov_chain_chernoff(0.2, 1000, 10, 0.2)
+        b = markov_chain_chernoff(0.2, 100_000, 10, 0.2)
+        assert b < a
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            markov_chain_chernoff(0.0, 100, 10, 0.1)
+        with pytest.raises(ValueError):
+            markov_chain_chernoff(0.5, 100, 10, 1.5)
+
+    def test_halfwidth_inversion(self):
+        pi, t, tmix, failure = 0.25, 100_000, 20, 1e-3
+        halfwidth = markov_visit_halfwidth(pi, t, tmix, failure)
+        delta = halfwidth / (pi * t)
+        recovered = markov_chain_chernoff(pi, t, tmix, min(delta, 0.999))
+        assert recovered <= failure * 1.01 or delta >= 0.999
+
+
+class TestAzumaHoeffding:
+    def test_formula(self):
+        assert azuma_hoeffding(100, 20.0) == pytest.approx(
+            np.exp(-400 / 200)
+        )
+
+    def test_dominates_simple_walk(self):
+        rng = np.random.default_rng(1)
+        ell = 200
+        sums = rng.choice([-1, 1], size=(5000, ell)).sum(axis=1)
+        deviation = 30.0
+        observed = (sums <= -deviation).mean()
+        assert observed <= azuma_hoeffding(ell, deviation) + 0.01
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            azuma_hoeffding(0, 1.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the derandomised multi-shade protocol (Sec 1.2)."""
+
+import pytest
+
+from repro.core.derandomised import DerandomisedDiversification
+from repro.core.state import AgentState
+from repro.core.weights import WeightTable
+
+
+@pytest.fixture
+def protocol():
+    return DerandomisedDiversification(WeightTable([1.0, 2.0, 3.0]))
+
+
+class TestConstruction:
+    def test_rejects_fractional_weights(self):
+        with pytest.raises(ValueError):
+            DerandomisedDiversification(WeightTable([1.0, 2.5]))
+
+    def test_accepts_integral_floats(self):
+        DerandomisedDiversification(WeightTable([1.0, 4.0]))
+
+
+class TestInitialState:
+    def test_starts_at_full_shade(self, protocol):
+        assert protocol.initial_state(2) == AgentState(2, 3)
+        assert protocol.initial_state(0) == AgentState(0, 1)
+
+    def test_unknown_colour_rejected(self, protocol):
+        with pytest.raises(ValueError):
+            protocol.initial_state(9)
+
+
+class TestTransitions:
+    def test_same_colour_positive_shades_decrement(self, protocol, rng):
+        u = AgentState(2, 3)
+        v = AgentState(2, 1)
+        assert protocol.transition(u, [v], rng) == AgentState(2, 2)
+
+    def test_decrement_reaches_zero(self, protocol, rng):
+        u = AgentState(1, 1)
+        v = AgentState(1, 2)
+        assert protocol.transition(u, [v], rng) == AgentState(1, 0)
+
+    def test_shade_zero_adopts_at_full_shade(self, protocol, rng):
+        u = AgentState(0, 0)
+        v = AgentState(2, 1)
+        assert protocol.transition(u, [v], rng) == AgentState(2, 3)
+
+    def test_shade_zero_adopting_own_colour_recommits(self, protocol, rng):
+        u = AgentState(2, 0)
+        v = AgentState(2, 2)
+        assert protocol.transition(u, [v], rng) == AgentState(2, 3)
+
+    def test_both_shade_zero_noop(self, protocol, rng):
+        u = AgentState(0, 0)
+        v = AgentState(1, 0)
+        assert protocol.transition(u, [v], rng) == u
+
+    def test_positive_shade_meets_zero_noop(self, protocol, rng):
+        u = AgentState(1, 2)
+        v = AgentState(1, 0)
+        assert protocol.transition(u, [v], rng) == u
+
+    def test_different_colours_positive_shades_noop(self, protocol, rng):
+        u = AgentState(0, 1)
+        v = AgentState(2, 3)
+        assert protocol.transition(u, [v], rng) == u
+
+    def test_no_randomness_consumed(self, protocol):
+        """The protocol must be deterministic: rng is never touched."""
+
+        class ExplodingRng:
+            def random(self):  # pragma: no cover - should not run
+                raise AssertionError("derandomised protocol used rng")
+
+        rng = ExplodingRng()
+        protocol.transition(AgentState(2, 3), [AgentState(2, 1)], rng)
+        protocol.transition(AgentState(0, 0), [AgentState(1, 2)], rng)
+        protocol.transition(AgentState(0, 1), [AgentState(1, 1)], rng)
+
+    def test_max_shade_per_colour(self, protocol):
+        assert protocol.max_shade(0) == 1
+        assert protocol.max_shade(1) == 2
+        assert protocol.max_shade(2) == 3
+
+    def test_full_lighten_cycle_length(self, protocol, rng):
+        """Colour 2 (weight 3) needs exactly 3 same-colour meetings to
+        reach shade 0."""
+        state = protocol.initial_state(2)
+        partner = AgentState(2, 3)
+        meetings = 0
+        while state.shade > 0:
+            state = protocol.transition(state, [partner], rng)
+            meetings += 1
+        assert meetings == 3

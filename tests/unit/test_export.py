@@ -1,0 +1,95 @@
+"""Unit tests for the export helpers (CSV/JSON serialisation)."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    record_to_csv,
+    record_to_json,
+    save_table,
+    table_to_csv,
+    table_to_json,
+)
+from repro.experiments.runner import run_aggregate
+from repro.experiments.table import ExperimentTable
+
+
+@pytest.fixture
+def table():
+    table = ExperimentTable("E0", "demo table", ["n", "err", "ok"])
+    table.add_row(128, np.float64(0.125), np.bool_(True))
+    table.add_row(256, 0.0625, False)
+    table.add_note("a note")
+    return table
+
+
+@pytest.fixture
+def record(skewed_weights):
+    return run_aggregate(
+        skewed_weights, n=60, steps=3000, seed=0, record_interval=500
+    )
+
+
+class TestTableCsv:
+    def test_roundtrip_via_csv_reader(self, table):
+        rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+        assert rows[0] == ["n", "err", "ok"]
+        assert rows[1] == ["128", "0.125", "True"]
+        assert len(rows) == 3
+
+    def test_numpy_scalars_converted(self, table):
+        text = table_to_csv(table)
+        assert "np.float64" not in text
+        assert "np.True_" not in text
+
+
+class TestTableJson:
+    def test_valid_json_with_metadata(self, table):
+        payload = json.loads(table_to_json(table))
+        assert payload["experiment"] == "E0"
+        assert payload["headers"] == ["n", "err", "ok"]
+        assert payload["rows"][0] == [128, 0.125, True]
+        assert payload["notes"] == ["a note"]
+
+
+class TestSaveTable:
+    def test_writes_all_formats(self, table, tmp_path):
+        paths = save_table(table, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"e0.txt", "e0.csv", "e0.json"}
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_subset_of_formats(self, table, tmp_path):
+        paths = save_table(table, tmp_path, formats=("json",))
+        assert len(paths) == 1
+        assert paths[0].suffix == ".json"
+
+    def test_unknown_format_rejected(self, table, tmp_path):
+        with pytest.raises(ValueError):
+            save_table(table, tmp_path, formats=("yaml",))
+
+
+class TestRecordExport:
+    def test_csv_header_and_width(self, record):
+        rows = list(csv.reader(io.StringIO(record_to_csv(record))))
+        assert rows[0] == [
+            "time", "C_0", "C_1", "C_2",
+            "A_0", "A_1", "A_2", "a_0", "a_1", "a_2",
+        ]
+        assert len(rows) == len(record.times) + 1
+        # Population conserved in every exported row.
+        for row in rows[1:]:
+            assert sum(int(v) for v in row[1:4]) == 60
+
+    def test_json_payload(self, record):
+        payload = json.loads(record_to_json(record))
+        assert payload["n"] == 60
+        assert payload["k"] == 3
+        assert payload["weights"] == [1.0, 2.0, 3.0]
+        assert len(payload["times"]) == len(payload["colour_counts"])

@@ -1,0 +1,161 @@
+"""Unit tests for adversary interventions and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AddAgents,
+    AddColour,
+    InterventionSchedule,
+    RecolourColour,
+    run_with_interventions,
+)
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+from repro.engine.population import Population
+from repro.engine.simulator import Simulation
+from repro.experiments.recorder import CountRecorder
+
+
+def build_agent_engine(seed=0):
+    weights = WeightTable([1.0, 2.0])
+    protocol = Diversification(weights)
+    population = Population.from_colours([0] * 6 + [1] * 6, protocol, k=2)
+    return Simulation(protocol, population, rng=seed), weights
+
+
+def build_aggregate_engine(seed=0):
+    weights = WeightTable([1.0, 2.0])
+    return AggregateSimulation(weights, dark_counts=[6, 6], rng=seed), weights
+
+
+class TestAddAgents:
+    def test_agent_engine(self):
+        simulation, _ = build_agent_engine()
+        AddAgents(colour=1, count=4, dark=True).apply(simulation)
+        assert simulation.population.n == 16
+        assert simulation.population.dark_counts()[1] == 10
+
+    def test_aggregate_engine(self):
+        engine, _ = build_aggregate_engine()
+        AddAgents(colour=0, count=3, dark=False).apply(engine)
+        assert engine.light_counts()[0] == 3
+        assert engine.n == 15
+
+
+class TestAddColour:
+    def test_agent_engine_grows_weights(self):
+        simulation, weights = build_agent_engine()
+        AddColour(weight=3.0, count=2, dark=True).apply(simulation)
+        assert weights.k == 3
+        assert simulation.population.colour_counts()[2] == 2
+
+    def test_aggregate_engine(self):
+        engine, weights = build_aggregate_engine()
+        AddColour(weight=4.0, count=1, dark=True).apply(engine)
+        assert weights.k == 3
+        assert engine.dark_counts()[2] == 1
+
+    def test_protocol_without_weights_rejected(self):
+        from repro.baselines.voter import VoterModel
+
+        protocol = VoterModel()
+        population = Population.from_colours([0, 1], protocol, k=2)
+        simulation = Simulation(protocol, population, rng=0)
+        with pytest.raises(TypeError):
+            AddColour(weight=2.0, count=1).apply(simulation)
+
+
+class TestRecolour:
+    def test_agent_engine(self):
+        simulation, _ = build_agent_engine()
+        RecolourColour(source=0, target=1).apply(simulation)
+        np.testing.assert_array_equal(
+            simulation.population.colour_counts(), [0, 12]
+        )
+
+    def test_preserves_shades(self):
+        simulation, _ = build_agent_engine()
+        simulation.run(200)  # create some light agents
+        light_total = simulation.population.light_counts().sum()
+        RecolourColour(source=0, target=1).apply(simulation)
+        assert simulation.population.light_counts().sum() == light_total
+
+    def test_aggregate_engine(self):
+        engine, _ = build_aggregate_engine()
+        RecolourColour(source=1, target=0).apply(engine)
+        np.testing.assert_array_equal(engine.colour_counts(), [12, 0])
+
+    def test_unsupported_engine_rejected(self):
+        with pytest.raises(TypeError):
+            AddAgents(0, 1).apply(object())
+
+
+class TestSchedule:
+    def test_entries_sorted(self):
+        schedule = InterventionSchedule(
+            [(50, AddAgents(0, 1)), (10, AddAgents(1, 1))]
+        )
+        times = [t for t, _ in schedule.entries()]
+        assert times == [10, 50]
+
+    def test_add_keeps_order(self):
+        schedule = InterventionSchedule([(50, AddAgents(0, 1))])
+        schedule.add(10, AddAgents(1, 1))
+        assert [t for t, _ in schedule.entries()] == [10, 50]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            InterventionSchedule([(-1, AddAgents(0, 1))])
+        schedule = InterventionSchedule()
+        with pytest.raises(ValueError):
+            schedule.add(-5, AddAgents(0, 1))
+
+    def test_pending_after(self):
+        schedule = InterventionSchedule(
+            [(10, AddAgents(0, 1)), (20, AddAgents(1, 1))]
+        )
+        assert len(schedule.pending_after(10)) == 1
+        assert len(schedule) == 2
+
+
+class TestRunWithInterventions:
+    def test_interventions_applied_at_time(self):
+        engine, _ = build_aggregate_engine(seed=1)
+        schedule = InterventionSchedule([(500, AddAgents(0, 10, dark=True))])
+        run_with_interventions(engine, 1000, schedule)
+        assert engine.time == 1000
+        assert engine.n == 22
+
+    def test_recorder_snapshots_cover_run(self):
+        engine, _ = build_aggregate_engine(seed=2)
+        recorder = CountRecorder(interval=100)
+        run_with_interventions(engine, 1000, None, recorder=recorder)
+        times = recorder.times()
+        assert times[0] == 0
+        assert times[-1] >= 900
+        assert len(times) >= 10
+
+    def test_recorder_sees_colour_growth(self):
+        engine, _ = build_aggregate_engine(seed=3)
+        schedule = InterventionSchedule([(300, AddColour(2.0, 5))])
+        recorder = CountRecorder(interval=100)
+        run_with_interventions(engine, 600, schedule, recorder=recorder)
+        counts = recorder.colour_counts()
+        assert counts.shape[1] == 3
+        # Early snapshots are padded with zero for the new colour.
+        assert counts[0, 2] == 0
+        assert counts[-1, 2] >= 5
+
+    def test_agent_engine_supported(self):
+        simulation, _ = build_agent_engine(seed=4)
+        schedule = InterventionSchedule([(100, AddAgents(1, 2))])
+        run_with_interventions(simulation, 300, schedule)
+        assert simulation.time == 300
+        assert simulation.population.n == 14
+
+    def test_negative_total_rejected(self):
+        engine, _ = build_aggregate_engine()
+        with pytest.raises(ValueError):
+            run_with_interventions(engine, -1, None)

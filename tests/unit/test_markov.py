@@ -1,0 +1,172 @@
+"""Unit tests for the equilibrium Markov chain (Sec 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import (
+    dark_state,
+    equilibrium_chain,
+    light_state,
+    mixing_time,
+    perturbed_chain,
+    simulate_chain,
+    stationary_distribution,
+    theoretical_stationary,
+    total_variation,
+)
+from repro.core.weights import WeightTable
+
+
+@pytest.fixture
+def chain(skewed_weights):
+    return equilibrium_chain(skewed_weights, n=100)
+
+
+class TestConstruction:
+    def test_rows_sum_to_one(self, chain):
+        np.testing.assert_allclose(chain.sum(axis=1), 1.0)
+
+    def test_entries_non_negative(self, chain):
+        assert (chain >= 0).all()
+
+    def test_paper_entries(self, skewed_weights):
+        n, w = 100, 6.0
+        P = equilibrium_chain(skewed_weights, n)
+        k = 3
+        scale = 1.0 / ((1 + w) * n)
+        # P(D_i, L_i) = 1/((1+w)n).
+        assert P[dark_state(1), light_state(1, k)] == pytest.approx(scale)
+        # P(L_j, D_i) = w_i/((1+w)n) for all j.
+        assert P[light_state(0, k), dark_state(2)] == pytest.approx(3 * scale)
+        assert P[light_state(2, k), dark_state(2)] == pytest.approx(3 * scale)
+        # No dark-to-dark jumps between different colours.
+        assert P[dark_state(0), dark_state(1)] == 0.0
+        # No light-to-light jumps between different colours.
+        assert P[light_state(0, k), light_state(1, k)] == 0.0
+
+    def test_needs_two_agents(self, skewed_weights):
+        with pytest.raises(ValueError):
+            equilibrium_chain(skewed_weights, 1)
+
+
+class TestStationarity:
+    def test_theoretical_is_stationary(self, skewed_weights, chain):
+        pi = theoretical_stationary(skewed_weights)
+        np.testing.assert_allclose(pi @ chain, pi, atol=1e-14)
+
+    def test_theoretical_sums_to_one(self, skewed_weights):
+        assert theoretical_stationary(skewed_weights).sum() == pytest.approx(1)
+
+    def test_eq_18_19_values(self, skewed_weights):
+        pi = theoretical_stationary(skewed_weights)
+        # pi(D_i) = w_i/(1+w) = w_i/7; pi(L_i) = (w_i/6)/7.
+        np.testing.assert_allclose(pi[:3], [1 / 7, 2 / 7, 3 / 7])
+        np.testing.assert_allclose(pi[3:], [1 / 42, 2 / 42, 3 / 42])
+
+    def test_solver_matches_theory(self, skewed_weights, chain):
+        pi_solved = stationary_distribution(chain)
+        pi_theory = theoretical_stationary(skewed_weights)
+        assert total_variation(pi_solved, pi_theory) < 1e-9
+
+    def test_solver_validates_input(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            stationary_distribution(np.array([[0.5, 0.2], [0.3, 0.7]]))
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0
+
+    def test_disjoint(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p, q = [0.2, 0.8], [0.6, 0.4]
+        assert total_variation(p, q) == total_variation(q, p)
+
+
+class TestMixingTime:
+    def test_small_chain_mixing(self):
+        weights = WeightTable([1.0, 1.0])
+        P = equilibrium_chain(weights, 10)
+        t = mixing_time(P)
+        # The chain holds w.p. 1 - O(1/n): mixing is Θ(n) here.
+        assert 10 <= t <= 2000
+
+    def test_mixing_time_grows_with_n(self):
+        weights = WeightTable([1.0, 2.0])
+        t_small = mixing_time(equilibrium_chain(weights, 10))
+        t_large = mixing_time(equilibrium_chain(weights, 100))
+        assert t_large > t_small
+
+    def test_already_mixed_chain(self):
+        P = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert mixing_time(P) == 1
+
+
+class TestPerturbedChains:
+    def test_row_stochastic(self, skewed_weights):
+        err = 1e-4
+        for sign in (+1, -1):
+            for target_dark in (True, False):
+                P = perturbed_chain(
+                    skewed_weights, 100, 1, err, sign=sign,
+                    target_dark=target_dark,
+                )
+                np.testing.assert_allclose(P.sum(axis=1), 1.0, atol=1e-12)
+                assert (P >= 0).all()
+
+    def test_sandwich_on_target_mass(self, skewed_weights):
+        err = 1e-4
+        pi = theoretical_stationary(skewed_weights)
+        plus = stationary_distribution(
+            perturbed_chain(skewed_weights, 100, 0, err, sign=+1)
+        )
+        minus = stationary_distribution(
+            perturbed_chain(skewed_weights, 100, 0, err, sign=-1)
+        )
+        assert minus[0] <= pi[0] + 1e-12
+        assert pi[0] <= plus[0] + 1e-12
+
+    def test_shift_scales_with_err(self, skewed_weights):
+        pi = theoretical_stationary(skewed_weights)
+        small = stationary_distribution(
+            perturbed_chain(skewed_weights, 100, 0, 1e-5, sign=+1)
+        )
+        large = stationary_distribution(
+            perturbed_chain(skewed_weights, 100, 0, 1e-4, sign=+1)
+        )
+        assert total_variation(small, pi) < total_variation(large, pi)
+
+    def test_oversized_err_rejected(self, skewed_weights):
+        with pytest.raises(ValueError):
+            perturbed_chain(skewed_weights, 100, 0, err=1.0)
+
+    def test_invalid_sign_rejected(self, skewed_weights):
+        with pytest.raises(ValueError):
+            perturbed_chain(skewed_weights, 100, 0, 1e-5, sign=0)
+
+    def test_unknown_colour_rejected(self, skewed_weights):
+        with pytest.raises(ValueError):
+            perturbed_chain(skewed_weights, 100, 7, 1e-5)
+
+
+class TestSimulateChain:
+    def test_visit_counts_sum(self, chain):
+        visits = simulate_chain(chain, start=0, steps=5000, rng=0)
+        assert visits.sum() == 5000
+
+    def test_empirical_matches_stationary(self, skewed_weights):
+        # Small n mixes fast; long run approximates pi.
+        P = equilibrium_chain(skewed_weights, 8)
+        visits = simulate_chain(P, start=0, steps=400_000, rng=1)
+        empirical = visits / visits.sum()
+        pi = theoretical_stationary(skewed_weights)
+        assert total_variation(empirical, pi) < 0.02
+
+    def test_deterministic_given_seed(self, chain):
+        a = simulate_chain(chain, 0, 1000, rng=7)
+        b = simulate_chain(chain, 0, 1000, rng=7)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,77 @@
+"""Unit tests for the Moran process baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.moran import MoranProcess
+
+
+class TestConstruction:
+    def test_counts_and_size(self):
+        process = MoranProcess([3, 4, 5], rng=0)
+        assert process.n == 12
+        assert process.k == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MoranProcess([3, -1], rng=0)
+
+    def test_needs_two_agents(self):
+        with pytest.raises(ValueError):
+            MoranProcess([1], rng=0)
+
+    def test_fitness_length_validated(self):
+        with pytest.raises(ValueError):
+            MoranProcess([2, 2], fitness=[1.0], rng=0)
+
+    def test_fitness_positive(self):
+        with pytest.raises(ValueError):
+            MoranProcess([2, 2], fitness=[1.0, 0.0], rng=0)
+
+
+class TestDynamics:
+    def test_population_conserved(self):
+        process = MoranProcess([10, 10], rng=1)
+        process.run(2000, stop_on_fixation=False)
+        assert process.colour_counts().sum() == 20
+
+    def test_fixation_detection(self):
+        process = MoranProcess([20, 0], rng=0)
+        assert process.has_fixated()
+
+    def test_neutral_drift_fixates(self):
+        process = MoranProcess([10, 10], rng=2)
+        steps = process.absorption_time(max_steps=200_000)
+        assert steps is not None
+        assert process.has_fixated()
+
+    def test_absorption_time_respects_cap(self):
+        process = MoranProcess([500, 500], rng=3)
+        result = process.absorption_time(max_steps=10)
+        # With n=1000 fixation within 10 steps is impossible.
+        assert result is None
+
+    def test_run_stops_on_fixation(self):
+        process = MoranProcess([19, 1], rng=4)
+        executed = process.run(500_000)
+        assert process.has_fixated()
+        assert executed < 500_000
+
+    def test_fit_colour_usually_wins(self):
+        """Strong selection: the fitter colour should fixate in a clear
+        majority of runs (Lieberman et al. style)."""
+        wins = 0
+        for seed in range(30):
+            process = MoranProcess(
+                [10, 10], fitness=[1.0, 3.0], rng=seed
+            )
+            process.absorption_time(max_steps=500_000)
+            if process.colour_counts()[1] == process.n:
+                wins += 1
+        assert wins >= 22  # expected >~ 0.9 * 30
+
+    def test_time_counter(self):
+        process = MoranProcess([5, 5], rng=5)
+        process.step()
+        process.step()
+        assert process.time == 2

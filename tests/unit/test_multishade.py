@@ -1,0 +1,114 @@
+"""Unit tests for the multi-shade aggregate engine (derandomised)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightTable
+from repro.engine.multishade import MultiShadeAggregate
+
+
+def build(weights=None, counts=(10, 10, 10), seed=0):
+    weights = weights or WeightTable([1.0, 2.0, 3.0])
+    return MultiShadeAggregate(weights, colour_counts=counts, rng=seed)
+
+
+class TestConstruction:
+    def test_rejects_fractional_weights(self):
+        with pytest.raises(ValueError):
+            MultiShadeAggregate(
+                WeightTable([1.5, 2.0]), colour_counts=[5, 5]
+            )
+
+    def test_counts_length_validated(self):
+        with pytest.raises(ValueError):
+            MultiShadeAggregate(WeightTable([1.0, 2.0]), colour_counts=[5])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MultiShadeAggregate(
+                WeightTable([1.0, 2.0]), colour_counts=[5, -1]
+            )
+
+    def test_needs_two_agents(self):
+        with pytest.raises(ValueError):
+            MultiShadeAggregate(WeightTable([1.0]), colour_counts=[1])
+
+    def test_agents_start_at_full_shade(self):
+        engine = build()
+        assert engine.shade_counts(0) == [0, 10]
+        assert engine.shade_counts(1) == [0, 0, 10]
+        assert engine.shade_counts(2) == [0, 0, 0, 10]
+
+    def test_initial_views(self):
+        engine = build()
+        np.testing.assert_array_equal(engine.colour_counts(), [10, 10, 10])
+        np.testing.assert_array_equal(engine.dark_counts(), [10, 10, 10])
+        np.testing.assert_array_equal(engine.light_counts(), [0, 0, 0])
+
+
+class TestDynamics:
+    def test_population_conserved(self):
+        engine = build()
+        engine.run(50_000)
+        assert engine.n == 30
+
+    def test_run_reaches_horizon(self):
+        engine = build()
+        engine.run(12_345)
+        assert engine.time == 12_345
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            build().run(-1)
+
+    def test_shades_stay_in_range(self):
+        engine = build(seed=1)
+        for _ in range(3000):
+            engine.step()
+        for colour in range(engine.k):
+            row = engine.shade_counts(colour)
+            assert len(row) == int(engine.weights.weight(colour)) + 1
+            assert all(c >= 0 for c in row)
+
+    def test_sustainability_invariant(self):
+        """A lone positive-shade agent of a colour can never lose its
+        last committed member (decrement needs a same-colour partner
+        with positive shade)."""
+        engine = build(counts=(1, 1, 58), seed=2)
+        engine.run(100_000)
+        assert (engine.dark_counts() >= 1).all()
+
+    def test_seed_reproducibility(self):
+        a = build(seed=9)
+        b = build(seed=9)
+        a.run(20_000)
+        b.run(20_000)
+        np.testing.assert_array_equal(a.colour_counts(), b.colour_counts())
+        for colour in range(3):
+            assert a.shade_counts(colour) == b.shade_counts(colour)
+
+    def test_step_mode_conserves(self):
+        engine = build(seed=3)
+        for _ in range(2000):
+            engine.step()
+        assert engine.n == 30
+
+    def test_converges_to_fair_shares(self):
+        weights = WeightTable([1.0, 2.0, 3.0])
+        engine = MultiShadeAggregate(
+            weights, colour_counts=[598, 1, 1], rng=4
+        )
+        engine.run(3_000_000)
+        shares = engine.colour_counts() / engine.n
+        np.testing.assert_allclose(
+            shares, weights.fair_shares(), atol=0.08
+        )
+
+    def test_unit_weights_behave_like_uniform_partition(self):
+        weights = WeightTable.uniform(4)
+        engine = MultiShadeAggregate(
+            weights, colour_counts=[97, 1, 1, 1], rng=5
+        )
+        engine.run(400_000)
+        counts = engine.colour_counts()
+        assert counts.max() - counts.min() < 40

@@ -1,0 +1,139 @@
+"""Unit tests for the engine observers."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.observers import (
+    ConvergenceDetector,
+    MinCountTracker,
+    OccupancyTracker,
+)
+from repro.engine.population import Population
+from repro.engine.simulator import Simulation
+
+
+def build_simulation(n=12, weights=None, seed=0, observers=()):
+    weights = weights or WeightTable.uniform(3)
+    protocol = Diversification(weights)
+    colours = [i % weights.k for i in range(n)]
+    population = Population.from_colours(colours, protocol, k=weights.k)
+    return Simulation(protocol, population, rng=seed, observers=list(observers))
+
+
+class TestOccupancyTracker:
+    def test_fractions_sum_to_one(self):
+        tracker = OccupancyTracker()
+        simulation = build_simulation(observers=[tracker])
+        simulation.run(5000)
+        occupancy = tracker.occupancy_fractions()
+        np.testing.assert_allclose(occupancy.sum(axis=1), 1.0)
+
+    def test_shape(self):
+        tracker = OccupancyTracker()
+        simulation = build_simulation(n=10, observers=[tracker])
+        simulation.run(1000)
+        assert tracker.occupancy_fractions().shape == (10, 3)
+        assert tracker.shade_occupancy_fractions().shape == (10, 3, 2)
+
+    def test_shade_fractions_sum_to_one(self):
+        tracker = OccupancyTracker()
+        simulation = build_simulation(observers=[tracker])
+        simulation.run(5000)
+        shade = tracker.shade_occupancy_fractions()
+        np.testing.assert_allclose(shade.sum(axis=(1, 2)), 1.0)
+
+    def test_no_time_elapsed_raises(self):
+        tracker = OccupancyTracker()
+        build_simulation(observers=[tracker])  # on_start not yet called
+        with pytest.raises((ValueError, AttributeError, TypeError)):
+            tracker.occupancy_fractions()
+
+    def test_frozen_agent_full_occupancy(self):
+        """An agent that never changes spends all time in its colour."""
+        tracker = OccupancyTracker()
+        # Two colours with huge weights: lightening is rare, colour
+        # changes rarer; use a colour that only one agent holds - it
+        # can never lighten (needs a same-colour dark partner).
+        weights = WeightTable([1.0, 50.0])
+        protocol = Diversification(weights)
+        population = Population.from_colours([0] * 9 + [1], protocol)
+        simulation = Simulation(
+            protocol, population, rng=4, observers=[tracker]
+        )
+        simulation.run(2000)
+        occupancy = tracker.occupancy_fractions()
+        # Agent 9 is the lone dark supporter of colour 1: frozen.
+        assert occupancy[9, 1] == pytest.approx(1.0)
+
+    def test_accumulates_across_runs(self):
+        tracker = OccupancyTracker()
+        simulation = build_simulation(observers=[tracker])
+        simulation.run(1000)
+        first = tracker.occupancy_fractions().copy()
+        simulation.run(4000)
+        second = tracker.occupancy_fractions()
+        assert second.shape == first.shape
+        np.testing.assert_allclose(second.sum(axis=1), 1.0)
+
+
+class TestMinCountTracker:
+    def test_tracks_minimum(self):
+        tracker = MinCountTracker()
+        simulation = build_simulation(n=12, observers=[tracker])
+        simulation.run(3000)
+        final = simulation.population.colour_counts()
+        assert (tracker.min_colour_counts <= final).all()
+
+    def test_diversification_keeps_dark_counts_positive(self):
+        tracker = MinCountTracker()
+        simulation = build_simulation(n=12, observers=[tracker])
+        simulation.run(5000)
+        assert (tracker.min_dark_counts >= 1).all()
+
+    def test_grows_with_new_colours(self):
+        tracker = MinCountTracker()
+        weights = WeightTable.uniform(2)
+        simulation = build_simulation(
+            n=8, weights=weights, observers=[tracker]
+        )
+        simulation.run(100)
+        weights.add_colour(1.0)
+        from repro.core.state import dark
+
+        simulation.population.add_agent(dark(2))
+        simulation.run(100)
+        assert len(tracker.min_colour_counts) == 3
+
+
+class TestConvergenceDetector:
+    def test_hits_eventually(self):
+        weights = WeightTable.uniform(2)
+        detector = ConvergenceDetector(weights, bound=0.2)
+        protocol = Diversification(weights)
+        population = Population.from_colours(
+            [0] * 19 + [1], protocol, k=2
+        )
+        simulation = Simulation(
+            protocol, population, rng=5, observers=[detector]
+        )
+        simulation.run(20_000)
+        assert detector.hit_time is not None
+        assert 0 <= detector.hit_time <= 20_000
+
+    def test_immediate_hit_at_start(self):
+        weights = WeightTable.uniform(2)
+        detector = ConvergenceDetector(weights, bound=0.5)
+        simulation = build_simulation(
+            n=10, weights=weights, observers=[detector]
+        )
+        simulation.run(1)
+        assert detector.hit_time == 0
+
+    def test_no_hit_with_impossible_bound(self):
+        weights = WeightTable.uniform(3)
+        detector = ConvergenceDetector(weights, bound=-1.0)
+        simulation = build_simulation(observers=[detector])
+        simulation.run(500)
+        assert detector.hit_time is None

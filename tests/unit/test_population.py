@@ -1,0 +1,101 @@
+"""Unit tests for the Population container."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversification import Diversification
+from repro.core.state import AgentState, dark, light
+from repro.core.weights import WeightTable
+from repro.engine.population import Population
+
+
+@pytest.fixture
+def population():
+    return Population([dark(0), dark(0), light(1), dark(2)])
+
+
+class TestConstruction:
+    def test_counts_initialised(self, population):
+        np.testing.assert_array_equal(
+            population.colour_counts(), [2, 1, 1]
+        )
+        np.testing.assert_array_equal(population.dark_counts(), [2, 0, 1])
+        np.testing.assert_array_equal(population.light_counts(), [0, 1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Population([])
+
+    def test_explicit_k_pads_counts(self):
+        population = Population([dark(0)], k=3)
+        assert population.k == 3
+        np.testing.assert_array_equal(population.colour_counts(), [1, 0, 0])
+
+    def test_k_smaller_than_colours_rejected(self):
+        with pytest.raises(ValueError):
+            Population([dark(5)], k=2)
+
+    def test_from_colours_uses_protocol_initial_state(self):
+        weights = WeightTable([1.0, 2.0])
+        protocol = Diversification(weights)
+        population = Population.from_colours([0, 1, 1], protocol)
+        assert population.state_of(1) == AgentState(1, 1)
+        np.testing.assert_array_equal(population.dark_counts(), [1, 2])
+
+
+class TestAccessors:
+    def test_state_of(self, population):
+        assert population.state_of(2) == light(1)
+
+    def test_colour_and_shade_of(self, population):
+        assert population.colour_of(3) == 2
+        assert population.shade_of(2) == 0
+
+    def test_states_snapshot_is_copy(self, population):
+        snapshot = population.states()
+        snapshot[0] = dark(2)
+        assert population.state_of(0) == dark(0)
+
+    def test_n(self, population):
+        assert population.n == 4
+
+
+class TestSetState:
+    def test_counts_follow_state_change(self, population):
+        old = population.set_state(2, dark(0))
+        assert old == light(1)
+        np.testing.assert_array_equal(population.colour_counts(), [3, 0, 1])
+        np.testing.assert_array_equal(population.dark_counts(), [3, 0, 1])
+
+    def test_shade_only_change(self, population):
+        population.set_state(0, light(0))
+        np.testing.assert_array_equal(population.dark_counts(), [1, 0, 1])
+        np.testing.assert_array_equal(population.light_counts(), [1, 1, 0])
+
+    def test_new_colour_grows_k(self, population):
+        population.set_state(0, dark(5))
+        assert population.k == 6
+        assert population.colour_counts()[5] == 1
+
+    def test_total_preserved(self, population):
+        population.set_state(1, light(2))
+        assert population.colour_counts().sum() == 4
+
+
+class TestAddAgent:
+    def test_add_agent_returns_index(self, population):
+        index = population.add_agent(dark(1))
+        assert index == 4
+        assert population.n == 5
+        assert population.colour_counts()[1] == 2
+
+    def test_add_agent_new_colour(self, population):
+        population.add_agent(dark(4))
+        assert population.k == 5
+        np.testing.assert_array_equal(
+            population.colour_counts(), [2, 1, 1, 0, 1]
+        )
+
+    def test_multi_shade_counts_as_dark(self, population):
+        population.add_agent(AgentState(1, 3))
+        assert population.dark_counts()[1] == 1

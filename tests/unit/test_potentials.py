@@ -1,0 +1,85 @@
+"""Unit tests for the potential functions (Eqs. (10)-(11), Lemma 2.14)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.potentials import (
+    pairwise_imbalance,
+    phi,
+    phi_plateau,
+    psi,
+    sigma_plateau,
+    sigma_squared,
+    theorem_1_3_statistic,
+)
+from repro.core.weights import WeightTable
+
+
+class TestPhi:
+    def test_zero_at_perfect_balance(self, skewed_weights):
+        # A_i proportional to w_i -> all A_i/w_i equal -> phi = 0.
+        assert phi(np.array([10, 20, 30]), skewed_weights) == pytest.approx(0)
+
+    def test_positive_off_balance(self, skewed_weights):
+        assert phi(np.array([30, 20, 10]), skewed_weights) > 0
+
+    def test_matches_pairwise_form(self, skewed_weights, rng):
+        for _ in range(20):
+            counts = rng.integers(0, 100, size=3)
+            assert phi(counts, skewed_weights) == pytest.approx(
+                pairwise_imbalance(counts, skewed_weights)
+            )
+
+    def test_hand_computed_value(self):
+        weights = WeightTable([1.0, 1.0])
+        # q = (3, 7): sum over ordered pairs of (q_i - q_j)^2 = 2*16.
+        assert phi(np.array([3, 7]), weights) == pytest.approx(32.0)
+
+    def test_scale_quadratic(self, skewed_weights):
+        counts = np.array([5, 10, 40])
+        assert phi(10 * counts, skewed_weights) == pytest.approx(
+            100 * phi(counts, skewed_weights)
+        )
+
+
+class TestPsi:
+    def test_psi_equals_phi_functionally(self, skewed_weights, rng):
+        counts = rng.integers(0, 50, size=3)
+        assert psi(counts, skewed_weights) == pytest.approx(
+            phi(counts, skewed_weights)
+        )
+
+
+class TestSigma:
+    def test_zero_at_equilibrium_split(self, skewed_weights):
+        # A/w = a  <=>  sigma = 0; w=6, A=600, a=100.
+        assert sigma_squared(600, 100, skewed_weights) == pytest.approx(0)
+
+    def test_hand_computed(self, skewed_weights):
+        assert sigma_squared(60, 4, skewed_weights) == pytest.approx(36.0)
+
+
+class TestPlateaus:
+    def test_phi_plateau_formula(self, skewed_weights):
+        n = 1000
+        expected = 2.0 * 6.0 * n * np.log(n)
+        assert phi_plateau(n, skewed_weights, 2.0) == pytest.approx(expected)
+
+    def test_sigma_plateau_formula(self):
+        n = 1000
+        expected = 3.0 * n**1.5 * np.sqrt(np.log(n))
+        assert sigma_plateau(n, 3.0) == pytest.approx(expected)
+
+    def test_plateaus_need_n_two(self, skewed_weights):
+        with pytest.raises(ValueError):
+            phi_plateau(1, skewed_weights)
+        with pytest.raises(ValueError):
+            sigma_plateau(1)
+
+
+class TestTheorem13Statistic:
+    def test_alias_of_phi_on_colour_counts(self, skewed_weights):
+        counts = np.array([17, 29, 41])
+        assert theorem_1_3_statistic(counts, skewed_weights) == pytest.approx(
+            phi(counts, skewed_weights)
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for the Def 1.1 property checkers."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    assess_goodness,
+    diversity_bound,
+    diversity_error,
+    equilibrium_dark_counts,
+    equilibrium_light_counts,
+    fair_share_deviation,
+    fairness_deviation,
+    fairness_error,
+    is_diverse,
+    is_fair,
+    is_sustainable,
+    sustainability_invariant,
+)
+from repro.core.weights import WeightTable
+
+
+class TestDiversity:
+    def test_perfect_shares_zero_error(self, skewed_weights):
+        counts = np.array([100, 200, 300])
+        assert diversity_error(counts, skewed_weights) == pytest.approx(0.0)
+
+    def test_known_deviation(self, skewed_weights):
+        counts = np.array([160, 140, 300])  # +0.1 / -0.1 on colours 0,1
+        assert diversity_error(counts, skewed_weights) == pytest.approx(0.1)
+
+    def test_window_shape(self, skewed_weights):
+        window = np.array([[100, 200, 300], [150, 150, 300]])
+        dev = fair_share_deviation(window, skewed_weights)
+        assert dev.shape == (2, 3)
+        assert dev[0].max() == pytest.approx(0.0)
+
+    def test_empty_population_rejected(self, skewed_weights):
+        with pytest.raises(ValueError):
+            diversity_error(np.zeros(3), skewed_weights)
+
+    def test_bound_decreases_with_n(self):
+        assert diversity_bound(10_000) < diversity_bound(100)
+
+    def test_bound_requires_n_at_least_two(self):
+        with pytest.raises(ValueError):
+            diversity_bound(1)
+
+    def test_is_diverse_true_for_balanced_window(self, skewed_weights):
+        window = np.tile([100, 200, 300], (5, 1))
+        assert is_diverse(window, skewed_weights)
+
+    def test_is_diverse_false_for_skewed_window(self, skewed_weights):
+        window = np.tile([500, 50, 50], (5, 1))
+        assert not is_diverse(window, skewed_weights)
+
+
+class TestFairness:
+    def test_fair_occupancy_zero_error(self, skewed_weights):
+        occupancy = np.tile(skewed_weights.fair_shares(), (10, 1))
+        assert fairness_error(occupancy, skewed_weights) == pytest.approx(0)
+        assert is_fair(occupancy, skewed_weights, tolerance=0.01)
+
+    def test_unfair_agent_detected(self, skewed_weights):
+        occupancy = np.tile(skewed_weights.fair_shares(), (10, 1))
+        occupancy[3] = [1.0, 0.0, 0.0]  # one agent stuck on colour 0
+        error = fairness_error(occupancy, skewed_weights)
+        assert error == pytest.approx(1.0 - 1 / 6)
+        assert not is_fair(occupancy, skewed_weights, tolerance=0.1)
+
+    def test_rows_must_sum_to_one(self, skewed_weights):
+        occupancy = np.full((4, 3), 0.5)
+        with pytest.raises(ValueError):
+            fairness_deviation(occupancy, skewed_weights)
+
+    def test_occupancy_must_be_matrix(self, skewed_weights):
+        with pytest.raises(ValueError):
+            fairness_deviation(np.ones(3), skewed_weights)
+
+
+class TestSustainability:
+    def test_all_alive_window(self):
+        assert is_sustainable(np.array([[1, 5], [2, 4], [1, 1]]))
+
+    def test_vanished_colour_detected(self):
+        assert not is_sustainable(np.array([[1, 5], [0, 6]]))
+
+    def test_single_snapshot(self):
+        assert is_sustainable(np.array([3, 3]))
+        assert not is_sustainable(np.array([3, 0]))
+
+    def test_dark_invariant(self):
+        assert sustainability_invariant(np.array([[1, 1], [2, 1]]))
+        assert not sustainability_invariant(np.array([[1, 0]]))
+
+
+class TestEquilibriumTargets:
+    def test_eq7_dark(self, skewed_weights):
+        # n=700, w=6: A_i = w_i*700/7 = 100*w_i.
+        np.testing.assert_allclose(
+            equilibrium_dark_counts(700, skewed_weights), [100, 200, 300]
+        )
+
+    def test_eq7_light(self, skewed_weights):
+        # a_i = (w_i/6)*700/7.
+        np.testing.assert_allclose(
+            equilibrium_light_counts(700, skewed_weights),
+            [100 / 6, 200 / 6, 300 / 6],
+        )
+
+    def test_dark_plus_light_is_n(self, skewed_weights):
+        total = (
+            equilibrium_dark_counts(700, skewed_weights).sum()
+            + equilibrium_light_counts(700, skewed_weights).sum()
+        )
+        assert total == pytest.approx(700)
+
+
+class TestGoodness:
+    def test_good_report(self, skewed_weights):
+        window = np.tile([100, 200, 300], (8, 1))
+        occupancy = np.tile(skewed_weights.fair_shares(), (6, 1))
+        report = assess_goodness(window, skewed_weights, occupancy)
+        assert report.diverse
+        assert report.fair
+        assert report.sustainable
+        assert report.good
+
+    def test_fairness_optional(self, skewed_weights):
+        window = np.tile([100, 200, 300], (8, 1))
+        report = assess_goodness(window, skewed_weights)
+        assert report.fair is None
+        assert report.good  # undetermined fairness does not block
+
+    def test_unsustainable_window(self, skewed_weights):
+        window = np.array([[100, 200, 300], [0, 300, 300]])
+        report = assess_goodness(window, skewed_weights)
+        assert not report.sustainable
+        assert not report.good
+
+    def test_not_diverse(self):
+        weights = WeightTable.uniform(2)
+        window = np.tile([90, 10], (4, 1))
+        report = assess_goodness(window, weights)
+        assert not report.diverse
+        assert not report.good

@@ -1,0 +1,103 @@
+"""Unit tests for gambler's ruin and biased-walk helpers (Thm A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.random_walks import (
+    escape_probability_bound,
+    gamblers_ruin,
+    simulate_biased_walk,
+)
+
+
+class TestGamblersRuin:
+    def test_probabilities_sum_to_one(self):
+        result = gamblers_ruin(0.6, b=20, s=7)
+        assert result.hit_top + result.hit_bottom == pytest.approx(1.0)
+
+    def test_boundary_starts(self):
+        assert gamblers_ruin(0.6, 10, 0).hit_bottom == 1.0
+        assert gamblers_ruin(0.6, 10, 10).hit_top == 1.0
+
+    def test_symmetric_case(self):
+        result = gamblers_ruin(0.5, b=10, s=3)
+        assert result.hit_top == pytest.approx(0.3)
+        assert result.expected_time == pytest.approx(21.0)
+
+    def test_formula_against_feller(self):
+        # P(hit b) = ((q/p)^s - 1)/((q/p)^b - 1).
+        p, b, s = 0.6, 10, 4
+        ratio = 0.4 / 0.6
+        expected = (ratio**s - 1) / (ratio**b - 1)
+        assert gamblers_ruin(p, b, s).hit_top == pytest.approx(expected)
+
+    def test_upward_bias_favours_top(self):
+        biased = gamblers_ruin(0.7, 30, 15).hit_top
+        fair = gamblers_ruin(0.5, 30, 15).hit_top
+        assert biased > fair
+
+    def test_strong_downward_bias_overflow_guard(self):
+        result = gamblers_ruin(0.01, b=10_000, s=5_000)
+        assert result.hit_top == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            gamblers_ruin(0.0, 10, 5)
+        with pytest.raises(ValueError):
+            gamblers_ruin(1.0, 10, 5)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            gamblers_ruin(0.6, 0, 0)
+        with pytest.raises(ValueError):
+            gamblers_ruin(0.6, 10, 11)
+
+    def test_monotone_in_start(self):
+        values = [gamblers_ruin(0.55, 20, s).hit_top for s in range(21)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestSimulatedWalk:
+    def test_absorbs_at_boundary(self):
+        outcome = simulate_biased_walk(0.7, b=30, s=15, rng=0)
+        assert outcome.absorbed_at in (0, 30)
+        assert outcome.steps >= 15  # needs at least distance steps
+
+    def test_empirical_matches_theory(self):
+        p, b, s = 0.6, 12, 6
+        expected = gamblers_ruin(p, b, s).hit_top
+        rng = np.random.default_rng(3)
+        hits = sum(
+            simulate_biased_walk(p, b, s, rng=rng).absorbed_at == b
+            for _ in range(800)
+        )
+        assert hits / 800 == pytest.approx(expected, abs=0.05)
+
+    def test_start_at_boundary_returns_immediately(self):
+        outcome = simulate_biased_walk(0.6, b=10, s=0, rng=0)
+        assert outcome.absorbed_at == 0
+        assert outcome.steps == 0
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_biased_walk(0.6, b=10, s=11, rng=0)
+
+    def test_max_steps_enforced(self):
+        with pytest.raises(RuntimeError):
+            simulate_biased_walk(0.5, b=10**6, s=500_000, rng=0,
+                                 max_steps=100)
+
+
+class TestEscapeBound:
+    def test_decreases_with_n(self):
+        assert escape_probability_bound(0.1, 10_000, 6.0) < (
+            escape_probability_bound(0.1, 100, 6.0)
+        )
+
+    def test_in_unit_interval(self):
+        value = escape_probability_bound(0.05, 1000, 4.0)
+        assert 0.0 < value < 1.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            escape_probability_bound(0.0, 100, 6.0)

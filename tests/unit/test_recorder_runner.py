@@ -1,0 +1,151 @@
+"""Unit tests for the recorder, runner helpers, report and table."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.experiments.recorder import CountRecorder, _pad_stack
+from repro.experiments.report import format_series, format_table, format_value
+from repro.experiments.runner import (
+    initial_counts,
+    run_agent,
+    run_aggregate,
+    run_diversification_agent,
+)
+from repro.experiments.table import ExperimentTable
+
+
+class FakeEngine:
+    def __init__(self):
+        self.time = 0
+        self._counts = np.array([3, 5])
+
+    def colour_counts(self):
+        return self._counts
+
+    def dark_counts(self):
+        return self._counts
+
+    def light_counts(self):
+        return np.zeros(2, dtype=np.int64)
+
+
+class TestCountRecorder:
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            CountRecorder(0)
+
+    def test_record_and_arrays(self):
+        recorder = CountRecorder(10)
+        engine = FakeEngine()
+        recorder.record_from(engine)
+        engine.time = 10
+        recorder.record_from(engine)
+        assert len(recorder) == 2
+        np.testing.assert_array_equal(recorder.times(), [0, 10])
+        assert recorder.colour_counts().shape == (2, 2)
+
+    def test_due_logic(self):
+        recorder = CountRecorder(10)
+        engine = FakeEngine()
+        assert recorder.is_due(0)  # nothing recorded yet
+        recorder.record_from(engine)
+        assert not recorder.is_due(5)
+        assert recorder.is_due(10)
+        assert recorder.next_time_after(0) == 10
+        assert recorder.next_time_after(15) == 25
+
+    def test_pad_stack_ragged(self):
+        rows = [np.array([1, 2]), np.array([1, 2, 3])]
+        out = _pad_stack(rows)
+        np.testing.assert_array_equal(out, [[1, 2, 0], [1, 2, 3]])
+
+    def test_pad_stack_empty(self):
+        assert _pad_stack([]).shape == (0, 0)
+
+
+class TestInitialCounts:
+    def test_dispatch(self, skewed_weights):
+        for start in ("worst", "uniform", "proportional", "random"):
+            counts = initial_counts(start, 60, skewed_weights, rng=0)
+            assert counts.sum() == 60
+
+    def test_unknown_start(self, skewed_weights):
+        with pytest.raises(ValueError):
+            initial_counts("bogus", 60, skewed_weights)
+
+
+class TestRunHelpers:
+    def test_run_aggregate_record(self, skewed_weights):
+        record = run_aggregate(
+            skewed_weights, n=60, steps=5000, seed=0, record_interval=500
+        )
+        assert record.n == 60
+        assert record.times[-1] == 5000 or record.times[-1] >= 4500
+        assert record.colour_counts.shape[1] == 3
+        assert (record.colour_counts.sum(axis=1) == 60).all()
+
+    def test_run_aggregate_leaves_caller_weights(self, skewed_weights):
+        run_aggregate(skewed_weights, n=30, steps=100, seed=0)
+        assert skewed_weights.k == 3  # caller's table untouched
+
+    def test_run_agent_record(self, skewed_weights):
+        weights = skewed_weights.copy()
+        record = run_agent(
+            Diversification(weights), weights, n=30, steps=2000,
+            seed=1, record_interval=200,
+        )
+        assert record.colour_counts.shape[1] == 3
+        assert record.extras["simulation"].time == 2000
+
+    def test_run_diversification_agent(self, skewed_weights):
+        record = run_diversification_agent(
+            skewed_weights, n=24, steps=1000, seed=2
+        )
+        assert record.final_colour_counts.sum() == 24
+
+
+class TestReportFormatting:
+    def test_format_value_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_format_value_float(self):
+        assert format_value(0.0) == "0"
+        assert "e" in format_value(1.23e9)
+        assert format_value(3.14159) == "3.142"
+
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_series_renders(self):
+        text = format_series("demo", list(range(100)),
+                             [float(i % 10) for i in range(100)])
+        assert "demo" in text
+        assert "*" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [1.0])
+
+    def test_series_empty(self):
+        assert "empty" in format_series("x", [], [])
+
+
+class TestExperimentTable:
+    def test_render_contains_everything(self):
+        table = ExperimentTable("E0", "demo", ["x", "y"])
+        table.add_row(1, 2.0)
+        table.add_note("a note")
+        text = table.render()
+        assert "[E0] demo" in text
+        assert "a note" in text
+        assert "1" in text

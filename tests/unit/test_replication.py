@@ -1,0 +1,92 @@
+"""Unit tests for the replication helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.replication import (
+    Summary,
+    replicate,
+    replicate_and_summarise,
+    summarise,
+)
+
+
+class TestReplicate:
+    def test_runs_requested_count(self):
+        values = replicate(lambda rng: rng.random(), 7, base_seed=1)
+        assert len(values) == 7
+
+    def test_independent_streams(self):
+        values = replicate(lambda rng: rng.random(), 5, base_seed=2)
+        assert len(set(values)) == 5
+
+    def test_deterministic_given_seed(self):
+        a = replicate(lambda rng: rng.random(), 4, base_seed=3)
+        b = replicate(lambda rng: rng.random(), 4, base_seed=3)
+        assert a == b
+
+    def test_none_skipped(self):
+        values = replicate(
+            lambda rng: None if rng.random() < 0.5 else 1.0,
+            20, base_seed=4,
+        )
+        assert all(v == 1.0 for v in values)
+        assert 0 < len(values) < 20
+
+    def test_none_raises_when_not_skipping(self):
+        with pytest.raises(ValueError):
+            replicate(
+                lambda rng: None, 3, base_seed=5, skip_none=False
+            )
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda rng: 1.0, 0)
+
+
+class TestSummarise:
+    def test_basic_statistics(self):
+        summary = summarise([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert summary.count == 4
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_interval_contains_truth_usually(self):
+        """95% CI coverage spot-check: across 200 replications of a
+        known-mean sample, the interval should cover ~95%."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=12)
+            summary = summarise(sample)
+            if summary.ci_low <= 10.0 <= summary.ci_high:
+                covered += 1
+        assert covered >= 175  # ≥ 87.5%, generous for 200 trials
+
+    def test_single_value(self):
+        summary = summarise([5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            summarise([1.0, 2.0], confidence=1.5)
+
+    def test_as_row(self):
+        summary = Summary(1.0, 0.5, 0.25, 0.5, 1.5, 4)
+        assert summary.as_row() == [1.0, 0.5, 0.5, 1.5]
+
+
+class TestReplicateAndSummarise:
+    def test_end_to_end(self):
+        summary = replicate_and_summarise(
+            lambda rng: rng.normal(3.0, 0.1), 30, base_seed=6
+        )
+        assert summary.mean == pytest.approx(3.0, abs=0.1)
+        assert summary.count == 30

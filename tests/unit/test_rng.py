@@ -1,0 +1,59 @@
+"""Unit tests for RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import make_rng, seed_stream, spawn
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(make_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn(make_rng(0), 3)
+        values = {child.random() for child in children}
+        assert len(values) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn(make_rng(9), 3)]
+        b = [g.random() for g in spawn(make_rng(9), 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
+
+
+class TestSeedStream:
+    def test_deterministic(self):
+        stream_a = seed_stream(42)
+        stream_b = seed_stream(42)
+        assert [next(stream_a) for _ in range(5)] == [
+            next(stream_b) for _ in range(5)
+        ]
+
+    def test_distinct_values(self):
+        stream = seed_stream(7)
+        values = [next(stream) for _ in range(50)]
+        assert len(set(values)) == 50
+
+    def test_values_fit_in_63_bits(self):
+        stream = seed_stream(1)
+        assert all(0 <= next(stream) < 2**63 for _ in range(20))

@@ -1,0 +1,47 @@
+"""Unit tests for schedulers."""
+
+import numpy as np
+
+from repro.engine.rng import make_rng
+from repro.engine.scheduler import RoundRobinScheduler, UniformScheduler
+
+
+class TestUniformScheduler:
+    def test_block_shape_and_range(self):
+        block = UniformScheduler().draw_block(10, 1000, make_rng(0))
+        assert block.shape == (1000,)
+        assert block.min() >= 0
+        assert block.max() < 10
+
+    def test_roughly_uniform(self):
+        block = UniformScheduler().draw_block(4, 40_000, make_rng(1))
+        counts = np.bincount(block, minlength=4)
+        assert abs(counts - 10_000).max() < 600
+
+    def test_deterministic_given_seed(self):
+        a = UniformScheduler().draw_block(7, 100, make_rng(3))
+        b = UniformScheduler().draw_block(7, 100, make_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRoundRobinScheduler:
+    def test_cycles_in_order(self):
+        scheduler = RoundRobinScheduler()
+        block = scheduler.draw_block(3, 7, make_rng(0))
+        np.testing.assert_array_equal(block, [0, 1, 2, 0, 1, 2, 0])
+
+    def test_continues_across_blocks(self):
+        scheduler = RoundRobinScheduler()
+        scheduler.draw_block(3, 2, make_rng(0))
+        block = scheduler.draw_block(3, 3, make_rng(0))
+        np.testing.assert_array_equal(block, [2, 0, 1])
+
+    def test_custom_start(self):
+        scheduler = RoundRobinScheduler(start=2)
+        block = scheduler.draw_block(4, 3, make_rng(0))
+        np.testing.assert_array_equal(block, [2, 3, 0])
+
+    def test_every_agent_scheduled_once_per_cycle(self):
+        scheduler = RoundRobinScheduler()
+        block = scheduler.draw_block(5, 5, make_rng(0))
+        assert sorted(block.tolist()) == [0, 1, 2, 3, 4]

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightTable, weights_from_demands
+
+
+class TestConstruction:
+    def test_from_sequence(self):
+        table = WeightTable([1.0, 2.0, 3.0])
+        assert table.k == 3
+        assert table.total == 6.0
+
+    def test_from_mapping(self):
+        table = WeightTable({0: 1.0, 1: 2.0})
+        assert table.weight(1) == 2.0
+
+    def test_sparse_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTable({0: 1.0, 2: 2.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTable([])
+
+    def test_weight_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTable([0.5])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTable([float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            WeightTable([float("inf")])
+
+    def test_uniform_factory(self):
+        table = WeightTable.uniform(5)
+        assert table.k == 5
+        assert all(w == 1.0 for w in table)
+
+    def test_uniform_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            WeightTable.uniform(0)
+
+
+class TestDerivedQuantities:
+    def test_fair_shares_sum_to_one(self, skewed_weights):
+        assert skewed_weights.fair_shares().sum() == pytest.approx(1.0)
+
+    def test_fair_shares_values(self, skewed_weights):
+        np.testing.assert_allclose(
+            skewed_weights.fair_shares(), [1 / 6, 2 / 6, 3 / 6]
+        )
+
+    def test_dark_shares_eq7(self, skewed_weights):
+        # A_i/n = w_i/(1+w) with w = 6.
+        np.testing.assert_allclose(
+            skewed_weights.dark_shares(), [1 / 7, 2 / 7, 3 / 7]
+        )
+
+    def test_light_shares_eq7(self, skewed_weights):
+        # a_i/n = (w_i/w)/(1+w).
+        np.testing.assert_allclose(
+            skewed_weights.light_shares(),
+            [1 / (6 * 7), 2 / (6 * 7), 3 / (6 * 7)],
+        )
+
+    def test_dark_plus_light_equals_fair(self, skewed_weights):
+        total = skewed_weights.dark_shares() + skewed_weights.light_shares()
+        np.testing.assert_allclose(total, skewed_weights.fair_shares())
+
+    def test_lighten_probability(self, skewed_weights):
+        assert skewed_weights.lighten_probability(0) == 1.0
+        assert skewed_weights.lighten_probability(2) == pytest.approx(1 / 3)
+
+    def test_as_array_dtype(self, skewed_weights):
+        assert skewed_weights.as_array().dtype == np.float64
+
+
+class TestMutation:
+    def test_add_colour_returns_next_id(self, skewed_weights):
+        assert skewed_weights.add_colour(4.0) == 3
+        assert skewed_weights.k == 4
+        assert skewed_weights.total == 10.0
+
+    def test_add_colour_validates_weight(self, skewed_weights):
+        with pytest.raises(ValueError):
+            skewed_weights.add_colour(0.25)
+
+    def test_copy_is_independent(self, skewed_weights):
+        clone = skewed_weights.copy()
+        clone.add_colour(2.0)
+        assert skewed_weights.k == 3
+        assert clone.k == 4
+
+    def test_equality(self):
+        assert WeightTable([1, 2]) == WeightTable([1.0, 2.0])
+        assert WeightTable([1, 2]) != WeightTable([1, 3])
+
+
+class TestIntegerCheck:
+    def test_integer_table(self):
+        assert WeightTable([1.0, 2.0, 5.0]).is_integer()
+
+    def test_non_integer_table(self):
+        assert not WeightTable([1.0, 2.5]).is_integer()
+
+
+class TestWeightsFromDemands:
+    def test_rescales_min_to_one(self):
+        table = weights_from_demands([2.0, 4.0, 6.0])
+        assert list(table) == [1.0, 2.0, 3.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            weights_from_demands([0.0, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            weights_from_demands([])
