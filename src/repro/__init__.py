@@ -9,6 +9,16 @@ Quickstart::
     record = run_aggregate(weights, n=1000, steps=500_000)
     print(record.final_colour_counts)        # ≈ n·w_i/w per colour
 
+Replicated runs vectorise across repetitions: ``replications=R`` fuses
+R independent chains into one ``(R, 2k)`` NumPy state matrix (the
+batched engine), which is how the experiment suite repeats a
+measurement without paying the Python interpreter R times over::
+
+    batch = run_aggregate(weights, n=1000, steps=500_000,
+                          replications=100, batched=True)
+    print(batch.final_colour_counts.shape)   # (100, 3), one row per run
+    print(batch.mean_colour_counts)          # ≈ n·w_i/w per colour
+
 Packages:
 
 * :mod:`repro.core` — the Diversification protocol family and Def 1.1;
@@ -39,6 +49,7 @@ from .core import (
 )
 from .engine import (
     AggregateSimulation,
+    BatchedAggregateSimulation,
     ConvergenceDetector,
     MinCountTracker,
     OccupancyTracker,
@@ -47,6 +58,7 @@ from .engine import (
     make_rng,
 )
 from .experiments import (
+    BatchRunRecord,
     RunRecord,
     run_agent,
     run_aggregate,
@@ -73,6 +85,7 @@ __all__ = [
     "is_fair",
     "is_sustainable",
     "AggregateSimulation",
+    "BatchedAggregateSimulation",
     "Simulation",
     "Population",
     "OccupancyTracker",
@@ -80,6 +93,7 @@ __all__ = [
     "ConvergenceDetector",
     "make_rng",
     "RunRecord",
+    "BatchRunRecord",
     "run_aggregate",
     "run_agent",
     "run_diversification_agent",

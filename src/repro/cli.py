@@ -6,6 +6,7 @@ Examples::
     repro run e2 --quick
     repro run e1
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
+    repro demo --n 1000 --replications 100 --batched
 """
 
 from __future__ import annotations
@@ -77,6 +78,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     weights = _parse_weights(args.weights)
     steps = args.rounds * args.n
+    if args.replications > 1:
+        return _demo_replicated(args, weights, steps)
     record = run_aggregate(
         weights, args.n, steps, start=args.start, seed=args.seed
     )
@@ -94,6 +97,43 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ["colour", "weight", "final count", "share", "fair share"], rows,
         title=f"Diversification demo: n={args.n}, steps={steps}",
     ))
+    print(
+        f"diversity error {report.diversity_error:.4f} "
+        f"(bound {report.diversity_bound:.4f}) -> "
+        f"diverse={report.diverse}, sustainable={report.sustainable}"
+    )
+    return 0
+
+
+def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
+    """Replicated demo: R runs through the (batched) replication path."""
+    batch = run_aggregate(
+        weights, args.n, steps,
+        start=args.start,
+        seed=args.seed,
+        replications=args.replications,
+        batched=args.batched,
+    )
+    finals = batch.final_colour_counts.astype(float)
+    shares = finals / finals.sum(axis=1, keepdims=True)
+    fair = weights.fair_shares()
+    rows = [
+        [i, weights.weight(i),
+         float(finals[:, i].mean()), float(finals[:, i].std()),
+         float(shares[:, i].mean()), float(fair[i])]
+        for i in range(weights.k)
+    ]
+    engine = "batched" if batch.batched else "scalar"
+    print(format_table(
+        ["colour", "weight", "mean count", "std", "mean share",
+         "fair share"],
+        rows,
+        title=(
+            f"Diversification demo: n={args.n}, steps={steps}, "
+            f"replications={args.replications} ({engine} engine)"
+        ),
+    ))
+    report = assess_goodness(batch.final_colour_counts, weights)
     print(
         f"diversity error {report.diversity_error:.4f} "
         f"(bound {report.diversity_bound:.4f}) -> "
@@ -166,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parallel rounds (steps = rounds * n)")
     p_demo.add_argument("--start", type=str, default="worst")
     p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--replications", type=int, default=1,
+        help="independent repetitions; > 1 reports mean/std over runs",
+    )
+    p_demo.add_argument(
+        "--batched", action=argparse.BooleanOptionalAction, default=True,
+        help="fuse replications into the vectorised batched engine "
+             "(--no-batched loops scalar engines instead)",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_series = sub.add_parser(

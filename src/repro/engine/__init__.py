@@ -1,7 +1,9 @@
-"""Simulation engines: agent-level (any topology, any protocol) and
-aggregate count-based (complete graph, Diversification family)."""
+"""Simulation engines: agent-level (any topology, any protocol),
+aggregate count-based (complete graph, Diversification family), and the
+batched aggregate engine (R replications as one count matrix)."""
 
 from .aggregate import AggregateSimulation
+from .batched import BatchedAggregateSimulation
 from .multishade import MultiShadeAggregate
 from .observers import (
     ConvergenceDetector,
@@ -16,6 +18,7 @@ from .simulator import Simulation
 
 __all__ = [
     "AggregateSimulation",
+    "BatchedAggregateSimulation",
     "MultiShadeAggregate",
     "Simulation",
     "Population",

@@ -38,6 +38,23 @@ from ..core.weights import WeightTable
 from .rng import make_rng
 
 
+def resolve_lighten_probabilities(
+    weights: WeightTable,
+    override: Sequence[float] | None,
+) -> list[float]:
+    """Per-colour lightening coins: the protocol's ``1/w_i`` default,
+    or a validated override (shared by the scalar and batched
+    engines)."""
+    if override is None:
+        return [1.0 / weights.weight(i) for i in range(weights.k)]
+    lighten = [float(p) for p in override]
+    if len(lighten) != weights.k:
+        raise ValueError("lighten_probabilities must have length k")
+    if any(not 0.0 <= p <= 1.0 for p in lighten):
+        raise ValueError("lighten probabilities must be in [0, 1]")
+    return lighten
+
+
 class AggregateSimulation:
     """Count-based simulator of Diversification on the complete graph.
 
@@ -73,15 +90,9 @@ class AggregateSimulation:
             )
         if any(c < 0 for c in self._dark) or any(c < 0 for c in self._light):
             raise ValueError("counts must be non-negative")
-        if lighten_probabilities is None:
-            lighten = [1.0 / weights.weight(i) for i in range(weights.k)]
-        else:
-            lighten = [float(p) for p in lighten_probabilities]
-            if len(lighten) != weights.k:
-                raise ValueError("lighten_probabilities must have length k")
-            if any(not 0.0 <= p <= 1.0 for p in lighten):
-                raise ValueError("lighten probabilities must be in [0, 1]")
-        self._lighten = lighten
+        self._lighten = resolve_lighten_probabilities(
+            weights, lighten_probabilities
+        )
         self.rng = make_rng(rng)
         self.time = 0
         if self.n < 2:

@@ -1,0 +1,367 @@
+"""Batched aggregate simulator: R independent replications at once.
+
+Every experiment in the E1-E12 suite repeats the same chain tens of
+times; running those replications one-by-one through the scalar
+:class:`~repro.engine.aggregate.AggregateSimulation` pays the Python
+interpreter overhead R times over.  This engine instead advances **R
+independent replications simultaneously** as a single ``(R, 2k)`` count
+matrix (dark counts ``A`` in the left block, light counts ``a`` in the
+right block), drawing adopt/lighten events for all replications per
+vectorised step.
+
+Both of the scalar engine's modes are supported and are exact in
+distribution (verified statistically by
+``tests/integration/test_batched_equivalence.py``):
+
+* **per-step** (:meth:`BatchedAggregateSimulation.step`) — one faithful
+  time-step for every replication: the scheduled agent's class and its
+  sampled partner's class are drawn by vectorised categorical sampling
+  over the ``2k`` (light, dark) classes, with the scheduled agent
+  excluded from the partner draw, and the adopt/lighten rules applied
+  through boolean masks.
+* **event-driven** (:meth:`BatchedAggregateSimulation.run`) — each
+  replication draws its *own* geometric number of no-op steps until its
+  next active event (per-replication jump lengths) and jumps its clock
+  forward; replications that land beyond the horizon, or whose active
+  rate has vanished, coast to the horizon and are masked out of the
+  update.  One loop iteration therefore costs O(R k) NumPy work but
+  advances every live replication by a full event, so the Python-level
+  iteration count matches a *single* scalar run instead of R of them.
+
+Replication clocks decouple mid-``run`` (each jumps at its own pace) and
+re-synchronise at the horizon, so :meth:`run` always leaves all
+replications at the same time-step.
+
+The ``lighten_probabilities`` override mirrors the scalar engine and
+gives the A2 ablation (:class:`~repro.core.ablations.UnweightedLightening`)
+the same fast path.  Adversarial interventions (``add_agents``,
+``add_colour``) are *not* supported here: batched runs model repetitions
+of a fixed instance, and intervention studies route through the scalar
+engines (see :func:`repro.experiments.replication.replicate_colour_counts`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.weights import WeightTable
+from .aggregate import resolve_lighten_probabilities
+from .rng import make_rng
+
+
+class BatchedAggregateSimulation:
+    """Count-based simulator of R replications of Diversification.
+
+    Args:
+        weights: Colour weight table shared by all replications.
+        dark_counts: Initial ``A_i`` per colour — either shape ``(k,)``
+            (broadcast to every replication) or ``(R, k)``.
+        light_counts: Initial ``a_i`` per colour, same accepted shapes
+            (defaults to all zero — the paper's all-dark start).
+        replications: Number of independent replications R.  Required
+            when the count vectors are one-dimensional; otherwise it
+            must match their leading dimension.
+        rng: Seed or generator driving *all* replications (one shared
+            stream, vectorised draws).
+        lighten_probabilities: Optional per-colour override of the
+            ``1/w_i`` lightening coin.
+    """
+
+    def __init__(
+        self,
+        weights: WeightTable,
+        dark_counts,
+        light_counts=None,
+        *,
+        replications: int | None = None,
+        rng: int | np.random.Generator | None = None,
+        lighten_probabilities: Sequence[float] | None = None,
+    ):
+        self.weights = weights
+        k = weights.k
+        dark = np.asarray(dark_counts, dtype=np.int64)
+        if light_counts is None:
+            light = np.zeros_like(dark)
+        else:
+            light = np.asarray(light_counts, dtype=np.int64)
+        dark = self._as_matrix(dark, replications, k, "dark_counts")
+        replications = dark.shape[0]
+        light = self._as_matrix(light, replications, k, "light_counts")
+        if light.shape[0] != replications:
+            raise ValueError(
+                "dark_counts and light_counts disagree on the number of "
+                f"replications ({replications} vs {light.shape[0]})"
+            )
+        if (dark < 0).any() or (light < 0).any():
+            raise ValueError("counts must be non-negative")
+        totals = dark.sum(axis=1) + light.sum(axis=1)
+        if not (totals == totals[0]).all():
+            raise ValueError(
+                "all replications must share the same population size"
+            )
+        self._n = int(totals[0])
+        if self._n < 2:
+            raise ValueError("need at least two agents")
+        # One contiguous (R, 2k) state matrix; dark and light are views.
+        self._state = np.concatenate([dark, light], axis=1)
+        self._dark = self._state[:, :k]
+        self._light = self._state[:, k:]
+        self._lighten = np.asarray(
+            resolve_lighten_probabilities(weights, lighten_probabilities),
+            dtype=np.float64,
+        )
+        self.rng = make_rng(rng)
+        self._times = np.zeros(replications, dtype=np.int64)
+
+    @staticmethod
+    def _as_matrix(
+        counts: np.ndarray, replications: int | None, k: int, name: str
+    ) -> np.ndarray:
+        if counts.ndim == 1:
+            if counts.shape[0] != k:
+                raise ValueError(
+                    f"{name} must match the weight table size (k={k})"
+                )
+            if replications is None:
+                raise ValueError(
+                    f"replications is required when {name} is 1-D"
+                )
+            if replications < 1:
+                raise ValueError("need at least one replication")
+            return np.tile(counts, (replications, 1))
+        if counts.ndim != 2 or counts.shape[1] != k:
+            raise ValueError(
+                f"{name} must have shape (k,) or (R, k) with k={k}"
+            )
+        if replications is not None and counts.shape[0] != replications:
+            raise ValueError(
+                f"{name} has {counts.shape[0]} rows but "
+                f"replications={replications}"
+            )
+        return counts.copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def n(self) -> int:
+        """Number of agents (identical across replications)."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Number of colours."""
+        return self.weights.k
+
+    @property
+    def replications(self) -> int:
+        """Number of replications R."""
+        return self._state.shape[0]
+
+    @property
+    def time(self) -> int:
+        """Common time-step of all replications.
+
+        Clocks decouple inside :meth:`run` but re-synchronise at every
+        horizon; between calls they always agree.
+        """
+        return int(self._times.max(initial=0))
+
+    def times(self) -> np.ndarray:
+        """Per-replication clocks, shape ``(R,)``."""
+        return self._times.copy()
+
+    def dark_counts(self) -> np.ndarray:
+        """``A_i`` per replication and colour, shape ``(R, k)``."""
+        return self._dark.copy()
+
+    def light_counts(self) -> np.ndarray:
+        """``a_i`` per replication and colour, shape ``(R, k)``."""
+        return self._light.copy()
+
+    def colour_counts(self) -> np.ndarray:
+        """``C_i = A_i + a_i`` per replication and colour, ``(R, k)``."""
+        return self._dark + self._light
+
+    # ------------------------------------------------------------------
+    # Per-step mode (used by the equivalence tests)
+
+    def step(self) -> np.ndarray:
+        """One faithful time-step in every replication.
+
+        Returns a boolean ``(R,)`` mask of the replications whose counts
+        changed.
+        """
+        self._times += 1
+        rng = self.rng
+        state = self._state
+        R, width = state.shape
+        k = width // 2
+        rows = np.arange(R)
+        # Scheduled agent u: class c < k is dark colour c, class c >= k
+        # is light colour c - k; probability proportional to the count.
+        u_cls = _pick_rows(state, rng.random(R))
+        # Sampled agent v among the other n - 1 agents: exclude u from
+        # its own class before the second categorical draw.
+        adjusted = state.copy()
+        adjusted[rows, u_cls] -= 1
+        v_cls = _pick_rows(adjusted, rng.random(R))
+        coin = rng.random(R)
+        u_dark = u_cls < k
+        v_dark = v_cls < k
+        u_col = np.where(u_dark, u_cls, u_cls - k)
+        v_col = np.where(v_dark, v_cls, v_cls - k)
+        adopt = ~u_dark & v_dark
+        lighten = (
+            u_dark
+            & v_dark
+            & (u_col == v_col)
+            & (coin < self._lighten[u_col])
+        )
+        a_rows = np.flatnonzero(adopt)
+        self._light[a_rows, u_col[a_rows]] -= 1
+        self._dark[a_rows, v_col[a_rows]] += 1
+        l_rows = np.flatnonzero(lighten)
+        self._dark[l_rows, u_col[l_rows]] -= 1
+        self._light[l_rows, u_col[l_rows]] += 1
+        return adopt | lighten
+
+    def run_per_step(self, steps: int) -> "BatchedAggregateSimulation":
+        """Advance ``steps`` time-steps in faithful per-step mode."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        for _ in range(steps):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------
+    # Event-driven mode
+
+    def run(self, steps: int) -> "BatchedAggregateSimulation":
+        """Advance every replication exactly ``steps`` time-steps using
+        per-replication event jumps.
+
+        The inner loop applies at most one active event per replication
+        per iteration, so its Python-level iteration count matches one
+        scalar run.  Event rates are maintained incrementally (an event
+        touches exactly one dark count, so only the affected lightening
+        term is recomputed), and the event *type* and the first colour
+        are fused into a single categorical draw over the ``2k`` masses
+        ``[a_i * total_dark | A_i (A_i - 1) lighten_i]`` — class
+        ``c < k`` is an adopt event lightening colour ``c``, class
+        ``c >= k`` a lighten event of colour ``c - k``.  The update is
+        then branch-free: every event moves one agent between the light
+        and dark blocks with a ±1 delta pair.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        k = self.weights.k
+        horizon = self._times + steps
+        rng = self.rng
+        times = self._times
+        dark, light = self._dark, self._light
+        lighten = self._lighten
+        denom = float(self._n) * (self._n - 1)
+        total_dark = dark.sum(axis=1)
+        terms = (dark * (dark - 1)).astype(np.float64) * lighten
+        # Index array of replications still short of the horizon; rows
+        # retire when they are absorbed or their next jump overshoots.
+        act = np.flatnonzero(times < horizon)
+        while act.size:
+            # Row-wise cumulative masses over 3k classes: the first 2k
+            # (adopt per light colour, scaled by the dark total, then
+            # the lighten terms) form the active-event distribution —
+            # their running total at column 2k-1 *is* the event rate —
+            # and the last k hold the dark counts for the partner pick.
+            td = total_dark[act]
+            cum = np.cumsum(
+                np.concatenate(
+                    [light[act] * td[:, None], terms[act], dark[act]],
+                    axis=1,
+                ),
+                axis=1,
+            )
+            rate = cum[:, 2 * k - 1]
+            # Replications with no active events left (single colour,
+            # all dark, w = 1 edge cases) coast to the horizon.
+            alive = rate > 0.0
+            if not alive.all():
+                dead = act[~alive]
+                times[dead] = horizon[dead]
+                act, cum, rate, td = (
+                    act[alive], cum[alive], rate[alive], td[alive]
+                )
+                if act.size == 0:
+                    break
+            gaps = rng.geometric(np.minimum(rate / denom, 1.0))
+            arrival = times[act] + gaps
+            # A jump past the horizon means the remaining steps are
+            # no-ops (truncated geometric), exactly as in the scalar
+            # engine: stop that replication at the horizon, no event.
+            over = arrival > horizon[act]
+            if over.any():
+                done = act[over]
+                times[done] = horizon[done]
+                keep = ~over
+                act, cum, td, arrival = (
+                    act[keep], cum[keep], td[keep], arrival[keep]
+                )
+                if act.size == 0:
+                    break
+            times[act] = arrival
+            # One active event per remaining replication; two uniforms
+            # per row (fused type/colour pick, then the dark-partner
+            # pick, which lighten events simply discard).
+            u = rng.random((2, act.size))
+            event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1])
+            cls = np.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
+            adopt = cls < k
+            # Adopt moves light i -> dark j; lighten moves dark i ->
+            # light i — one ±1 delta pair per event.  The partner pick
+            # thresholds inside the third block of the shared cumsum.
+            light_col = np.where(adopt, cls, cls - k)
+            partner_pick = _below(
+                cum[:, 2 * k - 1] + u[1] * td, cum[:, 3 * k - 1]
+            )
+            j = np.argmax(cum[:, 2 * k:] > partner_pick[:, None], axis=1)
+            dark_col = np.where(adopt, j, light_col)
+            delta = np.where(adopt, -1, 1)
+            light[act, light_col] += delta
+            dark[act, dark_col] -= delta
+            total_dark[act] -= delta
+            d = dark[act, dark_col].astype(np.float64)
+            terms[act, dark_col] = d * (d - 1.0) * lighten[dark_col]
+            finished = arrival >= horizon[act]
+            if finished.any():
+                act = act[~finished]
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedAggregateSimulation(R={self.replications}, "
+            f"n={self.n}, k={self.k}, t={self.time})"
+        )
+
+
+def _pick_rows(masses: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """Row-wise weighted index: for each row r, the first index whose
+    cumulative mass exceeds ``uniforms[r]`` times the row total.
+
+    The threshold is clamped strictly below the row total (``uniform *
+    total`` can round up to the total when the uniform is within an ulp
+    of 1), so the selected index always carries positive mass: the
+    cumulative sum is flat over zero-mass entries, making the first
+    strict exceedance a positive increment.  This is the vectorised
+    counterpart of the scalar engine's last-non-empty fallback.  Rows
+    must have positive total mass.
+    """
+    cum = np.cumsum(masses, axis=1, dtype=np.float64)
+    picks = _below(uniforms * cum[:, -1], cum[:, -1])
+    return np.argmax(cum > picks[:, None], axis=1)
+
+
+def _below(picks: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Clamp thresholds strictly below their row totals."""
+    return np.minimum(picks, np.nextafter(totals, -np.inf))

@@ -28,6 +28,16 @@ from .scheduler import Scheduler, UniformScheduler
 _BLOCK = 4096
 
 
+def _partner_index(draw: int, u: int) -> int:
+    """Map a draw from ``[0, n - 1)`` onto ``[0, n) \\ {u}``.
+
+    Sampling "one of the other n - 1 agents" draws from the smaller
+    range and shifts the indices at or above the initiator up by one,
+    which is uniform over the population minus ``u``.
+    """
+    return draw + 1 if draw >= u else draw
+
+
 class Simulation:
     """Drives a :class:`~repro.core.protocol.Protocol` over a population.
 
@@ -116,9 +126,7 @@ class Simulation:
                 if complete:
                     row = partners[index]
                     sampled = [
-                        population.state_of(
-                            int(v) + 1 if v >= u else int(v)
-                        )
+                        population.state_of(_partner_index(int(v), u))
                         for v in row
                     ]
                 else:
@@ -140,13 +148,12 @@ class Simulation:
         population = self.population
         if self.topology is None:
             n = population.n
-            sampled = []
-            for _ in range(arity):
-                v = int(self.rng.integers(0, n - 1))
-                if v >= u:
-                    v += 1
-                sampled.append(population.state_of(v))
-            return sampled
+            return [
+                population.state_of(
+                    _partner_index(int(self.rng.integers(0, n - 1)), u)
+                )
+                for _ in range(arity)
+            ]
         return [
             population.state_of(self.topology.sample_neighbour(u, self.rng))
             for _ in range(arity)

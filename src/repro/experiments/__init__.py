@@ -11,8 +11,10 @@ from .export import (
 )
 from .replication import (
     Summary,
+    is_aggregate_compatible,
     replicate,
     replicate_and_summarise,
+    replicate_colour_counts,
     summarise,
 )
 from .chain import experiment_markov_chain
@@ -30,6 +32,7 @@ from .recorder import CountRecorder
 from .report import format_series, format_table, format_value
 from .robustness import experiment_adversary, experiment_sustainability
 from .runner import (
+    BatchRunRecord,
     RunRecord,
     initial_counts,
     run_agent,
@@ -76,6 +79,7 @@ __all__ = [
     "ExperimentTable",
     "CountRecorder",
     "RunRecord",
+    "BatchRunRecord",
     "run_aggregate",
     "run_agent",
     "run_diversification_agent",
@@ -116,6 +120,8 @@ __all__ = [
     "replicate",
     "summarise",
     "replicate_and_summarise",
+    "replicate_colour_counts",
+    "is_aggregate_compatible",
     "Summary",
     "experiment_topology",
     "experiment_engines",

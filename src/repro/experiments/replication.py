@@ -3,6 +3,15 @@ summarise it with confidence intervals.
 
 Simulation papers report means over repetitions; this module provides
 the boilerplate so experiments stay focused on their measurement.
+
+:func:`replicate_colour_counts` is the routed entry point for the most
+common measurement — final colour counts over R replications.  When the
+run is *aggregate-compatible* (Diversification or its
+``lighten_probabilities`` ablations on the complete graph, no
+interventions), all R replications are fused into one
+:class:`~repro.engine.batched.BatchedAggregateSimulation`; agent-level
+protocols, explicit topologies and intervention schedules fall back to
+the scalar per-replication loop.
 """
 
 from __future__ import annotations
@@ -13,6 +22,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from ..core.ablations import UnweightedLightening
+from ..core.diversification import Diversification
+from ..core.protocol import Protocol
+from ..core.weights import WeightTable
 from ..engine.rng import make_rng, spawn
 
 
@@ -87,6 +100,101 @@ def summarise(
         ci_high=mean + halfwidth,
         count=int(data.size),
     )
+
+
+def is_aggregate_compatible(
+    protocol: Protocol | None = None,
+    *,
+    topology=None,
+    schedule=None,
+) -> bool:
+    """Whether R replications of a run can share the batched engine.
+
+    The batched engine simulates the configuration chain of the
+    Diversification family on the complete graph, so anything that
+    needs agent identities (an explicit topology, a non-aggregate
+    protocol) or mid-run mutation (an intervention schedule) must use
+    the scalar path.  ``protocol=None`` means plain Diversification.
+    """
+    if topology is not None or schedule is not None:
+        return False
+    if protocol is None:
+        return True
+    return isinstance(protocol, (Diversification, UnweightedLightening))
+
+
+def _aggregate_lighten_probabilities(
+    protocol: Protocol | None, weights: WeightTable
+) -> list[float] | None:
+    """Per-colour lightening coins of an aggregate-compatible protocol
+    (None means the default ``1/w_i``)."""
+    if isinstance(protocol, UnweightedLightening):
+        return [1.0] * weights.k
+    return None
+
+
+def replicate_colour_counts(
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    *,
+    replications: int,
+    protocol: Protocol | None = None,
+    topology=None,
+    schedule=None,
+    start: str = "worst",
+    base_seed: int | np.random.Generator | None = 0,
+    batched: bool = True,
+    lighten_probabilities: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Final colour counts of R replications, shape ``(R, k)``.
+
+    Routes through :class:`~repro.engine.batched.BatchedAggregateSimulation`
+    when ``batched`` is set and the run is aggregate-compatible;
+    otherwise each replication runs on its own scalar engine seeded by
+    an independent child generator of ``base_seed``.  Rows are
+    zero-padded to the widest colour set when an intervention schedule
+    adds colours mid-run.
+    """
+    from .recorder import _pad_stack
+    from .runner import run_agent, run_aggregate
+
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if is_aggregate_compatible(protocol, topology=topology):
+        # The whole aggregate family shares one routed path; an
+        # intervention schedule makes run_aggregate fall back to its
+        # scalar per-replication loop internally.
+        batch = run_aggregate(
+            weights, n, steps,
+            start=start,
+            seed=base_seed,
+            schedule=schedule,
+            lighten_probabilities=(
+                lighten_probabilities
+                if lighten_probabilities is not None
+                else _aggregate_lighten_probabilities(protocol, weights)
+            ),
+            replications=replications,
+            batched=batched,
+        )
+        return batch.final_colour_counts
+    # Agent-level fallback: one simulator per replication, independent
+    # child generators.
+    children = spawn(make_rng(base_seed), replications)
+    finals = []
+    for child in children:
+        run_protocol = protocol or Diversification(weights.copy())
+        record = run_agent(
+            run_protocol, weights, n, steps,
+            start=start,
+            seed=child,
+            record_interval=max(1, steps),
+            topology=topology,
+            schedule=schedule,
+        )
+        finals.append(record.final_colour_counts)
+    return _pad_stack(finals)
 
 
 def replicate_and_summarise(

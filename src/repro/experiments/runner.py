@@ -14,7 +14,9 @@ from ..core.diversification import Diversification
 from ..core.protocol import Protocol
 from ..core.weights import WeightTable
 from ..engine.aggregate import AggregateSimulation
+from ..engine.batched import BatchedAggregateSimulation
 from ..engine.population import Population
+from ..engine.rng import make_rng, spawn
 from ..engine.simulator import Simulation
 from .recorder import CountRecorder
 from .workloads import (
@@ -65,6 +67,33 @@ class RunRecord:
         return self.colour_counts[-1]
 
 
+@dataclass
+class BatchRunRecord:
+    """Final configurations of R replications of one run.
+
+    ``final_dark_counts`` and ``final_light_counts`` have shape
+    ``(R, k)``; one row per replication.
+    """
+
+    n: int
+    weights: WeightTable
+    steps: int
+    replications: int
+    batched: bool
+    final_dark_counts: np.ndarray
+    final_light_counts: np.ndarray
+
+    @property
+    def final_colour_counts(self) -> np.ndarray:
+        """``C_i = A_i + a_i`` per replication, shape ``(R, k)``."""
+        return self.final_dark_counts + self.final_light_counts
+
+    @property
+    def mean_colour_counts(self) -> np.ndarray:
+        """Mean final colour counts across replications, shape ``(k,)``."""
+        return self.final_colour_counts.mean(axis=0)
+
+
 def run_aggregate(
     weights: WeightTable,
     n: int,
@@ -75,13 +104,33 @@ def run_aggregate(
     record_interval: int | None = None,
     schedule: InterventionSchedule | None = None,
     lighten_probabilities=None,
-) -> RunRecord:
+    replications: int | None = None,
+    batched: bool = True,
+) -> RunRecord | BatchRunRecord:
     """Run the Diversification dynamics on the aggregate engine.
 
     All agents start dark (the paper's initial condition).  Snapshots
     are recorded every ``record_interval`` steps (default: ``steps/256``
     rounded up).
+
+    With ``replications=R`` the run is repeated R times and a
+    :class:`BatchRunRecord` of final configurations is returned instead
+    of a time series.  When ``batched`` is set (the default) and no
+    intervention schedule is given, all R replications advance together
+    inside one :class:`~repro.engine.batched.BatchedAggregateSimulation`;
+    otherwise they loop over scalar engines with independent child
+    seeds.
     """
+    if replications is not None:
+        return _run_aggregate_batch(
+            weights, n, steps,
+            replications=replications,
+            start=start,
+            seed=seed,
+            schedule=schedule,
+            lighten_probabilities=lighten_probabilities,
+            batched=batched,
+        )
     weights = weights.copy()  # keep the caller's table pristine
     dark = initial_counts(start, n, weights, seed)
     engine = AggregateSimulation(
@@ -102,6 +151,80 @@ def run_aggregate(
         colour_counts=recorder.colour_counts(),
         dark_counts=recorder.dark_counts(),
         light_counts=recorder.light_counts(),
+    )
+
+
+def _run_aggregate_batch(
+    weights: WeightTable,
+    n: int,
+    steps: int,
+    *,
+    replications: int,
+    start: str,
+    seed: int | np.random.Generator | None,
+    schedule: InterventionSchedule | None,
+    lighten_probabilities,
+    batched: bool,
+) -> BatchRunRecord:
+    """R replications of an aggregate run; batched when possible."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    if batched and schedule is None:
+        table = weights.copy()
+        rng = make_rng(seed)
+        # One start row per replication, matching the scalar loop's
+        # distribution: deterministic workloads yield identical rows,
+        # start="random" is resampled per replication.
+        dark0 = np.stack(
+            [initial_counts(start, n, table, rng)
+             for _ in range(replications)]
+        )
+        engine = BatchedAggregateSimulation(
+            table,
+            dark0,
+            replications=replications,
+            rng=rng,
+            lighten_probabilities=lighten_probabilities,
+        )
+        engine.run(steps)
+        return BatchRunRecord(
+            n=engine.n,
+            weights=table,
+            steps=steps,
+            replications=replications,
+            batched=True,
+            final_dark_counts=engine.dark_counts(),
+            final_light_counts=engine.light_counts(),
+        )
+    # Scalar loop: intervention schedules mutate per-run state (and may
+    # add colours), so each replication gets its own engine and weight
+    # table; final rows are zero-padded to the widest colour set.
+    children = spawn(make_rng(seed), replications)
+    records = [
+        run_aggregate(
+            weights, n, steps,
+            start=start,
+            seed=child,
+            record_interval=max(1, steps),
+            schedule=schedule,
+            lighten_probabilities=lighten_probabilities,
+        )
+        for child in children
+    ]
+    k_max = max(record.dark_counts.shape[1] for record in records)
+    dark = np.zeros((replications, k_max), dtype=np.int64)
+    light = np.zeros((replications, k_max), dtype=np.int64)
+    for row, record in enumerate(records):
+        dark[row, : record.dark_counts.shape[1]] = record.dark_counts[-1]
+        light[row, : record.light_counts.shape[1]] = record.light_counts[-1]
+    return BatchRunRecord(
+        n=records[0].n,
+        weights=weights.copy(),
+        steps=steps,
+        replications=replications,
+        batched=False,
+        final_dark_counts=dark,
+        final_light_counts=light,
     )
 
 

@@ -1,0 +1,153 @@
+"""Integration tests: batched vs scalar aggregate engine equivalence.
+
+The batched engine must be *distribution-identical* to the scalar
+:class:`~repro.engine.aggregate.AggregateSimulation`, not just faster.
+With fixed seeds we run R >= 50 replications through one batched engine
+and through R independent scalar engines, then compare the final
+colour-count distributions with two-sample Kolmogorov-Smirnov tests
+(per colour, over replications) and a chi-squared contingency test
+(pooled colour totals), for a uniform and a skewed weight table, in
+both the per-step and the event-driven modes.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.weights import WeightTable
+from repro.engine.aggregate import AggregateSimulation
+from repro.engine.batched import BatchedAggregateSimulation
+from repro.engine.rng import make_rng, spawn
+
+REPLICATIONS = 64
+STEPS = 1500
+DARK0 = (30, 15, 15)  # n = 60, skewed start
+P_FLOOR = 1e-3  # identical laws: p-values are uniform, so this is lax
+
+WEIGHTS = {
+    "uniform": (1.0, 1.0, 1.0),
+    "skewed": (1.0, 2.0, 3.0),
+}
+MODES = ("per-step", "event-driven")
+
+
+def batched_finals(weights: WeightTable, mode: str, seed: int) -> np.ndarray:
+    engine = BatchedAggregateSimulation(
+        weights.copy(), list(DARK0), replications=REPLICATIONS, rng=seed
+    )
+    if mode == "per-step":
+        engine.run_per_step(STEPS)
+    else:
+        engine.run(STEPS)
+    return engine.colour_counts()
+
+
+def scalar_finals(weights: WeightTable, mode: str, seed: int) -> np.ndarray:
+    finals = []
+    for child in spawn(make_rng(seed), REPLICATIONS):
+        engine = AggregateSimulation(
+            weights.copy(), dark_counts=list(DARK0), rng=child
+        )
+        if mode == "per-step":
+            for _ in range(STEPS):
+                engine.step()
+        else:
+            engine.run(STEPS)
+        finals.append(engine.colour_counts())
+    return np.asarray(finals)
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    """(case, mode) -> (batched (R, k), scalar (R, k)) final counts."""
+    out = {}
+    for case, vector in WEIGHTS.items():
+        for mode in MODES:
+            weights = WeightTable(vector)
+            out[case, mode] = (
+                batched_finals(weights, mode, seed=101),
+                scalar_finals(weights, mode, seed=202),
+            )
+    return out
+
+
+@pytest.mark.parametrize("case", sorted(WEIGHTS))
+@pytest.mark.parametrize("mode", MODES)
+class TestBatchedScalarEquivalence:
+    def test_population_conserved(self, distributions, case, mode):
+        batched, scalar = distributions[case, mode]
+        assert batched.shape == scalar.shape == (REPLICATIONS, 3)
+        assert (batched.sum(axis=1) == sum(DARK0)).all()
+        assert (scalar.sum(axis=1) == sum(DARK0)).all()
+
+    def test_ks_per_colour(self, distributions, case, mode):
+        """Final count of each colour: same distribution over runs."""
+        batched, scalar = distributions[case, mode]
+        for colour in range(3):
+            result = stats.ks_2samp(batched[:, colour], scalar[:, colour])
+            assert result.pvalue > P_FLOOR, (
+                f"{case}/{mode} colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_chi_squared_pooled_counts(self, distributions, case, mode):
+        """Pooled colour totals: same categorical distribution."""
+        batched, scalar = distributions[case, mode]
+        table = np.stack([batched.sum(axis=0), scalar.sum(axis=0)])
+        result = stats.chi2_contingency(table)
+        assert result.pvalue > P_FLOOR, (
+            f"{case}/{mode}: chi2 p={result.pvalue:.2e}\n{table}"
+        )
+
+    def test_spreads_comparable(self, distributions, case, mode):
+        """Not just location: per-colour standard deviations estimate
+        the same law, so they should agree within a factor of 2."""
+        batched, scalar = distributions[case, mode]
+        for colour in range(3):
+            ratio = (batched[:, colour].std(ddof=1) + 1.0) / (
+                scalar[:, colour].std(ddof=1) + 1.0
+            )
+            assert 0.5 <= ratio <= 2.0, f"{case}/{mode} colour {colour}"
+
+
+class TestBatchedModesAgree:
+    """The batched engine's own two modes simulate the same chain."""
+
+    def test_per_step_matches_event_driven(self):
+        weights = WeightTable([1.0, 2.0, 3.0])
+        step_counts = batched_finals(weights, "per-step", seed=303)
+        event_counts = batched_finals(weights, "event-driven", seed=404)
+        for colour in range(3):
+            result = stats.ks_2samp(
+                step_counts[:, colour], event_counts[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, f"colour {colour}"
+
+
+class TestLightenOverrideEquivalence:
+    """The lighten_probabilities fast path (A2 ablation) matches the
+    scalar engine under the same override."""
+
+    def test_unit_lightening(self):
+        weights = WeightTable([1.0, 2.0, 3.0])
+        ones = [1.0, 1.0, 1.0]
+        engine = BatchedAggregateSimulation(
+            weights.copy(), list(DARK0),
+            replications=REPLICATIONS, rng=11,
+            lighten_probabilities=ones,
+        )
+        engine.run(STEPS)
+        batched = engine.colour_counts()
+        finals = []
+        for child in spawn(make_rng(22), REPLICATIONS):
+            scalar = AggregateSimulation(
+                weights.copy(), dark_counts=list(DARK0), rng=child,
+                lighten_probabilities=ones,
+            )
+            scalar.run(STEPS)
+            finals.append(scalar.colour_counts())
+        scalar_counts = np.asarray(finals)
+        for colour in range(3):
+            result = stats.ks_2samp(
+                batched[:, colour], scalar_counts[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, f"colour {colour}"

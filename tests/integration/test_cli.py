@@ -19,6 +19,18 @@ class TestParser:
         assert args.experiments == ["e1", "e2"]
         assert args.quick
 
+    def test_demo_defaults_to_one_batched_replication(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.replications == 1
+        assert args.batched
+
+    def test_demo_accepts_replications_and_batched_flags(self):
+        args = build_parser().parse_args(
+            ["demo", "--replications", "25", "--no-batched"]
+        )
+        assert args.replications == 25
+        assert not args.batched
+
 
 class TestQuickOverrides:
     def test_every_override_names_a_real_experiment(self):
@@ -78,6 +90,28 @@ class TestCommands:
     def test_demo_invalid_weights(self):
         with pytest.raises(SystemExit):
             main(["demo", "--weights", "0.2,zzz"])
+
+    def test_demo_replicated_batched(self, capsys):
+        code = main(
+            ["demo", "--n", "120", "--weights", "1,2", "--rounds", "200",
+             "--seed", "5", "--replications", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replications=20" in out
+        assert "batched engine" in out
+        assert "mean count" in out
+        assert "diversity error" in out
+
+    def test_demo_replicated_scalar_fallback(self, capsys):
+        code = main(
+            ["demo", "--n", "80", "--weights", "1,2", "--rounds", "100",
+             "--seed", "5", "--replications", "4", "--no-batched"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replications=4" in out
+        assert "scalar engine" in out
 
     def test_series(self, capsys):
         code = main(

@@ -1,0 +1,154 @@
+"""Property-based tests for the batched engine: per-replication
+population conservation, non-negativity, seed reproducibility."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import WeightTable
+from repro.engine.batched import BatchedAggregateSimulation
+
+
+@st.composite
+def batched_setup(draw):
+    k = draw(st.integers(1, 4))
+    weights = WeightTable(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+    )
+    replications = draw(st.integers(1, 12))
+    dark = draw(st.lists(st.integers(1, 20), min_size=k, max_size=k))
+    light = draw(st.lists(st.integers(0, 8), min_size=k, max_size=k))
+    if sum(dark) + sum(light) < 2:
+        dark[0] += 2
+    seed = draw(st.integers(0, 2**31 - 1))
+    steps = draw(st.integers(0, 2000))
+    return weights, replications, dark, light, seed, steps
+
+
+class TestBatchedInvariants:
+    @given(batched_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_population_conserved_every_step(self, setup):
+        """sum(A) + sum(a) == n in every replication after every
+        per-step advance."""
+        weights, replications, dark, light, seed, steps = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, light, replications=replications, rng=seed
+        )
+        n = engine.n
+        for _ in range(min(steps, 300)):
+            engine.step()
+            totals = engine.dark_counts() + engine.light_counts()
+            assert (totals.sum(axis=1) == n).all()
+
+    @given(batched_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_non_negative_every_step(self, setup):
+        weights, replications, dark, light, seed, steps = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, light, replications=replications, rng=seed
+        )
+        for _ in range(min(steps, 300)):
+            engine.step()
+            assert (engine.dark_counts() >= 0).all()
+            assert (engine.light_counts() >= 0).all()
+
+    @given(batched_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_event_driven_conserves_and_reaches_horizon(self, setup):
+        weights, replications, dark, light, seed, steps = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, light, replications=replications, rng=seed
+        )
+        n = engine.n
+        engine.run(steps)
+        assert (engine.times() == steps).all()
+        assert engine.time == steps
+        assert (engine.dark_counts() >= 0).all()
+        assert (engine.light_counts() >= 0).all()
+        totals = engine.dark_counts() + engine.light_counts()
+        assert (totals.sum(axis=1) == n).all()
+
+    @given(batched_setup())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_reproducibility_from_seed(self, setup):
+        """Two engines built from the same seed produce bit-identical
+        trajectories in both modes."""
+        weights, replications, dark, light, seed, steps = setup
+        steps = min(steps, 500)
+
+        def trajectory(per_step: bool) -> np.ndarray:
+            engine = BatchedAggregateSimulation(
+                weights.copy(), dark, light,
+                replications=replications, rng=seed,
+            )
+            if per_step:
+                engine.run_per_step(min(steps, 100))
+            else:
+                engine.run(steps)
+            return np.concatenate(
+                [engine.dark_counts(), engine.light_counts()], axis=1
+            )
+
+        for per_step in (False, True):
+            np.testing.assert_array_equal(
+                trajectory(per_step), trajectory(per_step)
+            )
+
+    @given(batched_setup())
+    @settings(max_examples=40, deadline=None)
+    def test_sustainability_invariant(self, setup):
+        """Dark counts that start >= 1 never reach 0 in any
+        replication (lightening requires A_i >= 2)."""
+        weights, replications, dark, light, seed, steps = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, light, replications=replications, rng=seed
+        )
+        engine.run(steps)
+        assert (engine.dark_counts() >= 1).all()
+
+
+class TestBatchedValidation:
+    def test_replications_required_for_flat_counts(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchedAggregateSimulation(WeightTable([1.0, 2.0]), [3, 3])
+
+    def test_matrix_counts_fix_replications(self):
+        engine = BatchedAggregateSimulation(
+            WeightTable([1.0, 2.0]), [[3, 3], [4, 2], [1, 5]]
+        )
+        assert engine.replications == 3
+        assert engine.n == 6
+
+    def test_mismatched_population_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchedAggregateSimulation(
+                WeightTable([1.0, 2.0]), [[3, 3], [4, 4]]
+            )
+
+    def test_negative_counts_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchedAggregateSimulation(
+                WeightTable([1.0, 2.0]), [-1, 7], replications=2
+            )
+
+    def test_bad_lighten_probabilities_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchedAggregateSimulation(
+                WeightTable([1.0, 2.0]), [3, 3], replications=2,
+                lighten_probabilities=[0.5, 1.5],
+            )

@@ -3,10 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.core.ablations import EagerRecolouring, UnweightedLightening
+from repro.core.derandomised import DerandomisedDiversification
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.experiments import runner as runner_module
 from repro.experiments.replication import (
     Summary,
+    is_aggregate_compatible,
     replicate,
     replicate_and_summarise,
+    replicate_colour_counts,
     summarise,
 )
 
@@ -90,3 +97,130 @@ class TestReplicateAndSummarise:
         )
         assert summary.mean == pytest.approx(3.0, abs=0.1)
         assert summary.count == 30
+
+
+class TestAggregateCompatibility:
+    def test_default_protocol_is_compatible(self):
+        assert is_aggregate_compatible(None)
+
+    def test_diversification_is_compatible(self):
+        weights = WeightTable([1.0, 2.0])
+        assert is_aggregate_compatible(Diversification(weights))
+
+    def test_unweighted_lightening_ablation_is_compatible(self):
+        weights = WeightTable([1.0, 2.0])
+        assert is_aggregate_compatible(UnweightedLightening(weights))
+
+    def test_agent_level_protocols_fall_back(self):
+        weights = WeightTable([1.0, 2.0])
+        assert not is_aggregate_compatible(EagerRecolouring(weights))
+        assert not is_aggregate_compatible(
+            DerandomisedDiversification(WeightTable([1.0, 2.0]))
+        )
+
+    def test_topology_forces_fallback(self):
+        assert not is_aggregate_compatible(None, topology=object())
+
+    def test_schedule_forces_fallback(self):
+        assert not is_aggregate_compatible(None, schedule=object())
+
+
+class _SpyBatchedEngine:
+    """Wraps the real batched engine and records instantiation."""
+
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).instances += 1
+        from repro.engine.batched import BatchedAggregateSimulation
+
+        self._engine = BatchedAggregateSimulation(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+@pytest.fixture
+def spy_batched(monkeypatch):
+    _SpyBatchedEngine.instances = 0
+    monkeypatch.setattr(
+        runner_module, "BatchedAggregateSimulation", _SpyBatchedEngine
+    )
+    return _SpyBatchedEngine
+
+
+class TestReplicateColourCountsRouting:
+    def test_aggregate_protocol_takes_batched_path(self, spy_batched):
+        weights = WeightTable([1.0, 2.0])
+        counts = replicate_colour_counts(
+            weights, 30, 500, replications=6, base_seed=0,
+            protocol=Diversification(weights),
+        )
+        assert spy_batched.instances == 1
+        assert counts.shape == (6, 2)
+        assert (counts.sum(axis=1) == 30).all()
+
+    def test_batched_false_uses_scalar_loop(self, spy_batched):
+        weights = WeightTable([1.0, 2.0])
+        counts = replicate_colour_counts(
+            weights, 30, 500, replications=4, base_seed=0, batched=False
+        )
+        assert spy_batched.instances == 0
+        assert counts.shape == (4, 2)
+        assert (counts.sum(axis=1) == 30).all()
+
+    def test_agent_level_protocol_falls_back(self, spy_batched):
+        weights = WeightTable([1.0, 2.0])
+        counts = replicate_colour_counts(
+            weights, 20, 300, replications=3, base_seed=1,
+            protocol=EagerRecolouring(weights),
+        )
+        assert spy_batched.instances == 0
+        assert counts.shape == (3, 2)
+        assert (counts.sum(axis=1) == 20).all()
+
+    def test_topology_falls_back_to_agent_engine(self, spy_batched):
+        from repro.topology.graphs import CycleGraph
+
+        weights = WeightTable([1.0, 2.0])
+        counts = replicate_colour_counts(
+            weights, 20, 300, replications=3, base_seed=2,
+            topology=CycleGraph(20),
+        )
+        assert spy_batched.instances == 0
+        assert counts.shape == (3, 2)
+        assert (counts.sum(axis=1) == 20).all()
+
+    def test_schedule_forces_scalar_loop_and_pads_new_colours(
+        self, spy_batched
+    ):
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = WeightTable([1.0, 2.0])
+        schedule = InterventionSchedule(
+            [(100, AddColour(weight=3.0, count=10))]
+        )
+        counts = replicate_colour_counts(
+            weights, 30, 400, replications=3, base_seed=4,
+            schedule=schedule,
+        )
+        assert spy_batched.instances == 0
+        assert counts.shape == (3, 3)  # padded to the new colour set
+        assert (counts.sum(axis=1) == 40).all()  # 30 + 10 injected
+
+    def test_deterministic_given_seed(self):
+        weights = WeightTable([1.0, 2.0, 3.0])
+        first = replicate_colour_counts(
+            weights, 60, 1000, replications=8, base_seed=9
+        )
+        second = replicate_colour_counts(
+            weights, 60, 1000, replications=8, base_seed=9
+        )
+        np.testing.assert_array_equal(first, second)
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_colour_counts(
+                WeightTable([1.0]), 10, 10, replications=0
+            )
