@@ -12,6 +12,7 @@ import numpy as np
 
 from repro import WeightTable, assess_goodness, run_aggregate
 from repro.experiments.report import format_table
+from repro.experiments.runner import run_diversification_agent
 
 
 def main() -> None:
@@ -59,6 +60,22 @@ def main() -> None:
     print(f"32 batched replications: mean counts "
           f"{np.round(finals.mean(axis=0), 1)}, "
           f"std {np.round(finals.std(axis=0), 1)}")
+
+    # The aggregate engine tracks counts only.  Agent-level runs — the
+    # paper's actual execution model, needed for explicit topologies,
+    # per-agent fairness tracking and the baseline dynamics — default
+    # to the vectorised ArraySimulation, which holds the population as
+    # (colour, shade) arrays and applies transition kernels to
+    # conflict-free blocks of steps.  Protocols without a kernel, runs
+    # with interventions, and engine="scalar" use the per-step
+    # reference engine instead.
+    record = run_diversification_agent(
+        weights, n, steps, start="worst", seed=7,
+    )
+    engine = type(record.extras["simulation"]).__name__
+    print()
+    print(f"agent-level run ({engine}): final counts "
+          f"{record.final_colour_counts}")
 
 
 if __name__ == "__main__":

@@ -19,10 +19,25 @@ measurement without paying the Python interpreter R times over::
     print(batch.final_colour_counts.shape)   # (100, 3), one row per run
     print(batch.mean_colour_counts)          # ≈ n·w_i/w per colour
 
+*Agent-level* runs — the execution model the paper actually defines,
+and the only one that supports explicit topologies and the baseline
+dynamics — vectorise too: :func:`run_agent` routes protocols with a
+registered transition kernel (Diversification, Voter, 3-Majority, the
+unweighted ablation) through the structure-of-arrays
+:class:`~repro.engine.ArraySimulation`, which applies kernels to
+conflict-free blocks of steps and falls back to the scalar
+:class:`~repro.engine.Simulation` for everything else (custom
+protocols, interventions, non-CSR topologies)::
+
+    record = run_agent(Diversification(weights), weights,
+                       n=10_000, steps=500_000)   # array engine
+    record = run_agent(..., engine="scalar")       # force the fallback
+
 Packages:
 
 * :mod:`repro.core` — the Diversification protocol family and Def 1.1;
-* :mod:`repro.engine` — agent-level and aggregate simulators;
+* :mod:`repro.engine` — agent-level (scalar + vectorised) and
+  aggregate simulators;
 * :mod:`repro.topology` — complete graph plus future-work graphs;
 * :mod:`repro.baselines` — consensus dynamics of the related work;
 * :mod:`repro.analysis` — potentials, the equilibrium chain, bounds;
@@ -49,6 +64,7 @@ from .core import (
 )
 from .engine import (
     AggregateSimulation,
+    ArraySimulation,
     BatchedAggregateSimulation,
     ConvergenceDetector,
     MinCountTracker,
@@ -85,6 +101,7 @@ __all__ = [
     "is_fair",
     "is_sustainable",
     "AggregateSimulation",
+    "ArraySimulation",
     "BatchedAggregateSimulation",
     "Simulation",
     "Population",

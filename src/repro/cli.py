@@ -7,6 +7,7 @@ Examples::
     repro run e1
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
     repro demo --n 1000 --replications 100 --batched
+    repro demo --n 10000 --engine array
 """
 
 from __future__ import annotations
@@ -80,9 +81,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     steps = args.rounds * args.n
     if args.replications > 1:
         return _demo_replicated(args, weights, steps)
-    record = run_aggregate(
-        weights, args.n, steps, start=args.start, seed=args.seed
-    )
+    if args.engine == "aggregate":
+        record = run_aggregate(
+            weights, args.n, steps, start=args.start, seed=args.seed
+        )
+    else:
+        from .experiments.runner import run_diversification_agent
+
+        record = run_diversification_agent(
+            weights, args.n, steps,
+            start=args.start, seed=args.seed, engine=args.engine,
+        )
     tail = max(1, len(record.times) // 4)
     window = record.colour_counts[-tail:, : weights.k]
     report = assess_goodness(window, weights)
@@ -107,14 +116,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
     """Replicated demo: R runs through the (batched) replication path."""
-    batch = run_aggregate(
-        weights, args.n, steps,
-        start=args.start,
-        seed=args.seed,
-        replications=args.replications,
-        batched=args.batched,
-    )
-    finals = batch.final_colour_counts.astype(float)
+    if args.engine == "aggregate":
+        batch = run_aggregate(
+            weights, args.n, steps,
+            start=args.start,
+            seed=args.seed,
+            replications=args.replications,
+            batched=args.batched,
+        )
+        counts = batch.final_colour_counts
+        engine = "aggregate/" + ("batched" if batch.batched else "scalar")
+    else:
+        from .experiments.replication import replicate_colour_counts
+
+        counts = replicate_colour_counts(
+            weights, args.n, steps,
+            replications=args.replications,
+            start=args.start,
+            base_seed=args.seed,
+            batched=args.batched,
+            engine=args.engine,
+        )
+        engine = f"agent/{args.engine}"
+    finals = counts.astype(float)
     shares = finals / finals.sum(axis=1, keepdims=True)
     fair = weights.fair_shares()
     rows = [
@@ -123,7 +147,6 @@ def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
          float(shares[:, i].mean()), float(fair[i])]
         for i in range(weights.k)
     ]
-    engine = "batched" if batch.batched else "scalar"
     print(format_table(
         ["colour", "weight", "mean count", "std", "mean share",
          "fair share"],
@@ -133,7 +156,7 @@ def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
             f"replications={args.replications} ({engine} engine)"
         ),
     ))
-    report = assess_goodness(batch.final_colour_counts, weights)
+    report = assess_goodness(counts, weights)
     print(
         f"diversity error {report.diversity_error:.4f} "
         f"(bound {report.diversity_bound:.4f}) -> "
@@ -214,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--batched", action=argparse.BooleanOptionalAction, default=True,
         help="fuse replications into the vectorised batched engine "
              "(--no-batched loops scalar engines instead)",
+    )
+    p_demo.add_argument(
+        "--engine", choices=("aggregate", "scalar", "array"),
+        default="aggregate",
+        help="simulation engine: 'aggregate' tracks colour counts only "
+             "(fastest; complete graph), 'array' runs the vectorised "
+             "agent-level engine (used automatically by run_agent for "
+             "kernelised protocols on complete/CSR graphs without "
+             "interventions), 'scalar' forces the per-step reference "
+             "engine",
     )
     p_demo.set_defaults(func=_cmd_demo)
 

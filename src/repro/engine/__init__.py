@@ -1,8 +1,25 @@
-"""Simulation engines: agent-level (any topology, any protocol),
-aggregate count-based (complete graph, Diversification family), and the
-batched aggregate engine (R replications as one count matrix)."""
+"""Simulation engines.
+
+* :class:`Simulation` — scalar agent-level reference engine (any
+  topology, any protocol, interventions, observers);
+* :class:`ArraySimulation` — vectorised agent-level engine
+  (structure-of-arrays state, conflict-free transition kernels, an
+  optional batched ``(R, n)`` replication axis) for protocols with a
+  registered kernel;
+* :class:`AggregateSimulation` — count-based engine (complete graph,
+  Diversification family);
+* :class:`BatchedAggregateSimulation` — R aggregate replications as one
+  ``(R, 2k)`` count matrix.
+"""
 
 from .aggregate import AggregateSimulation
+from .array_engine import (
+    ArrayPopulationView,
+    ArraySimulation,
+    has_kernel,
+    kernel_for,
+    supports_topology,
+)
 from .batched import BatchedAggregateSimulation
 from .multishade import MultiShadeAggregate
 from .observers import (
@@ -18,10 +35,15 @@ from .simulator import Simulation
 
 __all__ = [
     "AggregateSimulation",
+    "ArrayPopulationView",
+    "ArraySimulation",
     "BatchedAggregateSimulation",
     "MultiShadeAggregate",
     "Simulation",
     "Population",
+    "has_kernel",
+    "kernel_for",
+    "supports_topology",
     "Observer",
     "OccupancyTracker",
     "MinCountTracker",

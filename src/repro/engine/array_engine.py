@@ -1,0 +1,718 @@
+"""Vectorised structure-of-arrays agent-level engine.
+
+:class:`ArraySimulation` executes the same per-step model as the scalar
+:class:`~repro.engine.simulator.Simulation` — one scheduled agent per
+time-step samples ``arity`` partners and applies the protocol's
+transition, and *only the scheduled agent changes state* — but holds the
+population as flat ``(colour, shade)`` integer arrays and applies
+transition *kernels* to whole blocks of steps at once.
+
+Exactness.  A block of pre-drawn steps is split into **conflict-free
+segments**: within a segment no step reads (as initiator or partner) an
+agent that an earlier step of the same segment scheduled.  Initiators
+are therefore deduplicated per segment, gathers against the
+segment-start state equal the sequential reads, and the scattered
+writes commute — so segmented execution reproduces the sequential
+trajectory of its own draw sequence *exactly*, not just in
+distribution.  Against the scalar engine the equivalence is
+distributional (the draw streams differ); it is verified with seeded
+Kolmogorov-Smirnov tests in ``tests/integration/test_array_equivalence.py``.
+
+Kernels exist for the Diversification protocol (light-adopts-dark,
+dark-dark lightening with probability ``1/w_i``), its unweighted
+ablation, and the Voter and 3-Majority baselines; protocols without a
+kernel raise and should run on the scalar engine (the experiment
+runners fall back automatically).  Supported interaction graphs are the
+complete graph (``topology=None`` or
+:class:`~repro.topology.base.CompleteGraph`) and any CSR-adjacency
+topology exposing ``neighbour_arrays()``
+(:class:`~repro.topology.graphs.AdjacencyTopology` and subclasses),
+sampled with vectorised gathers.
+
+A batched ``(R, n)`` axis advances R independent replications of the
+same instance together, mirroring
+:class:`~repro.engine.batched.BatchedAggregateSimulation`: one step is
+applied to all replications per iteration, so the Python-level loop
+count is paid once instead of R times.
+
+The engine shares the scalar engine's seeding contract: draws are
+buffered in fixed-size blocks anchored to the executed-step count, so
+``step()`` equals ``run(1)`` and ``run(a); run(b)`` equals
+``run(a + b)`` for a fixed seed.  Populations are fixed size — the
+adversary interventions of :mod:`repro.adversary` require the scalar
+engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..baselines.three_majority import ThreeMajority
+from ..baselines.voter import VoterModel
+from ..core.ablations import UnweightedLightening
+from ..core.diversification import Diversification
+from ..core.protocol import Protocol
+from ..core.state import DARK, LIGHT, AgentState
+from ..topology.base import CompleteGraph
+from .observers import Observer
+from .population import Population
+from .rng import make_rng
+from .scheduler import Scheduler, UniformScheduler
+
+_BLOCK = 8192
+#: Target total draws (steps x replications) per batched refill.
+_BATCH_DRAWS = 65536
+
+
+# ----------------------------------------------------------------------
+# Transition kernels
+
+
+class _DiversificationKernel:
+    """Vectorised Eq. (2): adopt when light meets dark, lighten a dark
+    pair of equal colour with the per-colour coin ``1/w_i`` (or 1 for
+    the unweighted ablation)."""
+
+    coins = 1
+
+    def __init__(self, protocol, unweighted: bool = False):
+        self._protocol = protocol
+        self._unweighted = unweighted
+        self._lighten: np.ndarray | None = None
+
+    def refresh(self, k: int) -> None:
+        weights = self._protocol.weights
+        if weights.k != k:
+            raise ValueError(
+                f"weight table grew to {weights.k} colours but the array "
+                f"engine was built for k={k}; colour addition needs the "
+                "scalar engines"
+            )
+        if self._unweighted:
+            self._lighten = np.ones(k, dtype=np.float64)
+        else:
+            self._lighten = 1.0 / weights.as_array()
+
+    def apply(self, uc, us, vc, vs, coins):
+        v0c = vc[..., 0]
+        v0s = vs[..., 0]
+        u_dark = us > LIGHT
+        v_dark = v0s > LIGHT
+        adopt = ~u_dark & v_dark
+        lighten = (
+            u_dark
+            & v_dark
+            & (uc == v0c)
+            & (coins[..., 0] < self._lighten[uc])
+        )
+        new_c = np.where(adopt, v0c, uc)
+        new_s = np.where(adopt, DARK, np.where(lighten, LIGHT, us))
+        return new_c, new_s
+
+
+class _VoterKernel:
+    """Adopt the sampled colour unconditionally (dark shade)."""
+
+    coins = 0
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        pass
+
+    def apply(self, uc, us, vc, vs, coins):
+        v0c = vc[..., 0]
+        same = v0c == uc
+        new_s = np.where(same, us, DARK)
+        return v0c.copy(), new_s
+
+
+class _ThreeMajorityKernel:
+    """Majority of {own, sample, sample}; uniform pick among full ties."""
+
+    coins = 1
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        pass
+
+    def apply(self, uc, us, vc, vs, coins):
+        c1 = vc[..., 0]
+        c2 = vc[..., 1]
+        pick = (coins[..., 0] * 3).astype(np.int64)  # 0, 1 or 2
+        random_choice = np.where(pick == 0, uc, np.where(pick == 1, c1, c2))
+        winner = np.where(
+            (uc == c1) | (uc == c2),
+            uc,
+            np.where(c1 == c2, c1, random_choice),
+        )
+        new_s = np.where(winner == uc, us, DARK)
+        return winner, new_s
+
+
+#: Exact protocol type -> kernel factory.  Exact matches only: a
+#: subclass overriding ``transition`` must not inherit its parent's
+#: kernel.
+_KERNEL_FACTORIES = {
+    Diversification: lambda p: _DiversificationKernel(p),
+    UnweightedLightening: lambda p: _DiversificationKernel(
+        p, unweighted=True
+    ),
+    VoterModel: _VoterKernel,
+    ThreeMajority: _ThreeMajorityKernel,
+}
+
+
+def kernel_for(protocol: Protocol):
+    """The vectorised kernel for ``protocol``, or None if it has none."""
+    factory = _KERNEL_FACTORIES.get(type(protocol))
+    return None if factory is None else factory(protocol)
+
+
+def has_kernel(protocol: Protocol) -> bool:
+    """Whether ``protocol`` can run on :class:`ArraySimulation`."""
+    return type(protocol) in _KERNEL_FACTORIES
+
+
+def supports_topology(topology) -> bool:
+    """Whether the array engine can sample neighbours on ``topology``.
+
+    ``None`` and :class:`~repro.topology.base.CompleteGraph` use the
+    shifted-uniform complete-graph draw; anything exposing
+    ``neighbour_arrays()`` (CSR adjacency) uses vectorised gathers.
+    """
+    return (
+        topology is None
+        or isinstance(topology, CompleteGraph)
+        or hasattr(topology, "neighbour_arrays")
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+class ArrayPopulationView:
+    """Read-mostly :class:`~repro.engine.population.Population` facade
+    over an :class:`ArraySimulation`'s state arrays, so observers and
+    recording code written against the scalar engine keep working."""
+
+    def __init__(self, simulation: "ArraySimulation"):
+        self._simulation = simulation
+
+    @property
+    def n(self) -> int:
+        return self._simulation.n
+
+    @property
+    def k(self) -> int:
+        return self._simulation.k
+
+    def state_of(self, agent: int) -> AgentState:
+        return AgentState(self.colour_of(agent), self.shade_of(agent))
+
+    def colour_of(self, agent: int) -> int:
+        return int(self._simulation._colours[agent])
+
+    def shade_of(self, agent: int) -> int:
+        return int(self._simulation._shades[agent])
+
+    def states(self) -> list[AgentState]:
+        return [
+            AgentState(int(c), int(s))
+            for c, s in zip(
+                self._simulation._colours, self._simulation._shades
+            )
+        ]
+
+    def colour_counts(self) -> np.ndarray:
+        return self._simulation.colour_counts()
+
+    def dark_counts(self) -> np.ndarray:
+        return self._simulation.dark_counts()
+
+    def light_counts(self) -> np.ndarray:
+        return self._simulation.light_counts()
+
+    def colours_view(self) -> np.ndarray:
+        return self._simulation._colours
+
+    def shades_view(self) -> np.ndarray:
+        return self._simulation._shades
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayPopulationView(n={self.n}, k={self.k})"
+
+
+class ArraySimulation:
+    """Structure-of-arrays agent-level engine with vectorised kernels.
+
+    Args:
+        protocol: The local update rule; must have a registered kernel
+            (see :func:`has_kernel`).
+        colours: Initial colours — a
+            :class:`~repro.engine.population.Population` (colours and
+            shades are copied out), a flat length-``n`` sequence, or an
+            ``(R, n)`` matrix giving each replication its own start.
+        shades: Optional initial shades, same shape as ``colours``;
+            defaults to each colour's ``protocol.initial_state`` shade.
+        k: Number of colour slots (default: inferred from the
+            protocol's weight table, else ``max(colour) + 1``).
+        topology: ``None`` / complete graph, or a CSR-adjacency
+            topology (see :func:`supports_topology`).
+        scheduler: Activation policy (default uniform; reset at
+            construction).  Batched runs require the uniform scheduler.
+        rng: Seed or generator driving all randomness (one shared
+            stream for all replications, vectorised draws).
+        observers: Change-driven instrumentation (single-run mode
+            only).  With observers attached, kernel evaluation stays
+            vectorised but changes are applied one at a time so each
+            callback sees the exact mid-trajectory state.
+        replications: Fuse R replications into an ``(R, n)`` state
+            matrix.  ``None`` (with 1-D ``colours``) selects single-run
+            mode; 2-D ``colours`` implies batched mode.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        colours,
+        *,
+        shades=None,
+        k: int | None = None,
+        topology=None,
+        scheduler: Scheduler | None = None,
+        rng: int | np.random.Generator | None = None,
+        observers: Iterable[Observer] = (),
+        replications: int | None = None,
+    ):
+        self.protocol = protocol
+        self._kernel = kernel_for(protocol)
+        if self._kernel is None:
+            raise ValueError(
+                f"protocol {protocol.name!r} has no vectorised kernel; "
+                "use repro.engine.Simulation"
+            )
+        if isinstance(colours, Population):
+            if shades is None:
+                shades = np.asarray(colours.shades_view(), dtype=np.int64)
+            if k is None:
+                k = colours.k
+            colours = np.asarray(colours.colours_view(), dtype=np.int64)
+        colours = np.asarray(colours, dtype=np.int64)
+        if colours.ndim == 1 and replications is not None:
+            if replications < 1:
+                raise ValueError("need at least one replication")
+            colours = np.tile(colours, (replications, 1))
+        elif colours.ndim == 2:
+            if replications is not None and replications != colours.shape[0]:
+                raise ValueError(
+                    f"colours has {colours.shape[0]} rows but "
+                    f"replications={replications}"
+                )
+            replications = colours.shape[0]
+        elif colours.ndim != 1:
+            raise ValueError("colours must be 1-D (n,) or 2-D (R, n)")
+        self._batched = colours.ndim == 2
+        self._n = int(colours.shape[-1])
+        if self._n < 2:
+            raise ValueError("need at least two agents to interact")
+        if colours.size and colours.min() < 0:
+            raise ValueError("colours must be non-negative")
+        observed_k = int(colours.max()) + 1 if colours.size else 1
+        if k is None:
+            weights = getattr(protocol, "weights", None)
+            k = weights.k if weights is not None else observed_k
+        if k < observed_k:
+            raise ValueError(
+                f"k={k} smaller than max colour {observed_k - 1}"
+            )
+        self._k = int(k)
+        if shades is None:
+            shade_map = np.array(
+                [protocol.initial_state(c).shade for c in range(self._k)],
+                dtype=np.int64,
+            )
+            shades = shade_map[colours]
+        else:
+            shades = np.asarray(shades, dtype=np.int64)
+            if self._batched and shades.ndim == 1:
+                shades = np.tile(shades, (colours.shape[0], 1))
+            if shades.shape != colours.shape:
+                raise ValueError("shades must match the shape of colours")
+            if shades.size and shades.min() < 0:
+                raise ValueError("shades must be non-negative")
+        self._colours = colours.copy()
+        self._shades = shades.copy()
+        self.topology = topology
+        if topology is not None and topology.n != self._n:
+            raise ValueError(
+                f"topology has {topology.n} nodes but population has "
+                f"{self._n} agents"
+            )
+        self._complete = topology is None or isinstance(
+            topology, CompleteGraph
+        )
+        if self._complete:
+            self._offsets = self._targets = None
+        elif hasattr(topology, "neighbour_arrays"):
+            self._offsets, self._targets = topology.neighbour_arrays()
+        else:
+            raise ValueError(
+                f"topology {type(topology).__name__} exposes no CSR "
+                "adjacency (neighbour_arrays); use repro.engine.Simulation"
+            )
+        self.scheduler = scheduler or UniformScheduler()
+        self.scheduler.reset()
+        self.observers: list[Observer] = list(observers)
+        if self._batched:
+            if self.observers:
+                raise ValueError(
+                    "observers are only supported in single-run mode"
+                )
+            if not isinstance(self.scheduler, UniformScheduler):
+                raise ValueError(
+                    "batched replications require the uniform scheduler"
+                )
+        self.rng = make_rng(rng)
+        self._time = 0
+        self.changes = 0
+        self._arity = int(protocol.arity)
+        self._ncoins = int(self._kernel.coins)
+        self._batch_block = (
+            max(1, _BATCH_DRAWS // colours.shape[0])
+            if self._batched
+            else _BLOCK
+        )
+        self._buf_pos = self._batch_block  # empty; first run() refills
+        # Live (k,) count tables are maintained only while observers
+        # need per-change snapshots; otherwise counts are recomputed on
+        # demand with one bincount.
+        self._live_counts: dict[str, np.ndarray] | None = None
+        self._population_view = (
+            None if self._batched else ArrayPopulationView(self)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def n(self) -> int:
+        """Number of agents (per replication, in batched mode)."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Number of colour slots (fixed for the engine's lifetime)."""
+        return self._k
+
+    @property
+    def replications(self) -> int:
+        """Number of fused replications (1 in single-run mode)."""
+        return self._colours.shape[0] if self._batched else 1
+
+    @property
+    def time(self) -> int:
+        """Executed time-steps (shared by all replications)."""
+        return self._time
+
+    @property
+    def population(self) -> ArrayPopulationView:
+        """Population facade (single-run mode only)."""
+        if self._population_view is None:
+            raise ValueError(
+                "batched runs have no single population view; use the "
+                "(R, k) count matrices"
+            )
+        return self._population_view
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach an observer before (or between) runs."""
+        if self._batched:
+            raise ValueError(
+                "observers are only supported in single-run mode"
+            )
+        self.observers.append(observer)
+
+    def colour_counts(self) -> np.ndarray:
+        """``C_i`` per colour — ``(k,)``, or ``(R, k)`` batched."""
+        if self._live_counts is not None:
+            return self._live_counts["colour"].copy()
+        return self._bincount(None)
+
+    def dark_counts(self) -> np.ndarray:
+        """``A_i`` (shade > 0) — ``(k,)``, or ``(R, k)`` batched."""
+        if self._live_counts is not None:
+            return self._live_counts["dark"].copy()
+        return self._bincount(self._shades > LIGHT)
+
+    def light_counts(self) -> np.ndarray:
+        """``a_i`` (shade == 0) — ``(k,)``, or ``(R, k)`` batched."""
+        if self._live_counts is not None:
+            return self._live_counts["light"].copy()
+        return self._bincount(self._shades == LIGHT)
+
+    def _bincount(self, mask) -> np.ndarray:
+        k = self._k
+        if not self._batched:
+            data = self._colours if mask is None else self._colours[mask]
+            return np.bincount(data, minlength=k)
+        rows = self._colours.shape[0]
+        keys = self._colours + (np.arange(rows) * k)[:, None]
+        data = keys.ravel() if mask is None else keys[mask]
+        return np.bincount(data, minlength=rows * k).reshape(rows, k)
+
+    # ------------------------------------------------------------------
+    # Stepping
+
+    def step(self) -> bool:
+        """Execute one time-step; returns True if a state changed.
+
+        Trajectory-equivalent to ``run(1)`` (same draws), but — like
+        the scalar engine — does not fire the observers'
+        ``on_start``/``on_end`` lifecycle hooks, which frame whole
+        ``run`` calls.
+        """
+        before = self.changes
+        self._prepare()
+        if self._batched:
+            self._run_batched(1)
+        else:
+            self._run_single(1)
+        return self.changes > before
+
+    def run(self, steps: int) -> "ArraySimulation":
+        """Execute ``steps`` time-steps; returns self for chaining."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        self._prepare()
+        for observer in self.observers:
+            observer.on_start(self)
+        if self._batched:
+            self._run_batched(steps)
+        else:
+            self._run_single(steps)
+        for observer in self.observers:
+            observer.on_end(self)
+        return self
+
+    def _prepare(self) -> None:
+        self._kernel.refresh(self._k)
+        if self.observers and self._live_counts is None:
+            self._live_counts = {
+                "colour": self._bincount(None),
+                "dark": self._bincount(self._shades > LIGHT),
+                "light": self._bincount(self._shades == LIGHT),
+            }
+
+    # ------------------------------------------------------------------
+    # Single-run mode: conflict-free segments
+
+    def _run_single(self, steps: int) -> None:
+        remaining = steps
+        while remaining > 0:
+            if self._buf_pos >= _BLOCK:
+                self._refill_single()
+            take = min(remaining, _BLOCK - self._buf_pos)
+            self._process_slice(self._buf_pos, self._buf_pos + take)
+            self._buf_pos += take
+            remaining -= take
+
+    def _refill_single(self) -> None:
+        """Draw a full block of steps and precompute its conflict map."""
+        n = self._n
+        rng = self.rng
+        initiators = np.asarray(
+            self.scheduler.draw_block(n, _BLOCK, rng), dtype=np.int64
+        )
+        partner_uniforms = rng.random((_BLOCK, self._arity))
+        if self._ncoins:
+            self._buf_coins = rng.random((_BLOCK, self._ncoins))
+        else:
+            self._buf_coins = np.empty((_BLOCK, 0))
+        if self._complete:
+            draw = (partner_uniforms * (n - 1)).astype(np.int64)
+            partners = draw + (draw >= initiators[:, None])
+        else:
+            degrees = (
+                self._offsets[initiators + 1] - self._offsets[initiators]
+            )
+            local = (partner_uniforms * degrees[:, None]).astype(np.int64)
+            partners = self._targets[
+                self._offsets[initiators][:, None] + local
+            ]
+        self._buf_init = initiators
+        self._buf_partners = partners
+        self._buf_pos = 0
+        self._buf_runmax = _conflict_runmax(initiators, partners)
+
+    def _process_slice(self, lo: int, hi: int) -> None:
+        """Apply buffered steps ``[lo, hi)`` in conflict-free segments."""
+        initiators = self._buf_init
+        partners = self._buf_partners
+        coins = self._buf_coins
+        runmax = self._buf_runmax
+        colours = self._colours
+        shades = self._shades
+        kernel = self._kernel
+        start = lo
+        while start < hi:
+            end = min(
+                hi, int(np.searchsorted(runmax, start, side="left"))
+            )
+            u = initiators[start:end]
+            v = partners[start:end]
+            uc = colours[u]
+            us = shades[u]
+            new_c, new_s = kernel.apply(
+                uc, us, colours[v], shades[v], coins[start:end]
+            )
+            changed = (new_c != uc) | (new_s != us)
+            if self.observers:
+                self._apply_observed(
+                    end - start, u, uc, us, new_c, new_s, changed
+                )
+            else:
+                targets = u[changed]
+                colours[targets] = new_c[changed]
+                shades[targets] = new_s[changed]
+                self.changes += int(np.count_nonzero(changed))
+                self._time += end - start
+            start = end
+
+    def _apply_observed(
+        self, length, u, uc, us, new_c, new_s, changed
+    ) -> None:
+        """Apply a segment change-by-change so observers see exact
+        mid-trajectory state (the vectorised kernel already fixed the
+        outcomes; conflict-freedom makes sequential replay exact)."""
+        base = self._time
+        counts = self._live_counts
+        for j in np.flatnonzero(changed):
+            j = int(j)
+            agent = int(u[j])
+            old = AgentState(int(uc[j]), int(us[j]))
+            new = AgentState(int(new_c[j]), int(new_s[j]))
+            self._time = base + j + 1
+            self._colours[agent] = new.colour
+            self._shades[agent] = new.shade
+            counts["colour"][old.colour] -= 1
+            counts["colour"][new.colour] += 1
+            counts["dark" if old.shade > LIGHT else "light"][
+                old.colour
+            ] -= 1
+            counts["dark" if new.shade > LIGHT else "light"][
+                new.colour
+            ] += 1
+            self.changes += 1
+            for observer in self.observers:
+                observer.on_change(self, agent, old, new)
+        self._time = base + length
+
+    # ------------------------------------------------------------------
+    # Batched mode: one step for all replications per iteration
+
+    def _run_batched(self, steps: int) -> None:
+        remaining = steps
+        rows = np.arange(self._colours.shape[0])
+        while remaining > 0:
+            if self._buf_pos >= self._batch_block:
+                self._refill_batched()
+            take = min(remaining, self._batch_block - self._buf_pos)
+            start = self._buf_pos
+            for t in range(start, start + take):
+                self._step_batched(rows, t)
+            self._buf_pos += take
+            remaining -= take
+
+    def _refill_batched(self) -> None:
+        n = self._n
+        rng = self.rng
+        block = self._batch_block
+        r = self._colours.shape[0]
+        initiators = np.asarray(
+            self.scheduler.draw_block(n, block * r, rng), dtype=np.int64
+        ).reshape(block, r)
+        partner_uniforms = rng.random((block, r, self._arity))
+        if self._ncoins:
+            self._buf_coins = rng.random((block, r, self._ncoins))
+        else:
+            self._buf_coins = np.empty((block, r, 0))
+        if self._complete:
+            draw = (partner_uniforms * (n - 1)).astype(np.int64)
+            partners = draw + (draw >= initiators[..., None])
+        else:
+            degrees = (
+                self._offsets[initiators + 1] - self._offsets[initiators]
+            )
+            local = (partner_uniforms * degrees[..., None]).astype(np.int64)
+            partners = self._targets[
+                self._offsets[initiators][..., None] + local
+            ]
+        self._buf_init = initiators
+        self._buf_partners = partners
+        self._buf_pos = 0
+
+    def _step_batched(self, rows: np.ndarray, t: int) -> None:
+        colours = self._colours
+        shades = self._shades
+        u = self._buf_init[t]
+        v = self._buf_partners[t]
+        uc = colours[rows, u]
+        us = shades[rows, u]
+        new_c, new_s = self._kernel.apply(
+            uc,
+            us,
+            colours[rows[:, None], v],
+            shades[rows[:, None], v],
+            self._buf_coins[t],
+        )
+        changed = (new_c != uc) | (new_s != us)
+        target_rows = rows[changed]
+        target_cols = u[changed]
+        colours[target_rows, target_cols] = new_c[changed]
+        shades[target_rows, target_cols] = new_s[changed]
+        self.changes += int(np.count_nonzero(changed))
+        self._time += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = f"R={self.replications}, " if self._batched else ""
+        return (
+            f"ArraySimulation(protocol={self.protocol.name!r}, {mode}"
+            f"n={self.n}, k={self.k}, t={self.time})"
+        )
+
+
+def _conflict_runmax(
+    initiators: np.ndarray, partners: np.ndarray
+) -> np.ndarray:
+    """Running maximum of each step's latest read-write conflict.
+
+    For every step ``t`` of a drawn block, ``maxprev[t]`` is the latest
+    earlier step whose *initiator* is read by step ``t`` (as its own
+    initiator or any sampled partner), or -1.  A segment ``[s, e)`` is
+    conflict-free iff ``maxprev[t] < s`` for all ``t`` in it; since
+    ``maxprev[t] < t`` the running maximum is the segmentation oracle:
+    the segment starting at ``s`` extends to the first ``t`` with
+    ``runmax[t] >= s`` (found by binary search — the running max is
+    non-decreasing).
+
+    The latest-write lookup is one sorted search: writes are encoded as
+    ``agent * B + step`` (unique, sorted), each read ``(agent, t)``
+    queries the largest write key strictly below ``agent * B + t``.
+    """
+    block = initiators.shape[0]
+    steps = np.arange(block, dtype=np.int64)
+    write_keys = np.sort(initiators * block + steps)
+    reads = np.concatenate([initiators[:, None], partners], axis=1)
+    queries = (reads * block + steps[:, None]).ravel()
+    position = np.searchsorted(write_keys, queries, side="left") - 1
+    candidate = write_keys[np.maximum(position, 0)]
+    hit = (position >= 0) & (candidate // block == reads.ravel())
+    prev = np.where(hit, candidate % block, -1)
+    maxprev = prev.reshape(block, -1).max(axis=1)
+    return np.maximum.accumulate(maxprev)

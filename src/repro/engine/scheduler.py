@@ -27,6 +27,15 @@ class Scheduler(abc.ABC):
     ) -> np.ndarray:
         """Return ``size`` activation indices for a population of ``n``."""
 
+    def reset(self) -> None:
+        """Return to the initial scheduling state.
+
+        Engines call this once per simulation (at construction), so a
+        scheduler instance shared across replications starts every
+        simulation from the same point instead of silently continuing
+        mid-cycle.  Stateless schedulers need not override it.
+        """
+
 
 class UniformScheduler(Scheduler):
     """The paper's model: each step activates an agent u.a.r."""
@@ -50,7 +59,11 @@ class RoundRobinScheduler(Scheduler):
     name = "round-robin"
 
     def __init__(self, start: int = 0):
-        self._next = start
+        self._start = int(start)
+        self._next = int(start)
+
+    def reset(self) -> None:
+        self._next = self._start
 
     def draw_block(
         self, n: int, size: int, rng: np.random.Generator

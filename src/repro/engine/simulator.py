@@ -10,6 +10,27 @@ The loop amortises random-number generation in blocks and notifies
 observers only on actual state changes, so instrumented runs stay fast.
 Populations may grow between (not during) ``run`` calls, which is how
 the adversary interventions of :mod:`repro.adversary` are applied.
+
+Seeding contract
+----------------
+Randomness is consumed through an internal draw buffer that refills in
+fixed blocks of :data:`_BLOCK` steps, at positions determined solely by
+the *total number of executed steps* (not by how those steps were
+partitioned into calls).  Consequently, for a fixed seed and a fixed
+population size:
+
+* ``step()`` consumes exactly the draws of ``run(1)``, and ``k`` calls
+  to ``step()`` produce the same trajectory as one ``run(k)`` (only the
+  observers' per-``run`` ``on_start``/``on_end`` framing differs);
+* any split ``run(a); run(b)`` equals ``run(a + b)`` — in particular,
+  recording intervals and intervention segmentation do not perturb the
+  trajectory.
+
+Refilling may advance the underlying generator (and a stateful
+scheduler) past the executed horizon; the buffer is discarded whenever
+the population grows, so interventions that add agents re-anchor the
+stream.  For the *vectorised* agent-level engine with the same
+transition semantics see :mod:`repro.engine.array_engine`.
 """
 
 from __future__ import annotations
@@ -47,6 +68,9 @@ class Simulation:
         topology: Optional interaction graph from :mod:`repro.topology`;
             ``None`` means the complete graph (the paper's setting).
         scheduler: Activation policy; defaults to the uniform scheduler.
+            The scheduler is :meth:`~repro.engine.scheduler.Scheduler.reset`
+            at construction so that instances shared across replications
+            start each simulation from their initial state.
         rng: Seed or generator for all randomness.
         observers: Change-driven instrumentation.
     """
@@ -67,10 +91,15 @@ class Simulation:
         self.population = population
         self.topology = topology
         self.scheduler = scheduler or UniformScheduler()
+        self.scheduler.reset()
         self.rng = make_rng(rng)
         self.observers: list[Observer] = list(observers)
         self.time = 0
         self.changes = 0
+        self._buf_initiators: np.ndarray | None = None
+        self._buf_partners: np.ndarray | None = None
+        self._buf_pos = 0
+        self._buf_n = -1
         if topology is not None and topology.n != population.n:
             raise ValueError(
                 f"topology has {topology.n} nodes but population has "
@@ -96,10 +125,18 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Execute one time-step; returns True if a state changed."""
-        u = int(self.scheduler.draw_block(self.population.n, 1, self.rng)[0])
-        sampled = self._sample_partners(u, self.protocol.arity)
-        return self._apply(u, sampled)
+        """Execute one time-step; returns True if a state changed.
+
+        Trajectory-equivalent to ``run(1)`` (same draws — see the
+        module docstring for the seeding contract), but does not fire
+        the observers' ``on_start``/``on_end`` lifecycle hooks: those
+        frame whole ``run`` calls, and some (e.g. the occupancy
+        tracker's flush) cost O(n), which would dominate step-driven
+        loops.
+        """
+        before = self.changes
+        self._execute(1)
+        return self.changes > before
 
     def run(self, steps: int) -> "Simulation":
         """Execute ``steps`` time-steps; returns self for chaining."""
@@ -107,21 +144,24 @@ class Simulation:
             raise ValueError("steps must be non-negative")
         for observer in self.observers:
             observer.on_start(self)
+        self._execute(steps)
+        for observer in self.observers:
+            observer.on_end(self)
+        return self
+
+    def _execute(self, steps: int) -> None:
         remaining = steps
         arity = self.protocol.arity
         population = self.population
         complete = self.topology is None
         while remaining > 0:
-            block = min(remaining, _BLOCK)
-            n = population.n
-            initiators = self.scheduler.draw_block(n, block, self.rng)
-            if complete:
-                partners = self.rng.integers(
-                    0, n - 1, size=(block, arity)
-                )
-            else:
-                partners = None
-            for index in range(block):
+            if self._buf_pos >= _BLOCK or self._buf_n != population.n:
+                self._refill(population.n, arity, complete)
+            take = min(remaining, _BLOCK - self._buf_pos)
+            start = self._buf_pos
+            initiators = self._buf_initiators
+            partners = self._buf_partners
+            for index in range(start, start + take):
                 u = int(initiators[index])
                 if complete:
                     row = partners[index]
@@ -137,27 +177,30 @@ class Simulation:
                         for _ in range(arity)
                     ]
                 self._apply(u, sampled)
-            remaining -= block
-        for observer in self.observers:
-            observer.on_end(self)
-        return self
+            self._buf_pos += take
+            remaining -= take
 
     # ------------------------------------------------------------------
 
-    def _sample_partners(self, u: int, arity: int) -> list[AgentState]:
-        population = self.population
-        if self.topology is None:
-            n = population.n
-            return [
-                population.state_of(
-                    _partner_index(int(self.rng.integers(0, n - 1)), u)
-                )
-                for _ in range(arity)
-            ]
-        return [
-            population.state_of(self.topology.sample_neighbour(u, self.rng))
-            for _ in range(arity)
-        ]
+    def _refill(self, n: int, arity: int, complete: bool) -> None:
+        """Refill the draw buffer with a full block of ``_BLOCK`` steps.
+
+        Refills happen whenever the buffer is exhausted or the
+        population has grown, so buffer boundaries depend only on the
+        executed-step count and the intervention points — not on how
+        ``run`` calls were chunked.
+        """
+        self._buf_initiators = self.scheduler.draw_block(
+            n, _BLOCK, self.rng
+        )
+        if complete:
+            self._buf_partners = self.rng.integers(
+                0, n - 1, size=(_BLOCK, arity)
+            )
+        else:
+            self._buf_partners = None
+        self._buf_pos = 0
+        self._buf_n = n
 
     def _apply(self, u: int, sampled: list[AgentState]) -> bool:
         self.time += 1

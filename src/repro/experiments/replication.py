@@ -9,9 +9,12 @@ common measurement — final colour counts over R replications.  When the
 run is *aggregate-compatible* (Diversification or its
 ``lighten_probabilities`` ablations on the complete graph, no
 interventions), all R replications are fused into one
-:class:`~repro.engine.batched.BatchedAggregateSimulation`; agent-level
-protocols, explicit topologies and intervention schedules fall back to
-the scalar per-replication loop.
+:class:`~repro.engine.batched.BatchedAggregateSimulation`.  Agent-level
+runs (explicit topologies, baseline dynamics) that have a vectorised
+kernel fuse into one batched ``(R, n)``
+:class:`~repro.engine.array_engine.ArraySimulation` instead; protocols
+without a kernel and intervention schedules fall back to the scalar
+per-replication loop.
 """
 
 from __future__ import annotations
@@ -146,22 +149,40 @@ def replicate_colour_counts(
     base_seed: int | np.random.Generator | None = 0,
     batched: bool = True,
     lighten_probabilities: Sequence[float] | None = None,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Final colour counts of R replications, shape ``(R, k)``.
 
     Routes through :class:`~repro.engine.batched.BatchedAggregateSimulation`
-    when ``batched`` is set and the run is aggregate-compatible;
-    otherwise each replication runs on its own scalar engine seeded by
-    an independent child generator of ``base_seed``.  Rows are
-    zero-padded to the widest colour set when an intervention schedule
-    adds colours mid-run.
+    when ``batched`` is set and the run is aggregate-compatible.
+    Agent-level runs fuse into one batched ``(R, n)``
+    :class:`~repro.engine.array_engine.ArraySimulation` when ``batched``
+    is set and the protocol/topology pair has a vectorised path;
+    otherwise each replication runs on its own engine seeded by an
+    independent child generator of ``base_seed``.  Rows are zero-padded
+    to the widest colour set when an intervention schedule adds colours
+    mid-run.
+
+    ``engine`` mirrors :func:`~repro.experiments.runner.run_agent`:
+    ``"auto"`` applies the routing above, ``"scalar"``/``"array"``
+    force the agent-level engines (skipping the aggregate fast path),
+    e.g. to benchmark one engine in isolation.
     """
+    from ..engine.array_engine import ArraySimulation
     from .recorder import _pad_stack
-    from .runner import run_agent, run_aggregate
+    from .runner import (
+        initial_count_rows,
+        run_agent,
+        run_aggregate,
+        use_array_engine,
+    )
+    from .workloads import colours_from_counts
 
     if replications < 1:
         raise ValueError("need at least one replication")
-    if is_aggregate_compatible(protocol, topology=topology):
+    if engine == "auto" and is_aggregate_compatible(
+        protocol, topology=topology
+    ):
         # The whole aggregate family shares one routed path; an
         # intervention schedule makes run_aggregate fall back to its
         # scalar per-replication loop internally.
@@ -179,8 +200,45 @@ def replicate_colour_counts(
             batched=batched,
         )
         return batch.final_colour_counts
-    # Agent-level fallback: one simulator per replication, independent
-    # child generators.
+    if lighten_probabilities is not None:
+        # The override is only consumed by the aggregate engines; the
+        # agent-level paths run the protocol's own transition rule.
+        raise ValueError(
+            "lighten_probabilities requires the aggregate path "
+            "(engine='auto', no explicit topology or agent-level "
+            "protocol); use UnweightedLightening for the unit-coin "
+            "ablation on the agent engines"
+        )
+    # use_array_engine also validates the engine name and rejects
+    # engine="array" under an intervention schedule.
+    run_protocol = protocol or Diversification(weights.copy())
+    if batched and use_array_engine(
+        run_protocol, topology=topology, schedule=schedule, engine=engine
+    ):
+        # Fuse all R replications into one (R, n) array engine: one
+        # shared draw stream, one Python-level loop.
+        rng = make_rng(base_seed)
+        colour_rows = np.array(
+            [
+                colours_from_counts(row)
+                for row in initial_count_rows(
+                    start, n, weights, rng, replications
+                )
+            ],
+            dtype=np.int64,
+        )
+        simulation = ArraySimulation(
+            run_protocol,
+            colour_rows,
+            k=weights.k,
+            topology=topology,
+            rng=rng,
+        )
+        simulation.run(steps)
+        return simulation.colour_counts()
+    # Per-replication fallback: one simulator per replication,
+    # independent child generators (and, when a schedule mutates the
+    # weight table, an independent table copy per replication).
     children = spawn(make_rng(base_seed), replications)
     finals = []
     for child in children:
@@ -192,6 +250,7 @@ def replicate_colour_counts(
             record_interval=max(1, steps),
             topology=topology,
             schedule=schedule,
+            engine=engine,
         )
         finals.append(record.final_colour_counts)
     return _pad_stack(finals)

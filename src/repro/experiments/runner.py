@@ -14,6 +14,11 @@ from ..core.diversification import Diversification
 from ..core.protocol import Protocol
 from ..core.weights import WeightTable
 from ..engine.aggregate import AggregateSimulation
+from ..engine.array_engine import (
+    ArraySimulation,
+    has_kernel,
+    supports_topology,
+)
 from ..engine.batched import BatchedAggregateSimulation
 from ..engine.population import Population
 from ..engine.rng import make_rng, spawn
@@ -28,6 +33,7 @@ from .workloads import (
 )
 
 STARTS = ("worst", "uniform", "proportional", "random")
+AGENT_ENGINES = ("auto", "scalar", "array")
 
 
 def initial_counts(
@@ -46,6 +52,27 @@ def initial_counts(
     if start == "random":
         return random_counts(n, weights.k, rng)
     raise ValueError(f"unknown start {start!r}; choose from {STARTS}")
+
+
+def initial_count_rows(
+    start: str,
+    n: int,
+    weights: WeightTable,
+    rng: np.random.Generator,
+    replications: int,
+) -> np.ndarray:
+    """One ``(R, k)`` start matrix for fused replication engines.
+
+    Matches the scalar per-replication loop's distribution:
+    deterministic workloads yield identical rows, ``start="random"``
+    is resampled per replication.
+    """
+    return np.stack(
+        [
+            initial_counts(start, n, weights, rng)
+            for _ in range(replications)
+        ]
+    )
 
 
 @dataclass
@@ -172,13 +199,7 @@ def _run_aggregate_batch(
     if batched and schedule is None:
         table = weights.copy()
         rng = make_rng(seed)
-        # One start row per replication, matching the scalar loop's
-        # distribution: deterministic workloads yield identical rows,
-        # start="random" is resampled per replication.
-        dark0 = np.stack(
-            [initial_counts(start, n, table, rng)
-             for _ in range(replications)]
-        )
+        dark0 = initial_count_rows(start, n, table, rng, replications)
         engine = BatchedAggregateSimulation(
             table,
             dark0,
@@ -217,14 +238,60 @@ def _run_aggregate_batch(
     for row, record in enumerate(records):
         dark[row, : record.dark_counts.shape[1]] = record.dark_counts[-1]
         light[row, : record.light_counts.shape[1]] = record.light_counts[-1]
+    # Record the *widened* weight table when a ColourAddition schedule
+    # grew the colour set, so ``weights.k`` always matches the padded
+    # count columns (every replication applies the same deterministic
+    # schedule, so the widest per-run table is the consistent one).
+    widened = max(records, key=lambda record: record.weights.k).weights
+    if widened.k != k_max:
+        raise RuntimeError(
+            f"replication weight tables ended at k={widened.k} but count "
+            f"rows were padded to {k_max} colours"
+        )
     return BatchRunRecord(
         n=records[0].n,
-        weights=weights.copy(),
+        weights=widened.copy(),
         steps=steps,
         replications=replications,
         batched=False,
         final_dark_counts=dark,
         final_light_counts=light,
+    )
+
+
+def use_array_engine(
+    protocol: Protocol,
+    *,
+    topology=None,
+    schedule: InterventionSchedule | None = None,
+    engine: str = "auto",
+) -> bool:
+    """Resolve the agent-level engine choice for one run.
+
+    ``engine="auto"`` picks the vectorised
+    :class:`~repro.engine.array_engine.ArraySimulation` whenever the
+    protocol has a kernel, the topology is complete or CSR-backed, and
+    no intervention schedule mutates the population mid-run; anything
+    else falls back to the scalar :class:`~repro.engine.Simulation`.
+    ``engine="array"`` forces the vectorised path (raising on
+    unsupported runs), ``engine="scalar"`` forces the fallback.
+    """
+    if engine not in AGENT_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {AGENT_ENGINES}"
+        )
+    if engine == "scalar":
+        return False
+    if engine == "array":
+        if schedule is not None:
+            raise ValueError(
+                "intervention schedules require the scalar engine"
+            )
+        return True
+    return (
+        schedule is None
+        and has_kernel(protocol)
+        and supports_topology(topology)
     )
 
 
@@ -240,25 +307,47 @@ def run_agent(
     topology=None,
     observers=(),
     schedule: InterventionSchedule | None = None,
+    engine: str = "auto",
 ) -> RunRecord:
-    """Run any protocol on the agent-level engine with recording."""
+    """Run any protocol on the agent-level engine with recording.
+
+    ``engine`` selects between the scalar per-step
+    :class:`~repro.engine.Simulation` and the vectorised
+    :class:`~repro.engine.ArraySimulation` (see :func:`use_array_engine`
+    for the ``"auto"`` routing rule).  Both engines simulate the same
+    per-step model; their trajectories agree in distribution but not
+    draw-for-draw.
+    """
     counts = initial_counts(start, n, weights, seed)
-    population = Population.from_colours(
-        colours_from_counts(counts), protocol, k=weights.k
-    )
-    simulation = Simulation(
-        protocol,
-        population,
-        topology=topology,
-        rng=seed,
-        observers=list(observers),
-    )
+    colours = colours_from_counts(counts)
+    if use_array_engine(
+        protocol, topology=topology, schedule=schedule, engine=engine
+    ):
+        simulation = ArraySimulation(
+            protocol,
+            np.asarray(colours, dtype=np.int64),
+            k=weights.k,
+            topology=topology,
+            rng=seed,
+            observers=list(observers),
+        )
+    else:
+        population = Population.from_colours(
+            colours, protocol, k=weights.k
+        )
+        simulation = Simulation(
+            protocol,
+            population,
+            topology=topology,
+            rng=seed,
+            observers=list(observers),
+        )
     if record_interval is None:
         record_interval = max(1, steps // 256)
     recorder = CountRecorder(record_interval)
     run_with_interventions(simulation, steps, schedule, recorder=recorder)
     return RunRecord(
-        n=population.n,
+        n=simulation.population.n,
         weights=weights,
         steps=steps,
         times=recorder.times(),

@@ -26,10 +26,15 @@ def experiment_topology(
     *,
     rounds: int = 3000,
     seed: int = 1618,
+    engine: str = "auto",
 ) -> ExperimentTable:
     """E11: diversity error per topology at a fixed horizon.
 
-    ``n`` must be a perfect square for the torus entry.
+    ``n`` must be a perfect square for the torus entry.  All four
+    graphs (complete + the CSR-adjacency sparse graphs) are supported
+    by the vectorised agent-level engine, so ``engine="auto"`` routes
+    every run through :class:`~repro.engine.ArraySimulation`; pass
+    ``engine="scalar"`` to force the per-step reference engine.
     """
     weights = WeightTable(weight_vector)
     steps = rounds * n
@@ -56,7 +61,7 @@ def experiment_topology(
         record = run_agent(
             Diversification(local), local, n, steps,
             start="worst", seed=seed, topology=topology,
-            observers=[tracker],
+            observers=[tracker], engine=engine,
         )
         tail = max(1, len(record.times) // 4)
         counts = record.colour_counts[-tail:, : local.k].astype(float)

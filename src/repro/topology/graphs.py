@@ -55,6 +55,17 @@ class AdjacencyTopology(Topology):
         end = self._offsets[u + 1]
         return int(self._targets[start + rng.integers(0, end - start)])
 
+    def neighbour_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen CSR adjacency as ``(offsets, targets)``.
+
+        ``offsets`` has shape ``(n + 1,)`` and ``targets`` holds the
+        concatenated neighbour lists; node ``u``'s neighbours are
+        ``targets[offsets[u]:offsets[u + 1]]``.  The vectorised engine
+        (:mod:`repro.engine.array_engine`) uses this for batched
+        neighbour sampling.  Treat both arrays as read-only.
+        """
+        return self._offsets, self._targets
+
     def degree(self, u: int) -> int:
         return int(self._offsets[u + 1] - self._offsets[u])
 

@@ -1,0 +1,212 @@
+"""Integration tests: vectorised vs scalar agent-level engine
+equivalence.
+
+The array engine must be *distribution-identical* to the scalar
+:class:`~repro.engine.simulator.Simulation`, not just faster.  With
+fixed seeds we run R replications through the scalar engine (independent
+child generators) and through the array engine — both its single-run
+segmented mode and its batched ``(R, n)`` mode — then compare the final
+colour-count distributions with two-sample Kolmogorov-Smirnov tests per
+colour, on the complete graph and on an explicit CSR topology, for the
+Diversification protocol and the Voter / 3-Majority baselines.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.baselines.three_majority import ThreeMajority
+from repro.baselines.voter import VoterModel
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.array_engine import ArraySimulation
+from repro.engine.population import Population
+from repro.engine.rng import make_rng, spawn
+from repro.engine.simulator import Simulation
+from repro.topology import CycleGraph
+
+REPLICATIONS = 64
+N = 60
+STEPS = 1500
+P_FLOOR = 1e-3  # identical laws: p-values are uniform, so this is lax
+COLOURS = np.array([0] * 30 + [1] * 15 + [2] * 15)
+
+WEIGHT_VECTOR = (1.0, 2.0, 3.0)
+
+
+def make_protocol(name: str):
+    if name == "diversification":
+        return Diversification(WeightTable(WEIGHT_VECTOR))
+    if name == "voter":
+        return VoterModel()
+    return ThreeMajority()
+
+
+def make_topology(name: str):
+    return None if name == "complete" else CycleGraph(N)
+
+
+CASES = (
+    ("diversification", "complete"),
+    ("diversification", "cycle"),
+    ("voter", "complete"),
+    ("3-majority", "complete"),
+)
+
+
+def scalar_finals(protocol_name: str, topology_name: str, seed: int):
+    colour_finals, dark_finals = [], []
+    for child in spawn(make_rng(seed), REPLICATIONS):
+        protocol = make_protocol(protocol_name)
+        population = Population.from_colours(
+            COLOURS.tolist(), protocol, k=3
+        )
+        Simulation(
+            protocol,
+            population,
+            topology=make_topology(topology_name),
+            rng=child,
+        ).run(STEPS)
+        colour_finals.append(population.colour_counts())
+        dark_finals.append(population.dark_counts())
+    return np.asarray(colour_finals), np.asarray(dark_finals)
+
+
+def array_finals_batched(
+    protocol_name: str, topology_name: str, seed: int
+):
+    simulation = ArraySimulation(
+        make_protocol(protocol_name),
+        COLOURS,
+        k=3,
+        topology=make_topology(topology_name),
+        rng=seed,
+        replications=REPLICATIONS,
+    )
+    simulation.run(STEPS)
+    return simulation.colour_counts(), simulation.dark_counts()
+
+
+def array_finals_single(
+    protocol_name: str, topology_name: str, seed: int
+):
+    colour_finals, dark_finals = [], []
+    for child in spawn(make_rng(seed), REPLICATIONS):
+        simulation = ArraySimulation(
+            make_protocol(protocol_name),
+            COLOURS,
+            k=3,
+            topology=make_topology(topology_name),
+            rng=child,
+        )
+        simulation.run(STEPS)
+        colour_finals.append(simulation.colour_counts())
+        dark_finals.append(simulation.dark_counts())
+    return np.asarray(colour_finals), np.asarray(dark_finals)
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    """(protocol, topology) -> scalar / array-batched / array-single
+    final (colour, dark) count matrices, each of shape (R, 3)."""
+    out = {}
+    for protocol_name, topology_name in CASES:
+        out[protocol_name, topology_name] = {
+            "scalar": scalar_finals(protocol_name, topology_name, 101),
+            "batched": array_finals_batched(
+                protocol_name, topology_name, 202
+            ),
+            "single": array_finals_single(
+                protocol_name, topology_name, 303
+            ),
+        }
+    return out
+
+
+@pytest.mark.parametrize("case", CASES, ids=["/".join(c) for c in CASES])
+class TestArrayScalarEquivalence:
+    def test_population_conserved(self, distributions, case):
+        for counts, _ in distributions[case].values():
+            assert counts.shape == (REPLICATIONS, 3)
+            assert (counts.sum(axis=1) == N).all()
+
+    def test_ks_batched_vs_scalar(self, distributions, case):
+        """Batched (R, n) array mode: same per-colour distribution of
+        final colour counts as R independent scalar engines."""
+        scalar = distributions[case]["scalar"][0]
+        batched = distributions[case]["batched"][0]
+        for colour in range(3):
+            result = stats.ks_2samp(
+                scalar[:, colour], batched[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, (
+                f"{case} colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_ks_single_vs_scalar(self, distributions, case):
+        """Single-run segmented mode: same distribution as the scalar
+        engine under independent seeds."""
+        scalar = distributions[case]["scalar"][0]
+        single = distributions[case]["single"][0]
+        for colour in range(3):
+            result = stats.ks_2samp(scalar[:, colour], single[:, colour])
+            assert result.pvalue > P_FLOOR, (
+                f"{case} colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_ks_dark_counts(self, distributions, case):
+        """The shade split matches too, not just the colour totals."""
+        scalar = distributions[case]["scalar"][1]
+        batched = distributions[case]["batched"][1]
+        for colour in range(3):
+            result = stats.ks_2samp(
+                scalar[:, colour], batched[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, (
+                f"{case} dark colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_spreads_comparable(self, distributions, case):
+        """Not just location: per-colour standard deviations estimate
+        the same law, so they should agree within a factor of 2.
+
+        Skipped for the consensus baselines, whose final distributions
+        are near-degenerate at this horizon (almost every replication
+        ends at the same consensus), making a std ratio dominated by
+        single rare outcomes rather than by the law.
+        """
+        if case[0] != "diversification":
+            pytest.skip("near-degenerate consensus distribution")
+        scalar = distributions[case]["scalar"][0]
+        batched = distributions[case]["batched"][0]
+        for colour in range(3):
+            ratio = (batched[:, colour].std(ddof=1) + 1.0) / (
+                scalar[:, colour].std(ddof=1) + 1.0
+            )
+            assert 0.5 <= ratio <= 2.0, f"{case} colour {colour}"
+
+
+class TestRoutedEquivalence:
+    """The run_agent routing produces the same distributions whichever
+    engine it picks."""
+
+    def test_run_agent_engines_agree(self):
+        from repro.experiments.runner import run_agent
+
+        weights = WeightTable(WEIGHT_VECTOR)
+        finals = {}
+        for engine, seed in (("array", 11), ("scalar", 22)):
+            rows = []
+            for child in spawn(make_rng(seed), 48):
+                record = run_agent(
+                    Diversification(weights.copy()), weights, N, STEPS,
+                    start="worst", seed=child,
+                    record_interval=STEPS, engine=engine,
+                )
+                rows.append(record.final_colour_counts)
+            finals[engine] = np.asarray(rows)
+        for colour in range(3):
+            result = stats.ks_2samp(
+                finals["array"][:, colour], finals["scalar"][:, colour]
+            )
+            assert result.pvalue > P_FLOOR, f"colour {colour}"

@@ -31,6 +31,17 @@ class TestParser:
         assert args.replications == 25
         assert not args.batched
 
+    def test_demo_engine_defaults_to_aggregate(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.engine == "aggregate"
+
+    def test_demo_accepts_engine_choices(self):
+        for engine in ("aggregate", "scalar", "array"):
+            args = build_parser().parse_args(["demo", "--engine", engine])
+            assert args.engine == engine
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--engine", "bogus"])
+
 
 class TestQuickOverrides:
     def test_every_override_names_a_real_experiment(self):
@@ -112,6 +123,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "replications=4" in out
         assert "scalar engine" in out
+
+    def test_demo_array_engine(self, capsys):
+        code = main(
+            ["demo", "--n", "200", "--weights", "1,2", "--rounds", "400",
+             "--seed", "3", "--engine", "array"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diversity error" in out
+        assert "fair share" in out
+
+    def test_demo_array_engine_replicated(self, capsys):
+        code = main(
+            ["demo", "--n", "100", "--weights", "1,2", "--rounds", "100",
+             "--seed", "5", "--replications", "6", "--engine", "array"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replications=6" in out
+        assert "agent/array engine" in out
 
     def test_series(self, capsys):
         code = main(

@@ -52,20 +52,37 @@ class TestOccupancyTracker:
 
     def test_frozen_agent_full_occupancy(self):
         """An agent that never changes spends all time in its colour."""
+
+        class ChangeLog:
+            def __init__(self):
+                self.agents = set()
+
+            def on_start(self, simulation):
+                pass
+
+            def on_change(self, simulation, agent, old, new):
+                self.agents.add(agent)
+
+            def on_end(self, simulation):
+                pass
+
         tracker = OccupancyTracker()
-        # Two colours with huge weights: lightening is rare, colour
-        # changes rarer; use a colour that only one agent holds - it
-        # can never lighten (needs a same-colour dark partner).
-        weights = WeightTable([1.0, 50.0])
+        log = ChangeLog()
+        # A huge second weight keeps colour-1 agents almost always
+        # frozen (lightening coin 1/500), so some agents never change.
+        weights = WeightTable([1.0, 500.0])
         protocol = Diversification(weights)
-        population = Population.from_colours([0] * 9 + [1], protocol)
+        colours = [0] * 5 + [1] * 5
+        population = Population.from_colours(colours, protocol)
         simulation = Simulation(
-            protocol, population, rng=4, observers=[tracker]
+            protocol, population, rng=4, observers=[tracker, log]
         )
         simulation.run(2000)
+        frozen = set(range(10)) - log.agents
+        assert frozen, "no agent stayed frozen; pick another seed"
         occupancy = tracker.occupancy_fractions()
-        # Agent 9 is the lone dark supporter of colour 1: frozen.
-        assert occupancy[9, 1] == pytest.approx(1.0)
+        for agent in frozen:
+            assert occupancy[agent, colours[agent]] == pytest.approx(1.0)
 
     def test_accumulates_across_runs(self):
         tracker = OccupancyTracker()

@@ -106,6 +106,110 @@ class TestRunHelpers:
         assert record.final_colour_counts.sum() == 24
 
 
+class TestAgentEngineRouting:
+    def test_auto_routes_kernelised_protocol_to_array(self, skewed_weights):
+        from repro.engine.array_engine import ArraySimulation
+
+        weights = skewed_weights.copy()
+        record = run_agent(
+            Diversification(weights), weights, n=30, steps=500, seed=0
+        )
+        assert isinstance(record.extras["simulation"], ArraySimulation)
+
+    def test_scalar_engine_forced(self, skewed_weights):
+        from repro.engine.simulator import Simulation
+
+        weights = skewed_weights.copy()
+        record = run_agent(
+            Diversification(weights), weights, n=30, steps=500, seed=0,
+            engine="scalar",
+        )
+        assert isinstance(record.extras["simulation"], Simulation)
+
+    def test_auto_falls_back_without_kernel(self, skewed_weights):
+        from repro.core.derandomised import DerandomisedDiversification
+        from repro.engine.simulator import Simulation
+
+        weights = WeightTable([1.0, 2.0, 3.0])
+        record = run_agent(
+            DerandomisedDiversification(weights), weights,
+            n=30, steps=500, seed=0,
+        )
+        assert isinstance(record.extras["simulation"], Simulation)
+
+    def test_schedule_falls_back_to_scalar(self, skewed_weights):
+        from repro.adversary.interventions import AddAgents
+        from repro.adversary.schedule import InterventionSchedule
+        from repro.engine.simulator import Simulation
+
+        weights = skewed_weights.copy()
+        schedule = InterventionSchedule([(100, AddAgents(0, 5))])
+        record = run_agent(
+            Diversification(weights), weights, n=30, steps=500, seed=0,
+            schedule=schedule,
+        )
+        assert isinstance(record.extras["simulation"], Simulation)
+        assert record.final_colour_counts.sum() == 35
+
+    def test_array_engine_rejects_schedule(self, skewed_weights):
+        from repro.adversary.interventions import AddAgents
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = skewed_weights.copy()
+        schedule = InterventionSchedule([(100, AddAgents(0, 5))])
+        with pytest.raises(ValueError, match="scalar engine"):
+            run_agent(
+                Diversification(weights), weights, n=30, steps=500,
+                seed=0, schedule=schedule, engine="array",
+            )
+
+    def test_unknown_engine_rejected(self, skewed_weights):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_agent(
+                Diversification(skewed_weights), skewed_weights,
+                n=30, steps=100, engine="bogus",
+            )
+
+
+class TestScalarReplicationWeightsRegression:
+    """Regression: the scalar replication fallback used to return the
+    *original* k-colour weight table while the final count rows were
+    zero-padded to the widened colour set, so ``record.weights.k``
+    disagreed with the count matrices after a ColourAddition schedule."""
+
+    def test_widened_table_recorded(self):
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = WeightTable([1.0, 2.0])
+        schedule = InterventionSchedule(
+            [(200, AddColour(weight=3.0, count=10))]
+        )
+        batch = run_aggregate(
+            weights, n=30, steps=600, seed=0,
+            replications=3, schedule=schedule, batched=True,
+        )
+        assert not batch.batched  # schedules force the scalar loop
+        assert batch.final_dark_counts.shape == (3, 3)
+        assert batch.weights.k == batch.final_dark_counts.shape[1]
+        assert list(batch.weights) == [1.0, 2.0, 3.0]
+        assert weights.k == 2  # caller's table untouched
+        assert (batch.final_colour_counts.sum(axis=1) == 40).all()
+
+    def test_unwidened_schedule_keeps_original_table(self):
+        from repro.adversary.interventions import AddAgents
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = WeightTable([1.0, 2.0])
+        schedule = InterventionSchedule([(200, AddAgents(0, 4))])
+        batch = run_aggregate(
+            weights, n=30, steps=600, seed=0,
+            replications=2, schedule=schedule,
+        )
+        assert batch.weights.k == 2
+        assert batch.final_dark_counts.shape == (2, 2)
+
+
 class TestReportFormatting:
     def test_format_value_bool(self):
         assert format_value(True) == "yes"

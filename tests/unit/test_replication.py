@@ -224,3 +224,40 @@ class TestReplicateColourCountsRouting:
             replicate_colour_counts(
                 WeightTable([1.0]), 10, 10, replications=0
             )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            replicate_colour_counts(
+                WeightTable([1.0, 2.0]), 20, 100, replications=2,
+                engine="bogus",
+            )
+
+    def test_forced_agent_engines_skip_aggregate_path(self, spy_batched):
+        weights = WeightTable([1.0, 2.0])
+        for engine in ("scalar", "array"):
+            counts = replicate_colour_counts(
+                weights, 30, 400, replications=4, base_seed=0,
+                engine=engine,
+            )
+            assert counts.shape == (4, 2)
+            assert (counts.sum(axis=1) == 30).all()
+        assert spy_batched.instances == 0
+
+    def test_lighten_override_requires_aggregate_path(self):
+        """The lighten_probabilities override is only consumed by the
+        aggregate engines; silently dropping it on the agent-level
+        paths would simulate the wrong dynamics."""
+        weights = WeightTable([1.0, 2.0])
+        with pytest.raises(ValueError, match="lighten_probabilities"):
+            replicate_colour_counts(
+                weights, 30, 400, replications=2,
+                lighten_probabilities=[1.0, 1.0], engine="array",
+            )
+        from repro.topology.graphs import CycleGraph
+
+        with pytest.raises(ValueError, match="lighten_probabilities"):
+            replicate_colour_counts(
+                weights, 20, 200, replications=2,
+                lighten_probabilities=[1.0, 1.0],
+                topology=CycleGraph(20),
+            )

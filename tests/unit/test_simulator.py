@@ -91,6 +91,64 @@ class TestStepping:
         assert simulation.changes == len(observer.changes)
 
 
+class TestSeedingContract:
+    """The documented contract: randomness is consumed in fixed blocks
+    anchored to the executed-step count, so trajectories depend only on
+    the seed and the total number of steps — not on how those steps
+    were partitioned into step()/run() calls."""
+
+    def _counts(self, simulation):
+        return (
+            simulation.population.colour_counts(),
+            simulation.population.dark_counts(),
+        )
+
+    def test_step_equals_run(self):
+        a = build_simulation(n=16, k=2, seed=11)
+        b = build_simulation(n=16, k=2, seed=11)
+        for _ in range(300):
+            a.step()
+        b.run(300)
+        for left, right in zip(self._counts(a), self._counts(b)):
+            np.testing.assert_array_equal(left, right)
+        assert a.time == b.time == 300
+        assert a.changes == b.changes
+
+    def test_run_chunking_invariance(self):
+        whole = build_simulation(n=16, k=3, seed=5)
+        whole.run(5000)
+        chunked = build_simulation(n=16, k=3, seed=5)
+        # Uneven chunks crossing the internal 4096-step block boundary.
+        for chunk in (1, 999, 3000, 96, 1, 903):
+            chunked.run(chunk)
+        assert chunked.time == 5000
+        for left, right in zip(
+            self._counts(whole), self._counts(chunked)
+        ):
+            np.testing.assert_array_equal(left, right)
+
+    def test_step_equals_run_on_topology(self):
+        from repro.topology import CycleGraph
+
+        weights = WeightTable.uniform(2)
+        protocol = Diversification(weights)
+
+        def make():
+            population = Population.from_colours(
+                [i % 2 for i in range(8)], protocol, k=2
+            )
+            return Simulation(
+                protocol, population, topology=CycleGraph(8), rng=13
+            )
+
+        a, b = make(), make()
+        for _ in range(200):
+            a.step()
+        b.run(200)
+        for left, right in zip(self._counts(a), self._counts(b)):
+            np.testing.assert_array_equal(left, right)
+
+
 class TestObserverLifecycle:
     def test_hooks_called(self):
         observer = RecordingObserver()
