@@ -1,0 +1,116 @@
+"""E15 — parallel sharded sweep: wall-clock speedup of the pipeline's
+``multiprocessing`` executor (``--jobs 4``) over serial execution on a
+multi-seed E2 sweep, plus the bit-identical-merge guarantee.
+
+Runs under pytest-benchmark like the other benches, and also as a plain
+script (``python benchmarks/bench_e15_parallel_sweep.py``) that writes
+the timing JSON to ``benchmarks/results/e15_parallel_sweep_timing.json``
+for the CI artifact.
+
+The ≥ 2x speedup target applies on hosts with at least 4 usable cores
+(the CI runners); on smaller hosts the benchmark still verifies that
+serial and parallel merged results are bit-identical and reports the
+measured ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.convergence import spec_diversity_error
+from repro.experiments.pipeline import execute
+
+NS = (384, 512)
+WEIGHT_VECTOR = (1.0, 2.0, 3.0)
+SEEDS = 4
+BASE_SEED = 509
+JOBS = 4
+TARGET_SPEEDUP = 2.0
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent
+    / "results"
+    / "e15_parallel_sweep_timing.json"
+)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _spec():
+    return spec_diversity_error(
+        ns=NS, weight_vector=WEIGHT_VECTOR, seeds=SEEDS,
+        base_seed=BASE_SEED,
+    )
+
+
+def measure() -> dict:
+    """Time the serial and ``jobs=4`` executors on the same plan."""
+    execute(_spec())  # warm-up: NumPy internals, allocator, caches
+    start = time.perf_counter()
+    serial = execute(_spec())
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = execute(_spec(), jobs=JOBS)
+    parallel_seconds = time.perf_counter() - start
+    identical = (
+        serial.values() == parallel.values()
+        and serial.table().render() == parallel.table().render()
+    )
+    return {
+        "ns": list(NS),
+        "weights": list(WEIGHT_VECTOR),
+        "seeds": SEEDS,
+        "base_seed": BASE_SEED,
+        "shards": len(serial.results),
+        "jobs": JOBS,
+        "cpus": _cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical": identical,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """jobs=4 beats serial by >= 2x (given >= 4 cores) and merges
+    bit-identically."""
+    timing = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(json.dumps(timing, indent=2))
+    assert timing["identical"], "serial and parallel results diverged"
+    if timing["cpus"] >= 4:
+        assert timing["speedup"] >= TARGET_SPEEDUP, timing
+
+
+def main() -> int:
+    timing = measure()
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(timing, indent=2) + "\n")
+    print(json.dumps(timing, indent=2))
+    if not timing["identical"]:
+        print("FAIL: serial and parallel merged results diverged")
+        return 1
+    print("serial vs --jobs 4 results bit-identical")
+    enough_cores = timing["cpus"] >= 4
+    ok = timing["speedup"] >= TARGET_SPEEDUP
+    print(
+        f"speedup {timing['speedup']:.1f}x on {timing['cpus']} cores "
+        f"({'meets' if ok else 'BELOW'} the {TARGET_SPEEDUP:.0f}x target"
+        f"{'' if enough_cores else '; target needs >= 4 cores'})"
+    )
+    return 0 if ok or not enough_cores else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,8 @@ Examples::
 
     repro list
     repro run e2 --quick
-    repro run e1
+    repro run e1 e2 --profile quick --jobs 4
+    repro run --profile quick --out results
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
     repro demo --n 1000 --replications 100 --batched
     repro demo --n 10000 --engine array
@@ -13,34 +14,24 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 import numpy as np
 
 from .core.properties import assess_goodness
 from .core.weights import WeightTable
-from .experiments import ALL_EXPERIMENTS, run_aggregate
+from .experiments import REGISTRY, run_aggregate
+from .experiments.export import save_plan, table_to_json
+from .experiments.pipeline import execute
 from .experiments.report import format_table
 
+# Back-compat view of the per-experiment profiles that used to be
+# hardcoded here; the registry entries own them now.
 QUICK_OVERRIDES: dict[str, dict] = {
-    "e1": {"ns": (128, 256), "seeds": 2},
-    "e2": {"ns": (128, 256, 512), "seeds": 2},
-    "e3": {"n": 512, "settle_factor": 8.0},
-    "e3b": {"ns": (128, 256), "seeds": 2},
-    "e4": {"n": 1024, "settle_factor": 6.0, "window_samples": 64},
-    "e5": {"n": 128, "horizon_rounds": (200, 800)},
-    "e6": {"n": 96, "steps_per_agent": 400, "seeds": 5},
-    "e7": {"n": 512, "settle_factor": 6.0},
-    "e8": {"n": 128, "sim_steps": 60_000},
-    "e9": {"n": 256, "rounds": 1500, "seeds": 2},
-    "e9b": {"ns": (128, 256, 512), "seeds": 2, "settle_rounds": 600,
-            "window_samples": 32},
-    "e10": {"n": 96, "rounds": 2000},
-    "e10b": {"n": 100, "seeds": 3, "steps_per_agent": 600},
-    "e11": {"n": 144, "rounds": 2000},
-    "e12": {"n": 96, "rounds": 100, "seeds": 12,
-            "throughput_steps": 60_000},
-    "ablations": {"n": 256, "rounds": 1500},
+    name: dict(definition.profiles["quick"])
+    for name, definition in REGISTRY.items()
+    if "quick" in definition.profiles
 }
 
 
@@ -54,25 +45,72 @@ def _parse_weights(text: str) -> WeightTable:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = [
-        [name, fn.__doc__.strip().splitlines()[0] if fn.__doc__ else ""]
-        for name, fn in sorted(ALL_EXPERIMENTS.items())
+        [
+            name,
+            "/".join(sorted(definition.profiles)) or "-",
+            definition.description,
+        ]
+        for name, definition in sorted(REGISTRY.items())
     ]
-    print(format_table(["experiment", "description"], rows))
+    print(format_table(["experiment", "profiles", "description"], rows))
     return 0
 
 
+def _resolve_profile(args: argparse.Namespace) -> str | None:
+    """Profile name from --profile/--quick; None on a conflict."""
+    if args.quick and args.profile not in (None, "quick"):
+        return None
+    return args.profile or ("quick" if args.quick else "full")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    names = args.experiments or sorted(ALL_EXPERIMENTS)
-    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    profile = _resolve_profile(args)
+    if profile is None:
+        print(
+            f"--quick conflicts with --profile {args.profile}",
+            file=sys.stderr,
+        )
+        return 2
+    names = args.experiments or sorted(REGISTRY)
+    unknown = [name for name in names if name not in REGISTRY]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
     for name in names:
-        fn = ALL_EXPERIMENTS[name]
-        kwargs = dict(QUICK_OVERRIDES.get(name, {})) if args.quick else {}
-        table = fn(**kwargs)
+        definition = REGISTRY[name]
+        if profile not in definition.profiles:
+            print(
+                f"experiment {name!r} has no {profile!r} profile "
+                f"(available: {', '.join(sorted(definition.profiles))})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs = dict(definition.profiles[profile])
+        if definition.spec is not None:
+            result = execute(definition.spec(**kwargs), jobs=args.jobs)
+            table = result.table()
+        else:
+            if args.jobs is not None and args.jobs > 1:
+                print(
+                    f"note: {name} runs outside the pipeline; "
+                    "--jobs has no effect on it",
+                    file=sys.stderr,
+                )
+            result = None
+            table = definition.run(**kwargs)
         print(table.render())
         print()
+        if args.out is not None:
+            directory = pathlib.Path(args.out)
+            if result is not None:
+                path = save_plan(result, table, directory, profile=profile)
+            else:
+                # Non-pipeline experiment: persist the table JSON under
+                # the same profile-suffixed naming as plan artifacts.
+                directory.mkdir(parents=True, exist_ok=True)
+                path = directory / f"{name}-{profile}.json"
+                path.write_text(table_to_json(table) + "\n")
+            print(f"artifact: {path}", file=sys.stderr)
     return 0
 
 
@@ -215,8 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (default: all)",
     )
     p_run.add_argument(
+        "--profile", type=str, default=None,
+        help="named parameter profile from the registry "
+             "(default: 'full'; see `repro list`)",
+    )
+    p_run.add_argument(
         "--quick", action="store_true",
-        help="smaller parameters for a fast pass",
+        help="smaller parameters for a fast pass "
+             "(alias for --profile quick)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="run pipeline shards across N worker processes "
+             "(default: serial; results are identical either way)",
+    )
+    p_run.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="persist a JSON artifact per experiment (spec + per-shard "
+             "results + timings) under this directory, e.g. results/",
     )
     p_run.set_defaults(func=_cmd_run)
 

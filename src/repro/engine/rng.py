@@ -27,6 +27,34 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
 
 
+def spawn_sequences(
+    seed: int | np.random.SeedSequence | None, count: int
+) -> list[np.random.SeedSequence]:
+    """``count`` child seed sequences of ``seed``, derived statelessly.
+
+    Unlike :func:`spawn`, which advances the parent generator's spawn
+    counter, this derives the children from a *fresh*
+    :class:`~numpy.random.SeedSequence`, so the mapping from
+    ``(seed, index)`` to a child is pure and prefix-stable:
+    ``spawn_sequences(s, m)[:j] == spawn_sequences(s, n)[:j]`` for any
+    ``j <= min(m, n)``.  The first ``count`` children equal those of
+    ``spawn(make_rng(seed), count)``, so pipelines that shard a legacy
+    seed loop reproduce its replication streams exactly.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.SeedSequence):
+        # Copy so the caller's sequence keeps its own spawn counter.
+        sequence = np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=seed.spawn_key,
+            pool_size=seed.pool_size,
+        )
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return sequence.spawn(count)
+
+
 def seed_stream(base_seed: int) -> Iterator[int]:
     """Infinite deterministic stream of distinct 63-bit seeds."""
     sequence = np.random.SeedSequence(base_seed)

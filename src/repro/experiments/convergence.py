@@ -4,6 +4,12 @@ E1 measures the hitting time of the diversity band from the worst-case
 start and checks the ``O(w² n log n)`` shape of Thm 1.3.  E2 measures
 the stabilised diversity error and checks the ``Õ(1/√n)`` shape of
 Def 1.1(1)/Eq. (1).
+
+Both run through the declarative pipeline: the sweep over
+``(weights, n)`` is a :class:`~repro.experiments.pipeline.ScenarioSpec`
+grid, each seed is an independent shard, and the legacy
+``spawn(make_rng(base_seed + n), seeds)`` replication streams are
+reproduced by the ``"cell"`` seed scope.
 """
 
 from __future__ import annotations
@@ -13,10 +19,13 @@ import numpy as np
 from ..core.properties import diversity_bound, fair_share_deviation
 from ..core.weights import WeightTable
 from ..engine.aggregate import AggregateSimulation
-from ..engine.rng import make_rng, spawn
 from ..analysis.statistics import fit_n_log_n, fit_power_law
+from .pipeline import ScenarioSpec, execute
 from .table import ExperimentTable
 from .workloads import worst_case_counts
+
+E1_PROFILES = {"full": {}, "quick": {"ns": (128, 256), "seeds": 2}}
+E2_PROFILES = {"full": {}, "quick": {"ns": (128, 256, 512), "seeds": 2}}
 
 
 def measure_convergence_time(
@@ -49,37 +58,34 @@ def measure_convergence_time(
     return engine.run_until(inside_band, max_steps=max_steps)
 
 
-def experiment_convergence_scaling(
-    ns=(128, 256, 512, 1024),
-    weight_vectors=((1.0, 1.0, 1.0, 1.0), (1.0, 2.0, 3.0, 4.0)),
-    *,
-    seeds: int = 3,
-    base_seed: int = 2021,
-) -> ExperimentTable:
-    """E1: convergence time vs n for uniform and skewed weights.
+def _measure_hitting(params: dict, rng: np.random.Generator) -> dict:
+    """E1 shard: one hitting-time replication at one ``(vector, n)``."""
+    hit = measure_convergence_time(
+        WeightTable(params["vector"]), params["n"], seed=rng
+    )
+    return {"hit": None if hit is None else int(hit)}
 
-    Paper claim (Thm 1.3): ``T = O(w² n log n)``.  Expected shape: the
-    column ``T/(n ln n)`` is roughly flat in ``n`` for each weight
-    vector, and grows with ``w`` across vectors.
-    """
+
+def _build_convergence_scaling(result) -> ExperimentTable:
+    """Aggregate E1 shards into the Thm-1.3 scaling table."""
     table = ExperimentTable(
         "E1",
         "Convergence time to the diversity band (Thm 1.3: O(w^2 n log n))",
         ["weights", "n", "mean T", "std T", "T/(n ln n)", "T/(w^2 n ln n)",
          "hits"],
     )
-    for vector in weight_vectors:
+    groups: dict[tuple, list] = {}
+    for params, values in result.by_cell():
+        groups.setdefault(params["vector"], []).append(
+            (params["n"], values)
+        )
+    for vector, cells in groups.items():
         weights = WeightTable(vector)
         w = weights.total
         mean_times = []
         used_ns = []
-        for n in ns:
-            rng = make_rng(base_seed + n)
-            times = []
-            for child in spawn(rng, seeds):
-                hit = measure_convergence_time(weights, n, seed=child)
-                if hit is not None:
-                    times.append(hit)
+        for n, values in cells:
+            times = [v["hit"] for v in values if v["hit"] is not None]
             if times:
                 mean = float(np.mean(times))
                 std = float(np.std(times))
@@ -103,6 +109,49 @@ def experiment_convergence_scaling(
         "larger constant (paper: quadratic in w, we do not tune constants)."
     )
     return table
+
+
+def spec_convergence_scaling(
+    ns=(128, 256, 512, 1024),
+    weight_vectors=((1.0, 1.0, 1.0, 1.0), (1.0, 2.0, 3.0, 4.0)),
+    *,
+    seeds: int = 3,
+    base_seed: int = 2021,
+) -> ScenarioSpec:
+    """E1 as a scenario: ``(vector × n)`` grid, ``seeds`` shards each."""
+    return ScenarioSpec(
+        name="e1",
+        measure=_measure_hitting,
+        grid={
+            "vector": tuple(tuple(vector) for vector in weight_vectors),
+            "n": tuple(ns),
+        },
+        replications=seeds,
+        base_seed=base_seed,
+        seed_scope="cell",
+        cell_seed=lambda params: base_seed + params["n"],
+        build=_build_convergence_scaling,
+    )
+
+
+def experiment_convergence_scaling(
+    ns=(128, 256, 512, 1024),
+    weight_vectors=((1.0, 1.0, 1.0, 1.0), (1.0, 2.0, 3.0, 4.0)),
+    *,
+    seeds: int = 3,
+    base_seed: int = 2021,
+) -> ExperimentTable:
+    """E1: convergence time vs n for uniform and skewed weights.
+
+    Paper claim (Thm 1.3): ``T = O(w² n log n)``.  Expected shape: the
+    column ``T/(n ln n)`` is roughly flat in ``n`` for each weight
+    vector, and grows with ``w`` across vectors.
+    """
+    return execute(
+        spec_convergence_scaling(
+            ns, weight_vectors, seeds=seeds, base_seed=base_seed
+        )
+    ).table()
 
 
 def measure_stabilised_error(
@@ -135,6 +184,62 @@ def measure_stabilised_error(
     return worst
 
 
+def _measure_stabilised(params: dict, rng: np.random.Generator) -> dict:
+    """E2 shard: one stabilised-error replication at one ``n``."""
+    return {
+        "error": measure_stabilised_error(
+            WeightTable(params["vector"]), params["n"], seed=rng
+        )
+    }
+
+
+def _build_diversity_error(result) -> ExperimentTable:
+    """Aggregate E2 shards into the Eq.-(1) error table."""
+    table = ExperimentTable(
+        "E2",
+        "Stabilised diversity error |C_i/n − w_i/w| (Eq. (1): Õ(1/√n))",
+        ["n", "mean err", "max err", "bound sqrt(ln n/n)", "within"],
+    )
+    ns = []
+    mean_errors = []
+    for params, values in result.by_cell():
+        n = params["n"]
+        errors = [value["error"] for value in values]
+        mean_error = float(np.mean(errors))
+        max_error = float(np.max(errors))
+        bound = diversity_bound(n)
+        ns.append(n)
+        mean_errors.append(mean_error)
+        table.add_row(n, mean_error, max_error, bound, max_error <= bound)
+    fit = fit_power_law(np.array(ns, float), np.array(mean_errors))
+    table.add_note(
+        f"power-law fit: error ~ n^{fit.exponent:.2f} "
+        f"(paper shape: n^-0.5), R²={fit.r_squared:.3f}"
+    )
+    return table
+
+
+def spec_diversity_error(
+    ns=(128, 256, 512, 1024, 2048),
+    weight_vector=(1.0, 2.0, 3.0, 4.0),
+    *,
+    seeds: int = 3,
+    base_seed: int = 509,
+) -> ScenarioSpec:
+    """E2 as a scenario: an ``n`` sweep with ``seeds`` shards per point."""
+    return ScenarioSpec(
+        name="e2",
+        measure=_measure_stabilised,
+        grid={"n": tuple(ns)},
+        fixed={"vector": tuple(weight_vector)},
+        replications=seeds,
+        base_seed=base_seed,
+        seed_scope="cell",
+        cell_seed=lambda params: base_seed + params["n"],
+        build=_build_diversity_error,
+    )
+
+
 def experiment_diversity_error(
     ns=(128, 256, 512, 1024, 2048),
     weight_vector=(1.0, 2.0, 3.0, 4.0),
@@ -148,30 +253,11 @@ def experiment_diversity_error(
     fitted power-law exponent of error vs n is close to −1/2, and the
     error stays below ``sqrt(log n / n)``.
     """
-    weights = WeightTable(weight_vector)
-    table = ExperimentTable(
-        "E2",
-        "Stabilised diversity error |C_i/n − w_i/w| (Eq. (1): Õ(1/√n))",
-        ["n", "mean err", "max err", "bound sqrt(ln n/n)", "within"],
-    )
-    mean_errors = []
-    for n in ns:
-        rng = make_rng(base_seed + n)
-        errors = [
-            measure_stabilised_error(weights, n, seed=child)
-            for child in spawn(rng, seeds)
-        ]
-        mean_error = float(np.mean(errors))
-        max_error = float(np.max(errors))
-        bound = diversity_bound(n)
-        mean_errors.append(mean_error)
-        table.add_row(n, mean_error, max_error, bound, max_error <= bound)
-    fit = fit_power_law(np.array(ns, float), np.array(mean_errors))
-    table.add_note(
-        f"power-law fit: error ~ n^{fit.exponent:.2f} "
-        f"(paper shape: n^-0.5), R²={fit.r_squared:.3f}"
-    )
-    return table
+    return execute(
+        spec_diversity_error(
+            ns, weight_vector, seeds=seeds, base_seed=base_seed
+        )
+    ).table()
 
 
 def window_deviation_profile(

@@ -21,6 +21,12 @@ from ..engine.simulator import Simulation
 from .table import ExperimentTable
 from .workloads import colours_from_counts, worst_case_counts
 
+E12_PROFILES = {
+    "full": {},
+    "quick": {"n": 96, "rounds": 100, "seeds": 12,
+              "throughput_steps": 60_000},
+}
+
 
 def paired_final_counts(
     weights: WeightTable,

@@ -1,9 +1,14 @@
-"""Export of experiment tables and run records to CSV / JSON.
+"""Export of experiment tables, run records and executed plans to
+CSV / JSON.
 
 Downstream users typically want the raw rows for their own plotting
-pipelines; these helpers serialise :class:`ExperimentTable` and
-:class:`~repro.experiments.runner.RunRecord` without any third-party
-dependency.
+pipelines; these helpers serialise :class:`ExperimentTable`,
+:class:`~repro.experiments.runner.RunRecord` and
+:class:`~repro.experiments.pipeline.PlanResult` without any
+third-party dependency.  Executed plans persist as self-describing
+JSON artifacts (spec + per-shard results + timings + the rendered
+table) under a results directory, and :func:`plan_table` reloads an
+artifact into the same table the run printed.
 """
 
 from __future__ import annotations
@@ -15,8 +20,11 @@ import pathlib
 
 import numpy as np
 
+from .pipeline import PlanResult
 from .runner import RunRecord
 from .table import ExperimentTable
+
+PLAN_FORMAT = "repro-plan/v1"
 
 
 def _plain(value):
@@ -28,6 +36,22 @@ def _plain(value):
     if isinstance(value, np.bool_):
         return bool(value)
     return value
+
+
+def _plain_tree(value):
+    """Recursively JSON-safe copy of nested dicts/sequences/arrays."""
+    if isinstance(value, dict):
+        return {str(key): _plain_tree(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain_tree(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _plain_tree(value.tolist())
+    return _plain(value)
+
+
+def _callable_ref(fn) -> str:
+    """Stable ``module:qualname`` reference for a spec callable."""
+    return f"{fn.__module__}:{fn.__qualname__}"
 
 
 def table_to_csv(table: ExperimentTable) -> str:
@@ -75,6 +99,112 @@ def save_table(
             raise ValueError(f"unknown format {fmt!r}")
         written.append(path)
     return written
+
+
+def spec_to_payload(spec) -> dict:
+    """JSON description of a :class:`ScenarioSpec` (callables by ref)."""
+    return {
+        "name": spec.name,
+        "measure": _callable_ref(spec.measure),
+        "grid": {
+            axis: _plain_tree(list(values))
+            for axis, values in spec.grid.items()
+        },
+        "fixed": _plain_tree(dict(spec.fixed)),
+        "replications": spec.replications,
+        "base_seed": _plain(spec.base_seed),
+        "seed_scope": spec.seed_scope,
+        "context": _plain_tree(dict(spec.context)),
+    }
+
+
+def plan_to_json(
+    result: PlanResult,
+    table: ExperimentTable | None = None,
+    *,
+    profile: str | None = None,
+) -> str:
+    """Serialise an executed plan as a self-describing JSON artifact.
+
+    The artifact records the spec (grid, fixed parameters, seeding
+    rule), one entry per shard (parameters, wall-clock, measurement
+    value) and, when given, the rendered table — enough to re-plot, to
+    audit per-shard timings, or to reload the table without re-running.
+    """
+    payload = {
+        "format": PLAN_FORMAT,
+        "experiment": result.spec.name,
+        "profile": profile,
+        "spec": spec_to_payload(result.spec),
+        "jobs": result.jobs,
+        "elapsed_seconds": result.elapsed_seconds,
+        "shards": [
+            {
+                "index": entry.shard.index,
+                "cell": entry.shard.cell,
+                "replication": entry.shard.replication,
+                "params": _plain_tree(dict(entry.shard.params)),
+                # The resolved SeedSequence, so 'cell'/'direct' scopes
+                # (whose cell_seed closure is not serialisable) stay
+                # reproducible from the artifact alone.
+                "seed": {
+                    "entropy": _plain(entry.shard.seed.entropy),
+                    "spawn_key": [
+                        int(key) for key in entry.shard.seed.spawn_key
+                    ],
+                },
+                "seconds": entry.seconds,
+                "value": _plain_tree(entry.value),
+            }
+            for entry in result.results
+        ],
+        "table": json.loads(table_to_json(table)) if table else None,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def save_plan(
+    result: PlanResult,
+    table: ExperimentTable | None,
+    directory: str | pathlib.Path,
+    *,
+    profile: str | None = None,
+) -> pathlib.Path:
+    """Write a plan artifact to ``directory/<name>[-<profile>].json``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = result.spec.name + (f"-{profile}" if profile else "")
+    path = directory / f"{stem}.json"
+    path.write_text(plan_to_json(result, table, profile=profile) + "\n")
+    return path
+
+
+def load_plan(path: str | pathlib.Path) -> dict:
+    """Reload a plan artifact written by :func:`save_plan`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != PLAN_FORMAT:
+        raise ValueError(
+            f"{path}: not a {PLAN_FORMAT} artifact "
+            f"(format={payload.get('format')!r})"
+        )
+    return payload
+
+
+def plan_table(payload: dict) -> ExperimentTable:
+    """Rebuild the stored table of a reloaded plan artifact."""
+    stored = payload.get("table")
+    if stored is None:
+        raise ValueError(
+            f"artifact for {payload.get('experiment')!r} was saved "
+            "without a rendered table"
+        )
+    return ExperimentTable(
+        experiment=stored["experiment"],
+        title=stored["title"],
+        headers=list(stored["headers"]),
+        rows=[list(row) for row in stored["rows"]],
+        notes=list(stored["notes"]),
+    )
 
 
 def record_to_csv(record: RunRecord) -> str:

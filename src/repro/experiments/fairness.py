@@ -5,6 +5,9 @@ every agent's time-occupancy of colour ``i`` approaches ``w_i/w`` as
 the horizon grows, and that the dark/light split of that time matches
 the stationary distribution of the equilibrium chain
 (``π(D_i) = w_i/(1+w)``, ``π(L_i) = (w_i/w)/(1+w)``).
+
+The run is cumulative over increasing horizons, so E5 is a one-shard
+plan (``"direct"`` seed scope) on the declarative pipeline.
 """
 
 from __future__ import annotations
@@ -17,8 +20,14 @@ from ..core.weights import WeightTable
 from ..engine.observers import OccupancyTracker
 from ..engine.population import Population
 from ..engine.simulator import Simulation
+from .pipeline import ScenarioSpec, execute
 from .table import ExperimentTable
 from .workloads import colours_from_counts, proportional_counts
+
+E5_PROFILES = {
+    "full": {},
+    "quick": {"n": 128, "horizon_rounds": (200, 800)},
+}
 
 
 def run_fairness(
@@ -75,23 +84,21 @@ def run_fairness(
     return summaries
 
 
-def experiment_fairness(
-    n: int = 192,
-    weight_vector=(1.0, 2.0, 3.0),
-    horizon_rounds=(200, 800, 3200),
-    *,
-    seed: int = 31,
-) -> ExperimentTable:
-    """E5: per-agent occupancy convergence to the fair shares.
+def _measure_fairness(params: dict, rng: np.random.Generator) -> dict:
+    """E5 shard: one cumulative run over all horizons."""
+    n = params["n"]
+    horizons = [rounds * n for rounds in params["horizon_rounds"]]
+    summaries = run_fairness(
+        WeightTable(params["vector"]), n, horizons, seed=rng
+    )
+    return {"summaries": summaries}
 
-    ``horizon_rounds`` are parallel rounds; time-steps are ``rounds·n``.
-    Expected shape: the deviation columns shrink as the horizon grows
-    (the paper proves ``(1 ± o(1)) w_i/w`` occupancy for horizons
-    ``T' > T = Ω(n^β)``).
-    """
-    weights = WeightTable(weight_vector)
-    horizons = [rounds * n for rounds in horizon_rounds]
-    summaries = run_fairness(weights, n, horizons, seed=seed)
+
+def _build_fairness(result) -> ExperimentTable:
+    """Format the per-horizon deviation rows."""
+    params = result.cells[0]
+    (value,) = result.values()
+    summaries = value["summaries"]
     table = ExperimentTable(
         "E5",
         "Fairness: per-agent time-occupancy vs fair shares "
@@ -99,7 +106,7 @@ def experiment_fairness(
         ["horizon (steps)", "rounds", "max |occ−w_i/w|",
          "mean |occ−w_i/w|", "max |occ−π|", "mean |occ−π|"],
     )
-    for rounds, summary in zip(sorted(horizon_rounds), summaries):
+    for rounds, summary in zip(sorted(params["horizon_rounds"]), summaries):
         table.add_row(
             summary["horizon"],
             rounds,
@@ -121,3 +128,44 @@ def experiment_fairness(
         "split ≈ w_i/(1+w) dark and ≈ (w_i/w)/(1+w) light"
     )
     return table
+
+
+def spec_fairness(
+    n: int = 192,
+    weight_vector=(1.0, 2.0, 3.0),
+    horizon_rounds=(200, 800, 3200),
+    *,
+    seed: int = 31,
+) -> ScenarioSpec:
+    """E5 as a one-shard scenario (one cumulative occupancy run)."""
+    return ScenarioSpec(
+        name="e5",
+        measure=_measure_fairness,
+        fixed={
+            "vector": tuple(weight_vector),
+            "n": n,
+            "horizon_rounds": tuple(horizon_rounds),
+        },
+        base_seed=seed,
+        seed_scope="direct",
+        build=_build_fairness,
+    )
+
+
+def experiment_fairness(
+    n: int = 192,
+    weight_vector=(1.0, 2.0, 3.0),
+    horizon_rounds=(200, 800, 3200),
+    *,
+    seed: int = 31,
+) -> ExperimentTable:
+    """E5: per-agent occupancy convergence to the fair shares.
+
+    ``horizon_rounds`` are parallel rounds; time-steps are ``rounds·n``.
+    Expected shape: the deviation columns shrink as the horizon grows
+    (the paper proves ``(1 ± o(1)) w_i/w`` occupancy for horizons
+    ``T' > T = Ω(n^β)``).
+    """
+    return execute(
+        spec_fairness(n, weight_vector, horizon_rounds, seed=seed)
+    ).table()

@@ -7,6 +7,10 @@ Lemma 2.1: from any start, the light mass ``a(t)`` reaches
 ``O(w n log n / ε)`` steps — slowly at first (a singleton colour is
 rarely sampled) and then increasingly fast, the biased-random-walk
 picture the proofs couple against.
+
+The ``n`` sweep runs through the declarative pipeline (one shard per
+``(n, seed)``, ``"cell"`` seed scope reproducing the legacy
+``spawn(make_rng(base_seed + n), seeds)`` streams).
 """
 
 from __future__ import annotations
@@ -15,9 +19,11 @@ import numpy as np
 
 from ..core.weights import WeightTable
 from ..engine.aggregate import AggregateSimulation
-from ..engine.rng import make_rng, spawn
+from .pipeline import ScenarioSpec, execute
 from .table import ExperimentTable
 from .workloads import worst_case_counts
+
+E3B_PROFILES = {"full": {}, "quick": {"ns": (128, 256), "seeds": 2}}
 
 
 def hitting_times(
@@ -52,39 +58,32 @@ def hitting_times(
     return {"t1": t1, "t2": t2, "n": n, "w": w, "epsilon": epsilon}
 
 
-def experiment_phase1(
-    ns=(256, 512, 1024, 2048),
-    weight_vector=(1.0, 2.0, 3.0),
-    *,
-    epsilon: float = 0.2,
-    seeds: int = 3,
-    base_seed: int = 777,
-) -> ExperimentTable:
-    """E3b: Phase-1 hitting times vs the Lemma 2.1/2.2 scales.
+def _measure_phase1(params: dict, rng: np.random.Generator) -> dict:
+    """E3b shard: one (T1, T2) hitting-time replication at one ``n``."""
+    result = hitting_times(
+        WeightTable(params["vector"]), params["n"],
+        epsilon=params["epsilon"], seed=rng,
+    )
+    return {
+        "t1": None if result["t1"] is None else int(result["t1"]),
+        "t2": None if result["t2"] is None else int(result["t2"]),
+    }
 
-    Expected shape: ``T1/(n w)`` roughly flat in ``n`` (Lemma 2.1's
-    ``O(n w/ε)``); ``T2/(w n ln n)`` roughly flat (Lemma 2.2's
-    ``O(w n log n / ε)``).
-    """
-    weights = WeightTable(weight_vector)
+
+def _build_phase1(result) -> ExperimentTable:
+    """Aggregate E3b shards into the Lemma 2.1/2.2 scaling table."""
+    epsilon = result.spec.fixed["epsilon"]
+    w = WeightTable(result.spec.fixed["vector"]).total
     table = ExperimentTable(
         "E3b",
         "Phase 1 hitting times: light mass (Lemma 2.1) and minority "
         "rise (Lemma 2.2)",
         ["n", "mean T1", "T1/(n w)", "mean T2", "T2/(w n ln n)", "hits"],
     )
-    w = weights.total
-    for n in ns:
-        rng = make_rng(base_seed + n)
-        t1s, t2s = [], []
-        for child in spawn(rng, seeds):
-            result = hitting_times(
-                weights, n, epsilon=epsilon, seed=child
-            )
-            if result["t1"] is not None:
-                t1s.append(result["t1"])
-            if result["t2"] is not None:
-                t2s.append(result["t2"])
+    for params, values in result.by_cell():
+        n = params["n"]
+        t1s = [v["t1"] for v in values if v["t1"] is not None]
+        t2s = [v["t2"] for v in values if v["t2"] is not None]
         mean_t1 = float(np.mean(t1s)) if t1s else None
         mean_t2 = float(np.mean(t2s)) if t2s else None
         table.add_row(
@@ -104,3 +103,47 @@ def experiment_phase1(
         "in n (the paper's Phase-1 bounds, constants unoptimised)"
     )
     return table
+
+
+def spec_phase1(
+    ns=(256, 512, 1024, 2048),
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    epsilon: float = 0.2,
+    seeds: int = 3,
+    base_seed: int = 777,
+) -> ScenarioSpec:
+    """E3b as a scenario: an ``n`` sweep with ``seeds`` shards per point."""
+    return ScenarioSpec(
+        name="e3b",
+        measure=_measure_phase1,
+        grid={"n": tuple(ns)},
+        fixed={"vector": tuple(weight_vector), "epsilon": epsilon},
+        replications=seeds,
+        base_seed=base_seed,
+        seed_scope="cell",
+        cell_seed=lambda params: base_seed + params["n"],
+        build=_build_phase1,
+    )
+
+
+def experiment_phase1(
+    ns=(256, 512, 1024, 2048),
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    epsilon: float = 0.2,
+    seeds: int = 3,
+    base_seed: int = 777,
+) -> ExperimentTable:
+    """E3b: Phase-1 hitting times vs the Lemma 2.1/2.2 scales.
+
+    Expected shape: ``T1/(n w)`` roughly flat in ``n`` (Lemma 2.1's
+    ``O(n w/ε)``); ``T2/(w n ln n)`` roughly flat (Lemma 2.2's
+    ``O(w n log n / ε)``).
+    """
+    return execute(
+        spec_phase1(
+            ns, weight_vector, epsilon=epsilon, seeds=seeds,
+            base_seed=base_seed,
+        )
+    ).table()

@@ -5,6 +5,10 @@ start the potentials fall in order — φ (dark imbalance, Lemma 2.6),
 ψ (light imbalance, Lemma 2.7), σ² (dark/light mass split, Lemma 2.14)
 — and then plateau at their theoretical sizes.  E4 checks the Phase-3
 equilibrium values of Thm 2.13.
+
+Both are single-run experiments; they ride the declarative pipeline as
+one-shard plans (``"direct"`` seed scope) so they share the executor,
+artifact store and profile machinery with the sweep experiments.
 """
 
 from __future__ import annotations
@@ -17,9 +21,16 @@ from ..core.properties import (
     equilibrium_light_counts,
 )
 from ..core.weights import WeightTable
-from ..engine.rng import make_rng
-from .runner import run_aggregate
+from ..engine.aggregate import AggregateSimulation
+from .pipeline import ScenarioSpec, execute
 from .table import ExperimentTable
+from .workloads import worst_case_counts
+
+E3_PROFILES = {"full": {}, "quick": {"n": 512, "settle_factor": 8.0}}
+E4_PROFILES = {
+    "full": {},
+    "quick": {"n": 1024, "settle_factor": 6.0, "window_samples": 64},
+}
 
 
 def potential_series(record) -> dict[str, np.ndarray]:
@@ -47,28 +58,35 @@ def _first_below(times: np.ndarray, series: np.ndarray, level: float):
     return int(times[hits[0]]) if hits.size else None
 
 
-def experiment_potentials(
-    n: int = 1024,
-    weight_vector=(1.0, 2.0, 3.0, 4.0),
-    *,
-    seed: int = 7,
-    settle_factor: float = 12.0,
-    plateau_constant: float = 2.0,
-) -> ExperimentTable:
-    """E3: decay and plateau of φ, ψ and σ² (Thm 2.8 / Lemma 2.14).
+def _measure_potentials(params: dict, rng: np.random.Generator) -> dict:
+    """E3 shard: one recorded run and its potential series."""
+    from .runner import run_aggregate
 
-    Expected shape: each potential drops by orders of magnitude from
-    the worst-case start, reaches its plateau, and stays there; φ
-    plateaus no later than ψ (Subphase 2.1 before 2.2).
-    """
-    weights = WeightTable(weight_vector)
+    weights = WeightTable(params["vector"])
     w = weights.total
-    steps = int(settle_factor * w * w * n * np.log(n))
+    n = params["n"]
+    steps = int(params["settle_factor"] * w * w * n * np.log(n))
     record = run_aggregate(
-        weights, n, steps, start="worst", seed=seed,
+        weights, n, steps, start="worst", seed=rng,
         record_interval=max(1, steps // 512),
     )
     series = potential_series(record)
+    return {
+        "times": [int(t) for t in series["times"]],
+        "phi": [float(v) for v in series["phi"]],
+        "psi": [float(v) for v in series["psi"]],
+        "sigma_sq": [float(v) for v in series["sigma_sq"]],
+    }
+
+
+def _build_potentials(result) -> ExperimentTable:
+    """Format the decay/plateau rows from the recorded series."""
+    params = result.cells[0]
+    weights = WeightTable(params["vector"])
+    n = params["n"]
+    plateau_constant = result.spec.context["plateau_constant"]
+    (value,) = result.values()
+    times = np.asarray(value["times"], dtype=np.int64)
     phi_level = phi_plateau(n, weights, plateau_constant)
     sigma_level = sigma_plateau(n, plateau_constant)
 
@@ -78,16 +96,16 @@ def experiment_potentials(
         ["potential", "initial", "peak", "final", "plateau bound",
          "below bound after peak (t)", "stays below"],
     )
-    tail = max(1, len(series["times"]) // 4)
+    tail = max(1, len(times) // 4)
     for name, level in (
         ("phi", phi_level),
         ("psi", phi_level),
         ("sigma_sq", sigma_level),
     ):
-        values = series[name]
+        values = np.asarray(value[name], dtype=np.float64)
         peak_index = int(np.argmax(values))
         hit = _first_below(
-            series["times"][peak_index:], values[peak_index:], level
+            times[peak_index:], values[peak_index:], level
         )
         stays = bool((values[-tail:] <= level).all())
         table.add_row(
@@ -108,38 +126,82 @@ def experiment_potentials(
     return table
 
 
-def experiment_equilibrium(
-    n: int = 2048,
+def spec_potentials(
+    n: int = 1024,
     weight_vector=(1.0, 2.0, 3.0, 4.0),
     *,
-    seed: int = 99,
-    settle_factor: float = 10.0,
-    window_samples: int = 128,
-    error_constant: float = 2.0,
-) -> ExperimentTable:
-    """E4: Phase-3 equilibrium values (Thm 2.13).
-
-    Measures time-averaged dark and light counts per colour against
-    ``A_i = w_i n/(1+w)`` and ``a_i = (w_i/w) n/(1+w)`` with the paper's
-    additive error ``C·n^{3/4}(log n)^{1/4}``.
-    """
-    weights = WeightTable(weight_vector)
-    w = weights.total
-    rng = make_rng(seed)
-    from ..engine.aggregate import AggregateSimulation
-    from .workloads import worst_case_counts
-
-    engine = AggregateSimulation(
-        weights.copy(), dark_counts=worst_case_counts(n, weights.k), rng=rng
+    seed: int = 7,
+    settle_factor: float = 12.0,
+    plateau_constant: float = 2.0,
+) -> ScenarioSpec:
+    """E3 as a one-shard scenario (single recorded run)."""
+    return ScenarioSpec(
+        name="e3",
+        measure=_measure_potentials,
+        fixed={
+            "vector": tuple(weight_vector),
+            "n": n,
+            "settle_factor": settle_factor,
+        },
+        base_seed=seed,
+        seed_scope="direct",
+        build=_build_potentials,
+        context={"plateau_constant": plateau_constant},
     )
-    engine.run(int(settle_factor * w * w * n * np.log(n)))
+
+
+def experiment_potentials(
+    n: int = 1024,
+    weight_vector=(1.0, 2.0, 3.0, 4.0),
+    *,
+    seed: int = 7,
+    settle_factor: float = 12.0,
+    plateau_constant: float = 2.0,
+) -> ExperimentTable:
+    """E3: decay and plateau of φ, ψ and σ² (Thm 2.8 / Lemma 2.14).
+
+    Expected shape: each potential drops by orders of magnitude from
+    the worst-case start, reaches its plateau, and stays there; φ
+    plateaus no later than ψ (Subphase 2.1 before 2.2).
+    """
+    return execute(
+        spec_potentials(
+            n, weight_vector, seed=seed, settle_factor=settle_factor,
+            plateau_constant=plateau_constant,
+        )
+    ).table()
+
+
+def _measure_equilibrium(params: dict, rng: np.random.Generator) -> dict:
+    """E4 shard: settle, then time-average the (dark, light) counts."""
+    weights = WeightTable(params["vector"])
+    w = weights.total
+    n = params["n"]
+    engine = AggregateSimulation(
+        weights.copy(), dark_counts=worst_case_counts(n, weights.k),
+        rng=rng,
+    )
+    engine.run(int(params["settle_factor"] * w * w * n * np.log(n)))
     dark_rows, light_rows = [], []
-    for _ in range(window_samples):
+    for _ in range(params["window_samples"]):
         engine.run(n)
         dark_rows.append(engine.dark_counts())
         light_rows.append(engine.light_counts())
-    dark_mean = np.asarray(dark_rows).mean(axis=0)
-    light_mean = np.asarray(light_rows).mean(axis=0)
+    return {
+        "dark_mean": np.asarray(dark_rows).mean(axis=0).tolist(),
+        "light_mean": np.asarray(light_rows).mean(axis=0).tolist(),
+    }
+
+
+def _build_equilibrium(result) -> ExperimentTable:
+    """Compare the window means against the Thm-2.13 targets."""
+    params = result.cells[0]
+    weights = WeightTable(params["vector"])
+    n = params["n"]
+    error_constant = result.spec.context["error_constant"]
+    (value,) = result.values()
+    dark_mean = np.asarray(value["dark_mean"], dtype=np.float64)
+    light_mean = np.asarray(value["light_mean"], dtype=np.float64)
     dark_target = equilibrium_dark_counts(n, weights)
     light_target = equilibrium_light_counts(n, weights)
     allowed = error_constant * n**0.75 * np.log(n) ** 0.25
@@ -171,3 +233,52 @@ def experiment_equilibrium(
         f"with C={error_constant}, n={n}"
     )
     return table
+
+
+def spec_equilibrium(
+    n: int = 2048,
+    weight_vector=(1.0, 2.0, 3.0, 4.0),
+    *,
+    seed: int = 99,
+    settle_factor: float = 10.0,
+    window_samples: int = 128,
+    error_constant: float = 2.0,
+) -> ScenarioSpec:
+    """E4 as a one-shard scenario (single settled run)."""
+    return ScenarioSpec(
+        name="e4",
+        measure=_measure_equilibrium,
+        fixed={
+            "vector": tuple(weight_vector),
+            "n": n,
+            "settle_factor": settle_factor,
+            "window_samples": window_samples,
+        },
+        base_seed=seed,
+        seed_scope="direct",
+        build=_build_equilibrium,
+        context={"error_constant": error_constant},
+    )
+
+
+def experiment_equilibrium(
+    n: int = 2048,
+    weight_vector=(1.0, 2.0, 3.0, 4.0),
+    *,
+    seed: int = 99,
+    settle_factor: float = 10.0,
+    window_samples: int = 128,
+    error_constant: float = 2.0,
+) -> ExperimentTable:
+    """E4: Phase-3 equilibrium values (Thm 2.13).
+
+    Measures time-averaged dark and light counts per colour against
+    ``A_i = w_i n/(1+w)`` and ``a_i = (w_i/w) n/(1+w)`` with the paper's
+    additive error ``C·n^{3/4}(log n)^{1/4}``.
+    """
+    return execute(
+        spec_equilibrium(
+            n, weight_vector, seed=seed, settle_factor=settle_factor,
+            window_samples=window_samples, error_constant=error_constant,
+        )
+    ).table()

@@ -1,0 +1,329 @@
+"""Declarative experiment pipeline: scenario grids, sharded plans and
+pluggable executors.
+
+A :class:`ScenarioSpec` describes an experiment as data — a parameter
+grid (the sweep axes), fixed parameters, a replication count, a seeding
+rule and a pure measurement function — instead of a hand-rolled nested
+loop.  :func:`plan` expands the spec into independent :class:`Shard`\\ s
+(one per grid cell and replication) with deterministic per-shard seeds,
+and :func:`execute` runs the shards through a serial or multiprocess
+executor and merges the results *by shard index*, so serial and
+parallel runs of the same spec and base seed are bit-identical.
+
+Measurement functions must be module-level callables (picklable by
+reference for the process pool) with signature
+``measure(params: dict, rng: numpy.random.Generator) -> dict`` and must
+return JSON-able dicts; anything an experiment needs that is not a
+plain parameter (protocol objects, topologies) is constructed inside
+the measurement from the shard's parameters.
+
+Seed scopes
+-----------
+
+The per-shard seeds mirror the three seeding idioms of the legacy
+experiment loops, so migrated experiments keep their exact tables:
+
+``"stream"``
+    All shards draw consecutive children of ``base_seed`` in plan
+    order — reproduces ``rng = make_rng(base); spawn(rng, R)`` called
+    once per cell on a shared generator.
+``"cell"``
+    Each cell's replications draw children of ``cell_seed(params)`` —
+    reproduces ``spawn(make_rng(base + n), R)`` per sweep point.
+``"direct"``
+    Single-replication cells seeded with ``cell_seed(params)`` itself —
+    reproduces passing a raw integer seed straight to a run helper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+import traceback
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.rng import spawn_sequences
+from .table import ExperimentTable
+
+SEED_SCOPES = ("stream", "cell", "direct")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment: a parameter grid plus a measurement.
+
+    Attributes:
+        name: Registry id of the experiment (``"e1"``, ``"e9b"``, ...).
+        measure: Module-level measurement ``(params, rng) -> dict``.
+        grid: Ordered sweep axes; cells are the cartesian product of
+            the axis values (axis order = nesting order of the legacy
+            loops, outermost first).  An empty grid means one cell.
+        fixed: Parameters shared by every cell.
+        replications: Independent repetitions per cell.
+        base_seed: Root seed of the plan (``"stream"`` scope) and the
+            value recorded in artifacts.
+        seed_scope: One of :data:`SEED_SCOPES`; see the module docs.
+        cell_seed: Maps cell params to the cell's seed (``"cell"`` and
+            ``"direct"`` scopes); defaults to ``base_seed`` for every
+            cell when omitted.
+        build: Aggregates a :class:`PlanResult` into the experiment's
+            :class:`~repro.experiments.table.ExperimentTable`.
+        context: Extra JSON-able values the builder needs that are not
+            shard parameters (e.g. thresholds applied per table row).
+    """
+
+    name: str
+    measure: Callable[[dict, np.random.Generator], dict]
+    grid: Mapping[str, Sequence] = field(default_factory=dict)
+    fixed: Mapping = field(default_factory=dict)
+    replications: int = 1
+    base_seed: int | None = 0
+    seed_scope: str = "stream"
+    cell_seed: Callable[[dict], int] | None = None
+    build: Callable[["PlanResult"], ExperimentTable] | None = None
+    context: Mapping = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.seed_scope not in SEED_SCOPES:
+            raise ValueError(
+                f"unknown seed_scope {self.seed_scope!r}; "
+                f"choose from {SEED_SCOPES}"
+            )
+        if self.replications < 1:
+            raise ValueError("need at least one replication")
+        if self.seed_scope == "direct" and self.replications != 1:
+            raise ValueError(
+                "seed_scope='direct' seeds one run per cell; use "
+                "'cell' or 'stream' for replicated cells"
+            )
+
+    def cell_params(self) -> list[dict]:
+        """Expand the grid into per-cell parameter dicts, in plan order."""
+        axes = list(self.grid)
+        combos = itertools.product(
+            *(tuple(self.grid[axis]) for axis in axes)
+        )
+        return [
+            dict(self.fixed) | dict(zip(axes, combo)) for combo in combos
+        ]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of work: a cell × replication with its seed."""
+
+    index: int
+    cell: int
+    replication: int
+    params: dict
+    seed: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A spec expanded into shards with deterministic seeds."""
+
+    spec: ScenarioSpec
+    cells: list[dict]
+    shards: list[Shard]
+
+
+def plan(spec: ScenarioSpec) -> ExperimentPlan:
+    """Expand ``spec`` into an executable plan.
+
+    Shard seeds depend only on ``(spec, shard index)`` — never on which
+    executor runs the shard or in what order — which is what makes
+    serial and parallel execution bit-identical.
+    """
+    cells = spec.cell_params()
+    shards: list[Shard] = []
+    if spec.seed_scope == "stream":
+        stream = spawn_sequences(
+            spec.base_seed, len(cells) * spec.replications
+        )
+    for cell_index, params in enumerate(cells):
+        if spec.seed_scope in ("cell", "direct"):
+            cell_seed = (
+                spec.cell_seed(params)
+                if spec.cell_seed is not None
+                else spec.base_seed
+            )
+        if spec.seed_scope == "cell":
+            seeds = spawn_sequences(cell_seed, spec.replications)
+        elif spec.seed_scope == "direct":
+            seeds = [np.random.SeedSequence(cell_seed)]
+        else:
+            offset = cell_index * spec.replications
+            seeds = stream[offset : offset + spec.replications]
+        for replication, seed in enumerate(seeds):
+            shards.append(
+                Shard(
+                    index=len(shards),
+                    cell=cell_index,
+                    replication=replication,
+                    params=params,
+                    seed=seed,
+                )
+            )
+    return ExperimentPlan(spec=spec, cells=cells, shards=shards)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one shard: its measurement value and wall-clock."""
+
+    shard: Shard
+    value: dict
+    seconds: float
+
+
+@dataclass
+class PlanResult:
+    """Merged outcome of an executed plan, in shard order."""
+
+    spec: ScenarioSpec
+    cells: list[dict]
+    results: list[ShardResult]
+    jobs: int
+    elapsed_seconds: float
+
+    def values(self) -> list[dict]:
+        """Measurement values in shard order."""
+        return [result.value for result in self.results]
+
+    def by_cell(self) -> list[tuple[dict, list[dict]]]:
+        """``(cell params, [values in replication order])`` per cell."""
+        grouped: list[list[dict]] = [[] for _ in self.cells]
+        for result in self.results:
+            grouped[result.shard.cell].append(result.value)
+        return [
+            (dict(params), values)
+            for params, values in zip(self.cells, grouped)
+        ]
+
+    def table(self) -> ExperimentTable:
+        """Aggregate the results through the spec's table builder."""
+        if self.spec.build is None:
+            raise ValueError(
+                f"spec {self.spec.name!r} has no table builder"
+            )
+        return self.spec.build(self)
+
+
+class ShardError(RuntimeError):
+    """A shard failed; names the experiment and the shard parameters."""
+
+    def __init__(self, experiment: str, shard: Shard, detail: str):
+        self.experiment = experiment
+        self.params = dict(shard.params)
+        self.shard = shard
+        super().__init__(
+            f"experiment {experiment!r} shard {shard.index} "
+            f"(cell {shard.cell}, replication {shard.replication}, "
+            f"params {self.params!r}) failed:\n{detail}"
+        )
+
+
+def _run_shard(task) -> tuple[dict | None, str | None, float]:
+    """Worker body: run one measurement, never raise across the pool."""
+    measure, params, seed = task
+    start = time.perf_counter()
+    try:
+        value = measure(dict(params), np.random.default_rng(seed))
+        return value, None, time.perf_counter() - start
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+class SerialExecutor:
+    """Run shards one after another in the calling process.
+
+    Stops at the first failed shard (like the legacy experiment loops)
+    instead of finishing the remaining — possibly minutes-long — work
+    before the failure surfaces.
+    """
+
+    jobs = 1
+
+    def run_shards(self, tasks: Sequence) -> list:
+        outcomes = []
+        for task in tasks:
+            outcome = _run_shard(task)
+            outcomes.append(outcome)
+            if outcome[1] is not None:
+                break
+        return outcomes
+
+
+class ProcessExecutor:
+    """Run shards across a ``multiprocessing`` pool of ``jobs`` workers.
+
+    ``Pool.imap`` yields outputs in task order, so the merge is
+    order-independent of the actual completion schedule; like the
+    serial executor, no new shards are consumed once a failure is seen
+    (the pool is torn down, abandoning in-flight work).
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError("ProcessExecutor needs jobs >= 2")
+        self.jobs = int(jobs)
+
+    def run_shards(self, tasks: Sequence) -> list:
+        outcomes = []
+        with multiprocessing.Pool(self.jobs) as pool:
+            for outcome in pool.imap(_run_shard, tasks, chunksize=1):
+                outcomes.append(outcome)
+                if outcome[1] is not None:
+                    break
+        return outcomes
+
+
+def make_executor(jobs: int | None):
+    """``jobs`` <= 1 (or None) → serial; otherwise a process pool."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs)
+
+
+def execute(
+    spec_or_plan: ScenarioSpec | ExperimentPlan,
+    *,
+    jobs: int | None = None,
+    executor=None,
+) -> PlanResult:
+    """Run a spec (or a pre-expanded plan) and merge the shard results.
+
+    Raises :class:`ShardError` for the lowest-index failed shard, with
+    the experiment name and the shard's parameters in the message.
+    """
+    if isinstance(spec_or_plan, ScenarioSpec):
+        expanded = plan(spec_or_plan)
+    else:
+        expanded = spec_or_plan
+    spec = expanded.spec
+    if executor is None:
+        executor = make_executor(jobs)
+    tasks = [
+        (spec.measure, shard.params, shard.seed)
+        for shard in expanded.shards
+    ]
+    start = time.perf_counter()
+    outcomes = executor.run_shards(tasks)
+    elapsed = time.perf_counter() - start
+    results = []
+    for shard, (value, error, seconds) in zip(expanded.shards, outcomes):
+        if error is not None:
+            raise ShardError(spec.name, shard, error)
+        results.append(ShardResult(shard=shard, value=value, seconds=seconds))
+    return PlanResult(
+        spec=spec,
+        cells=expanded.cells,
+        results=results,
+        jobs=executor.jobs,
+        elapsed_seconds=elapsed,
+    )

@@ -6,6 +6,11 @@ this immediately.  E7 injects adversarial shocks — agent floods and
 brand-new colours — and measures recovery (Sec 1: "when an adversary
 adds agents or colours, the protocol quickly returns into a state of
 diversity and fairness").
+
+E6's ``(protocol × seed)`` sweep runs through the declarative pipeline
+with the ``"stream"`` seed scope (consecutive children of the base
+seed, reproducing the legacy shared-generator spawn pattern); E7 is a
+single recorded run and rides the pipeline as a one-shard plan.
 """
 
 from __future__ import annotations
@@ -21,11 +26,25 @@ from ..core.properties import diversity_bound
 from ..core.weights import WeightTable
 from ..engine.observers import MinCountTracker
 from ..engine.population import Population
-from ..engine.rng import make_rng, spawn
 from ..engine.simulator import Simulation
+from .pipeline import ScenarioSpec, execute
 from .runner import run_aggregate
 from .table import ExperimentTable
 from .workloads import colours_from_counts, worst_case_counts
+
+E6_PROFILES = {
+    "full": {},
+    "quick": {"n": 96, "steps_per_agent": 400, "seeds": 5},
+}
+E7_PROFILES = {"full": {}, "quick": {"n": 512, "settle_factor": 6.0}}
+
+# E6 contenders, in table order.  Keyed by name so shards can rebuild
+# their protocol from plain parameters.
+_E6_FACTORIES = {
+    "diversification": lambda w: Diversification(w),
+    "voter": lambda w: VoterModel(),
+    "random-recolouring": lambda w: RandomRecolouring(w.k),
+}
 
 
 def minimum_counts_under(
@@ -49,6 +68,71 @@ def minimum_counts_under(
     return tracker.min_colour_counts.copy(), tracker.min_dark_counts.copy()
 
 
+def _measure_sustainability(params: dict, rng: np.random.Generator) -> dict:
+    """E6 shard: one survival run of one contender."""
+    mins, dark_mins = minimum_counts_under(
+        _E6_FACTORIES[params["protocol"]],
+        WeightTable(params["vector"]),
+        params["n"],
+        params["steps_per_agent"] * params["n"],
+        seed=rng,
+    )
+    return {
+        "min_colour": int(mins.min()),
+        "min_dark": int(dark_mins.min()),
+    }
+
+
+def _build_sustainability(result) -> ExperimentTable:
+    """Aggregate per-run minima into the survival table."""
+    seeds = result.spec.replications
+    table = ExperimentTable(
+        "E6",
+        "Sustainability from singleton starts (Def 1.1(3))",
+        ["protocol", "runs", "runs w/ all colours alive",
+         "min colour count seen", "min dark count seen", "sustainable"],
+    )
+    for params, values in result.by_cell():
+        survived = sum(1 for v in values if v["min_colour"] >= 1)
+        overall_min = min(v["min_colour"] for v in values)
+        overall_dark_min = min(v["min_dark"] for v in values)
+        table.add_row(
+            params["protocol"], seeds, survived, int(overall_min),
+            int(overall_dark_min), survived == seeds,
+        )
+    table.add_note(
+        "the structural invariant: a lone dark agent of a colour never "
+        "changes, so Diversification keeps min dark count >= 1 with "
+        "probability 1"
+    )
+    return table
+
+
+def spec_sustainability(
+    n: int = 128,
+    weight_vector=(1.0, 1.0, 2.0, 4.0),
+    *,
+    steps_per_agent: int = 600,
+    seeds: int = 10,
+    base_seed: int = 1234,
+) -> ScenarioSpec:
+    """E6 as a scenario: contender grid × ``seeds`` replications."""
+    return ScenarioSpec(
+        name="e6",
+        measure=_measure_sustainability,
+        grid={"protocol": tuple(_E6_FACTORIES)},
+        fixed={
+            "vector": tuple(weight_vector),
+            "n": n,
+            "steps_per_agent": steps_per_agent,
+        },
+        replications=seeds,
+        base_seed=base_seed,
+        seed_scope="stream",
+        build=_build_sustainability,
+    )
+
+
 def experiment_sustainability(
     n: int = 128,
     weight_vector=(1.0, 1.0, 2.0, 4.0),
@@ -66,42 +150,12 @@ def experiment_sustainability(
     one's own colour) but needs global knowledge of k and ignores
     weights — its failure is diversity, not sustainability.
     """
-    weights = WeightTable(weight_vector)
-    steps = steps_per_agent * n
-    rng = make_rng(base_seed)
-    contenders = [
-        ("diversification", lambda w: Diversification(w)),
-        ("voter", lambda w: VoterModel()),
-        ("random-recolouring", lambda w: RandomRecolouring(w.k)),
-    ]
-    table = ExperimentTable(
-        "E6",
-        "Sustainability from singleton starts (Def 1.1(3))",
-        ["protocol", "runs", "runs w/ all colours alive",
-         "min colour count seen", "min dark count seen", "sustainable"],
-    )
-    for name, factory in contenders:
-        survived = 0
-        overall_min = np.inf
-        overall_dark_min = np.inf
-        for child in spawn(rng, seeds):
-            mins, dark_mins = minimum_counts_under(
-                factory, weights, n, steps, seed=child
-            )
-            overall_min = min(overall_min, int(mins.min()))
-            overall_dark_min = min(overall_dark_min, int(dark_mins.min()))
-            if mins.min() >= 1:
-                survived += 1
-        table.add_row(
-            name, seeds, survived, int(overall_min),
-            int(overall_dark_min), survived == seeds,
+    return execute(
+        spec_sustainability(
+            n, weight_vector, steps_per_agent=steps_per_agent,
+            seeds=seeds, base_seed=base_seed,
         )
-    table.add_note(
-        "the structural invariant: a lone dark agent of a colour never "
-        "changes, so Diversification keeps min dark count >= 1 with "
-        "probability 1"
-    )
-    return table
+    ).table()
 
 
 def recovery_time_after(
@@ -124,6 +178,118 @@ def recovery_time_after(
     return None
 
 
+def _measure_adversary(params: dict, rng: np.random.Generator) -> dict:
+    """E7 shard: one recorded run with the flood and new-colour shocks."""
+    weights = WeightTable(params["vector"])
+    w = weights.total
+    n = params["n"]
+    settle = int(params["settle_factor"] * w * w * n * np.log(n))
+    shock1 = settle
+    shock2 = settle + settle
+    total = 3 * settle
+    schedule = InterventionSchedule(
+        [
+            (shock1, AddAgents(colour=0, count=n // 2, dark=True)),
+            (shock2, AddColour(weight=2.0, count=1, dark=True)),
+        ]
+    )
+    record = run_aggregate(
+        weights, n, total, start="worst", seed=rng,
+        record_interval=max(1, total // 1024), schedule=schedule,
+    )
+    return {
+        "times": [int(t) for t in record.times],
+        "colour_counts": record.colour_counts.tolist(),
+        "final_counts": [int(v) for v in record.final_colour_counts],
+        "n": int(record.n),
+        "weights_after": [float(v) for v in record.weights],
+        "shock1": shock1,
+        "shock2": shock2,
+    }
+
+
+def _build_adversary(result) -> ExperimentTable:
+    """Format the recovery rows for both shocks."""
+    params = result.cells[0]
+    (value,) = result.values()
+    weights = WeightTable(params["vector"])
+    final_weights = WeightTable(value["weights_after"])
+    times = np.asarray(value["times"], dtype=np.int64)
+    colour_counts = np.asarray(value["colour_counts"], dtype=np.int64)
+    n_after = value["n"]
+    table = ExperimentTable(
+        "E7",
+        "Adversarial robustness: agent flood and new colour (Sec 1)",
+        ["event", "time", "population after", "k after",
+         "recovery time", "recovery Δt / (n ln n)"],
+    )
+    bound = diversity_bound(n_after, 1.0)
+
+    def _describe(label, shock_time, weights_at, k_at):
+        recovery = recovery_time_after(
+            times,
+            colour_counts[:, :k_at],
+            weights_at,
+            shock_time,
+            bound,
+        )
+        population_after = int(
+            colour_counts[
+                np.searchsorted(times, shock_time, side="right")
+            ].sum()
+        )
+        delta = None if recovery is None else recovery - shock_time
+        table.add_row(
+            label, shock_time, population_after, k_at,
+            "-" if recovery is None else recovery,
+            "-" if delta is None else delta / (n_after * np.log(n_after)),
+        )
+
+    _describe(
+        "flood colour 0 (+n/2 dark)", value["shock1"], weights, weights.k
+    )
+    _describe(
+        "new colour (w=2, 1 dark)", value["shock2"], final_weights,
+        final_weights.k,
+    )
+    final_counts = np.asarray(value["final_counts"], dtype=np.int64)
+    final_shares = final_counts / final_counts.sum()
+    fair = final_weights.fair_shares()
+    table.add_note(
+        "final shares vs fair shares (incl. new colour): "
+        + ", ".join(
+            f"c{i}: {final_shares[i]:.3f}/{fair[i]:.3f}"
+            for i in range(final_weights.k)
+        )
+    )
+    table.add_note(
+        f"diversity band used for recovery: ±{bound:.4f} on every share"
+    )
+    return table
+
+
+def spec_adversary(
+    n: int = 1024,
+    weight_vector=(1.0, 2.0, 3.0),
+    *,
+    seed: int = 404,
+    settle_factor: float = 8.0,
+) -> ScenarioSpec:
+    """E7 as a one-shard scenario (single shocked run)."""
+    return ScenarioSpec(
+        name="e7",
+        measure=_measure_adversary,
+        fixed={
+            "vector": tuple(weight_vector),
+            "n": n,
+            "settle_factor": settle_factor,
+        },
+        base_seed=seed,
+        seed_scope="direct",
+        build=_build_adversary,
+    )
+
+
 def experiment_adversary(
     n: int = 1024,
     weight_vector=(1.0, 2.0, 3.0),
@@ -138,65 +304,8 @@ def experiment_adversary(
     Expected shape: the diversity error spikes at each shock and decays
     back inside the band; the new colour ends near its fair share.
     """
-    weights = WeightTable(weight_vector)
-    w = weights.total
-    settle = int(settle_factor * w * w * n * np.log(n))
-    shock1 = settle
-    shock2 = settle + settle
-    total = 3 * settle
-    schedule = InterventionSchedule(
-        [
-            (shock1, AddAgents(colour=0, count=n // 2, dark=True)),
-            (shock2, AddColour(weight=2.0, count=1, dark=True)),
-        ]
-    )
-    record = run_aggregate(
-        weights, n, total, start="worst", seed=seed,
-        record_interval=max(1, total // 1024), schedule=schedule,
-    )
-    final_weights = record.weights  # includes the added colour
-    table = ExperimentTable(
-        "E7",
-        "Adversarial robustness: agent flood and new colour (Sec 1)",
-        ["event", "time", "population after", "k after",
-         "recovery time", "recovery Δt / (n ln n)"],
-    )
-    bound = diversity_bound(record.n, 1.0)
-
-    def _describe(label, shock_time, weights_at, k_at):
-        recovery = recovery_time_after(
-            record.times,
-            record.colour_counts[:, :k_at],
-            weights_at,
-            shock_time,
-            bound,
+    return execute(
+        spec_adversary(
+            n, weight_vector, seed=seed, settle_factor=settle_factor
         )
-        population_after = int(
-            record.colour_counts[
-                np.searchsorted(record.times, shock_time, side="right")
-            ].sum()
-        )
-        delta = None if recovery is None else recovery - shock_time
-        table.add_row(
-            label, shock_time, population_after, k_at,
-            "-" if recovery is None else recovery,
-            "-" if delta is None else delta / (record.n * np.log(record.n)),
-        )
-
-    _describe("flood colour 0 (+n/2 dark)", shock1, weights, weights.k)
-    _describe("new colour (w=2, 1 dark)", shock2, final_weights,
-              final_weights.k)
-    final_counts = record.final_colour_counts
-    final_shares = final_counts / final_counts.sum()
-    fair = final_weights.fair_shares()
-    table.add_note(
-        "final shares vs fair shares (incl. new colour): "
-        + ", ".join(
-            f"c{i}: {final_shares[i]:.3f}/{fair[i]:.3f}"
-            for i in range(final_weights.k)
-        )
-    )
-    table.add_note(
-        f"diversity band used for recovery: ±{bound:.4f} on every share"
-    )
-    return table
+    ).table()

@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,12 +74,69 @@ class TestQuickOverrides:
                 assert key in parameters, f"{name}: bad kwarg {key!r}"
 
 
+class TestRegistryProfiles:
+    def test_every_experiment_has_quick_and_full(self):
+        from repro.experiments import REGISTRY
+
+        for name, definition in REGISTRY.items():
+            assert set(definition.profiles) >= {"quick", "full"}, name
+            assert definition.profiles["full"] == {}, name
+
+    def test_profiles_are_valid_kwargs(self):
+        import inspect
+
+        from repro.experiments import REGISTRY
+
+        for name, definition in REGISTRY.items():
+            parameters = inspect.signature(definition.run).parameters
+            for profile, overrides in definition.profiles.items():
+                for key in overrides:
+                    assert key in parameters, (
+                        f"{name}/{profile}: bad kwarg {key!r}"
+                    )
+
+    def test_spec_builders_share_run_signature(self):
+        import inspect
+
+        from repro.experiments import REGISTRY
+
+        for name, definition in REGISTRY.items():
+            if definition.spec is None:
+                continue
+            assert (
+                inspect.signature(definition.spec).parameters.keys()
+                == inspect.signature(definition.run).parameters.keys()
+            ), name
+
+
 class TestCommands:
     def test_list_prints_experiments(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "e1" in out
         assert "e12" in out
+
+    def test_list_shows_profiles_column(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "profiles" in out
+        assert "full/quick" in out
+
+    def test_list_survives_empty_docstring(self, capsys, monkeypatch):
+        from repro import experiments
+        from repro.experiments import ExperimentDef
+
+        def _undocumented():
+            return None
+
+        _undocumented.__doc__ = "   \n  "
+        monkeypatch.setitem(
+            experiments.REGISTRY,
+            "zz-bare",
+            ExperimentDef("zz-bare", _undocumented, {"full": {}}),
+        )
+        assert main(["list"]) == 0
+        assert "zz-bare" in capsys.readouterr().out
 
     def test_run_unknown_experiment_fails(self, capsys):
         assert main(["run", "nope"]) == 2
@@ -87,6 +146,61 @@ class TestCommands:
         assert main(["run", "e8", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[E8]" in out
+
+    def test_run_profile_quick_matches_quick_flag(self, capsys):
+        assert main(["run", "e8", "--quick"]) == 0
+        quick_out = capsys.readouterr().out
+        assert main(["run", "e8", "--profile", "quick"]) == 0
+        assert capsys.readouterr().out == quick_out
+
+    def test_run_unknown_profile_fails(self, capsys):
+        assert main(["run", "e8", "--profile", "huge"]) == 2
+        err = capsys.readouterr().err
+        assert "no 'huge' profile" in err
+
+    def test_run_conflicting_profile_and_quick_fails(self, capsys):
+        assert main(["run", "e8", "--quick", "--profile", "full"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_run_parallel_jobs_matches_serial(self, capsys):
+        assert main(["run", "e8", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "e8", "--quick", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_run_out_writes_plan_artifact(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["run", "e8", "--quick", "--out", str(out_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        path = out_dir / "e8-quick.json"
+        assert path.exists()
+        assert str(path) in captured.err
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-plan/v1"
+        assert payload["experiment"] == "e8"
+        assert payload["profile"] == "quick"
+        assert payload["table"]["experiment"] == "E8"
+        assert len(payload["shards"]) == 1
+
+    def test_run_out_writes_table_for_legacy_experiment(
+        self, capsys, tmp_path
+    ):
+        # e12 has no scenario spec; --out falls back to the table JSON
+        # (same profile-suffixed naming as plan artifacts).
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["run", "e12", "--quick", "--out", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads((out_dir / "e12-quick.json").read_text())
+        assert payload["experiment"] == "E12"
+
+    def test_run_out_requires_a_directory(self):
+        # A bare --out must not swallow a following experiment id.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--out"])
 
     def test_demo(self, capsys):
         code = main(
