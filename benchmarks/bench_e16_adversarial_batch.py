@@ -1,0 +1,121 @@
+"""E16 — adversarial batched replication: wall-clock speedup of the
+fused ``(R, 2k)`` engine over the scalar per-replication loop when an
+intervention schedule is present, on the acceptance workload (100
+replications, n=1000, 3 colours, agent flood + new-colour shock).
+
+PR 1 batched schedule-free replications (E13); this closes the gap for
+the paper's robustness experiments (E6/E7), which were the last
+workload family stuck on the scalar loop.
+
+Runs under pytest-benchmark like the other benches, and also as a plain
+script (``python benchmarks/bench_e16_adversarial_batch.py``) that
+writes the timing JSON to
+``benchmarks/results/e16_adversarial_batch_timing.json`` for the CI
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.adversary.interventions import AddAgents, AddColour
+from repro.adversary.schedule import InterventionSchedule
+from repro.core.weights import WeightTable
+from repro.experiments.runner import run_aggregate
+
+REPLICATIONS = 100
+N = 1000
+WEIGHT_VECTOR = (1.0, 2.0, 3.0)
+STEPS = 30_000
+SEED = 0
+TARGET_SPEEDUP = 4.0
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent
+    / "results"
+    / "e16_adversarial_batch_timing.json"
+)
+
+
+def make_schedule() -> InterventionSchedule:
+    """E7-style shocks: flood colour 0, then add a dark colour."""
+    return InterventionSchedule(
+        [
+            (STEPS // 3, AddAgents(colour=0, count=N // 2, dark=True)),
+            (2 * STEPS // 3, AddColour(weight=2.0, count=1, dark=True)),
+        ]
+    )
+
+
+def run_batched() -> None:
+    run_aggregate(
+        WeightTable(WEIGHT_VECTOR), N, STEPS,
+        seed=SEED, replications=REPLICATIONS,
+        schedule=make_schedule(), batched=True,
+    )
+
+
+def run_scalar_loop() -> None:
+    run_aggregate(
+        WeightTable(WEIGHT_VECTOR), N, STEPS,
+        seed=SEED, replications=REPLICATIONS,
+        schedule=make_schedule(), batched=False,
+    )
+
+
+def measure() -> dict:
+    """Time both paths once and report the speedup."""
+    run_batched()  # warm-up: NumPy internals, allocator, caches
+    start = time.perf_counter()
+    run_batched()
+    batched_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_scalar_loop()
+    scalar_seconds = time.perf_counter() - start
+    return {
+        "replications": REPLICATIONS,
+        "n": N,
+        "weights": list(WEIGHT_VECTOR),
+        "steps": STEPS,
+        "seed": SEED,
+        "schedule": "flood n/2 at T/3, new colour (w=2, 1 dark) at 2T/3",
+        "batched_seconds": batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+
+
+def test_adversarial_batched_speedup(benchmark):
+    """Fused batched interventions beat the scalar replication loop by
+    >= 4x on the acceptance workload."""
+    timing = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(json.dumps(timing, indent=2))
+    assert timing["speedup"] >= TARGET_SPEEDUP, timing
+
+
+def test_adversarial_batched_throughput(benchmark):
+    """Wall-clock of the shocked batched engine alone (100 x n=1000)."""
+    benchmark.pedantic(run_batched, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def main() -> int:
+    timing = measure()
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(timing, indent=2) + "\n")
+    print(json.dumps(timing, indent=2))
+    ok = timing["speedup"] >= TARGET_SPEEDUP
+    print(
+        f"speedup {timing['speedup']:.1f}x "
+        f"({'meets' if ok else 'BELOW'} the {TARGET_SPEEDUP:.0f}x target)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,11 +3,18 @@
 The paper claims Diversification is robust to an adversary that *adds*
 agents or colours, and that sustainability survives as long as new
 colours arrive dark and recolourings never erase the last dark
-representative of a colour.  Interventions apply to both engines:
+representative of a colour.  Interventions apply to every engine:
 
 * the agent-level :class:`~repro.engine.simulator.Simulation` (between
-  ``run`` calls), and
-* the count-based :class:`~repro.engine.aggregate.AggregateSimulation`.
+  ``run`` calls), via the per-agent :meth:`Intervention.apply_to_simulation`;
+* the count-API engines — the scalar
+  :class:`~repro.engine.aggregate.AggregateSimulation`, the fused
+  :class:`~repro.engine.batched.BatchedAggregateSimulation` and the
+  vectorised :class:`~repro.engine.array_engine.ArraySimulation` — via
+  :meth:`Intervention.apply_to_aggregate`, which calls their shared
+  ``add_agents`` / ``add_colour`` / ``recolour`` interface.  On the
+  batched engines one intervention applies to every replication at
+  once, matching the scalar loop's shared deterministic schedule.
 """
 
 from __future__ import annotations
@@ -16,7 +23,6 @@ import abc
 from dataclasses import dataclass
 
 from ..core.state import DARK, LIGHT, AgentState
-from ..engine.aggregate import AggregateSimulation
 from ..engine.simulator import Simulation
 
 
@@ -28,14 +34,19 @@ class Intervention(abc.ABC):
         """Apply against the agent-level engine."""
 
     @abc.abstractmethod
-    def apply_to_aggregate(self, aggregate: AggregateSimulation) -> None:
-        """Apply against the aggregate engine."""
+    def apply_to_aggregate(self, aggregate) -> None:
+        """Apply against a count-API engine (aggregate, batched or
+        array)."""
 
     def apply(self, engine) -> None:
-        """Dispatch on engine type."""
+        """Dispatch on the engine's interface: the agent-level
+        :class:`~repro.engine.simulator.Simulation` mutates its
+        population; anything exposing the count-level ``add_agents`` /
+        ``add_colour`` / ``recolour`` API (aggregate, batched, array —
+        or wrappers of them) takes the aggregate path."""
         if isinstance(engine, Simulation):
             self.apply_to_simulation(engine)
-        elif isinstance(engine, AggregateSimulation):
+        elif hasattr(engine, "add_colour") and hasattr(engine, "recolour"):
             self.apply_to_aggregate(engine)
         else:
             raise TypeError(f"unsupported engine {type(engine).__name__}")
@@ -54,7 +65,7 @@ class AddAgents(Intervention):
         for _ in range(self.count):
             simulation.population.add_agent(AgentState(self.colour, shade))
 
-    def apply_to_aggregate(self, aggregate: AggregateSimulation) -> None:
+    def apply_to_aggregate(self, aggregate) -> None:
         aggregate.add_agents(self.colour, self.count, dark=self.dark)
 
 
@@ -82,7 +93,7 @@ class AddColour(Intervention):
         for _ in range(self.count):
             simulation.population.add_agent(AgentState(colour, shade))
 
-    def apply_to_aggregate(self, aggregate: AggregateSimulation) -> None:
+    def apply_to_aggregate(self, aggregate) -> None:
         aggregate.add_colour(self.weight, self.count, dark=self.dark)
 
 
@@ -104,5 +115,5 @@ class RecolourColour(Intervention):
                     agent, AgentState(self.target, state.shade)
                 )
 
-    def apply_to_aggregate(self, aggregate: AggregateSimulation) -> None:
+    def apply_to_aggregate(self, aggregate) -> None:
         aggregate.recolour(self.source, self.target)

@@ -54,6 +54,11 @@ class TrivialResampling(Protocol):
         """Number of colours in the private snapshot."""
         return self._snapshot.k
 
+    def cumulative_shares(self) -> np.ndarray:
+        """Cumulative fair shares of the private snapshot — the redraw
+        thresholds (shared with the vectorised kernel)."""
+        return self._cumulative
+
     def initial_state(self, colour: int) -> AgentState:
         return AgentState(colour, DARK)
 

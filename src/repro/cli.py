@@ -9,6 +9,8 @@ Examples::
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
     repro demo --n 1000 --replications 100 --batched
     repro demo --n 10000 --engine array
+    repro demo --n 1000 --replications 100 \\
+        --schedule "500000:agents:0:500,1000000:colour:2.0:1"
 """
 
 from __future__ import annotations
@@ -41,6 +43,84 @@ def _parse_weights(text: str) -> WeightTable:
         return WeightTable(values)
     except ValueError as error:
         raise SystemExit(f"invalid --weights {text!r}: {error}") from error
+
+
+def _parse_schedule(text: str | None):
+    """Parse a compact adversarial schedule specification.
+
+    Comma-separated entries, each one of::
+
+        TIME:agents:COLOUR:COUNT[:light]    inject agents of a colour
+        TIME:colour:WEIGHT:COUNT[:light]    introduce a new colour
+        TIME:recolour:SOURCE:TARGET         repaint source as target
+
+    Agents arrive dark unless the trailing ``light`` flag is given.
+    Returns None for empty input.
+    """
+    if not text or not text.strip():
+        return None
+    from .adversary.interventions import (
+        AddAgents,
+        AddColour,
+        RecolourColour,
+    )
+    from .adversary.schedule import InterventionSchedule
+
+    entries = []
+    for raw in text.split(","):
+        parts = [part.strip() for part in raw.split(":")]
+        try:
+            time_step = int(parts[0])
+            if time_step < 0:
+                raise ValueError("TIME must be non-negative")
+            kind = parts[1]
+            if kind == "agents":
+                dark = _schedule_shade(parts, 4)
+                event = AddAgents(
+                    colour=int(parts[2]),
+                    count=_schedule_count(parts[3]),
+                    dark=dark,
+                )
+            elif kind == "colour":
+                dark = _schedule_shade(parts, 4)
+                event = AddColour(
+                    weight=float(parts[2]),
+                    count=_schedule_count(parts[3]),
+                    dark=dark,
+                )
+            elif kind == "recolour":
+                if len(parts) != 4:
+                    raise ValueError("recolour takes SOURCE:TARGET")
+                event = RecolourColour(
+                    source=int(parts[2]), target=int(parts[3])
+                )
+            else:
+                raise ValueError(
+                    f"unknown intervention {kind!r} "
+                    "(use agents, colour or recolour)"
+                )
+        except (IndexError, ValueError) as error:
+            raise SystemExit(
+                f"invalid --schedule entry {raw.strip()!r}: {error}"
+            ) from error
+        entries.append((time_step, event))
+    return InterventionSchedule(entries)
+
+
+def _schedule_count(text: str) -> int:
+    count = int(text)
+    if count < 0:
+        raise ValueError("COUNT must be non-negative")
+    return count
+
+
+def _schedule_shade(parts: list[str], base: int) -> bool:
+    """Trailing shade flag of an agents/colour entry (default dark)."""
+    if len(parts) == base:
+        return True
+    if len(parts) == base + 1 and parts[base] in ("dark", "light"):
+        return parts[base] == "dark"
+    raise ValueError("expected COLOUR:COUNT or WEIGHT:COUNT [:dark|:light]")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -116,12 +196,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     weights = _parse_weights(args.weights)
+    schedule = _parse_schedule(args.schedule)
     steps = args.rounds * args.n
     if args.replications > 1:
-        return _demo_replicated(args, weights, steps)
+        return _demo_replicated(args, weights, steps, schedule)
     if args.engine == "aggregate":
         record = run_aggregate(
-            weights, args.n, steps, start=args.start, seed=args.seed
+            weights, args.n, steps, start=args.start, seed=args.seed,
+            schedule=schedule,
         )
     else:
         from .experiments.runner import run_diversification_agent
@@ -129,7 +211,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         record = run_diversification_agent(
             weights, args.n, steps,
             start=args.start, seed=args.seed, engine=args.engine,
+            schedule=schedule,
         )
+    # A schedule may have widened the colour set; the record carries
+    # the run's own (possibly grown) table.
+    weights = record.weights
     tail = max(1, len(record.times) // 4)
     window = record.colour_counts[-tail:, : weights.k]
     report = assess_goodness(window, weights)
@@ -152,7 +238,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
+def _demo_replicated(
+    args, weights: WeightTable, steps: int, schedule=None
+) -> int:
     """Replicated demo: R runs through the (batched) replication path."""
     if args.engine == "aggregate":
         batch = run_aggregate(
@@ -161,8 +249,10 @@ def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
             seed=args.seed,
             replications=args.replications,
             batched=args.batched,
+            schedule=schedule,
         )
         counts = batch.final_colour_counts
+        weights = batch.weights  # widened when the schedule adds colours
         engine = "aggregate/" + ("batched" if batch.batched else "scalar")
     else:
         from .experiments.replication import replicate_colour_counts
@@ -174,8 +264,16 @@ def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
             base_seed=args.seed,
             batched=args.batched,
             engine=args.engine,
+            schedule=schedule,
         )
         engine = f"agent/{args.engine}"
+        if counts.shape[1] > weights.k:
+            print(
+                f"note: the schedule added "
+                f"{counts.shape[1] - weights.k} colour(s); shares are "
+                "shown for the original colours",
+                file=sys.stderr,
+            )
     finals = counts.astype(float)
     shares = finals / finals.sum(axis=1, keepdims=True)
     fair = weights.fair_shares()
@@ -194,7 +292,7 @@ def _demo_replicated(args, weights: WeightTable, steps: int) -> int:
             f"replications={args.replications} ({engine} engine)"
         ),
     ))
-    report = assess_goodness(counts, weights)
+    report = assess_goodness(counts[:, : weights.k], weights)
     print(
         f"diversity error {report.diversity_error:.4f} "
         f"(bound {report.diversity_bound:.4f}) -> "
@@ -298,9 +396,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: 'aggregate' tracks colour counts only "
              "(fastest; complete graph), 'array' runs the vectorised "
              "agent-level engine (used automatically by run_agent for "
-             "kernelised protocols on complete/CSR graphs without "
-             "interventions), 'scalar' forces the per-step reference "
-             "engine",
+             "kernelised protocols on complete/CSR graphs), 'scalar' "
+             "forces the per-step reference engine; every engine — "
+             "including the batched replicated paths — accepts "
+             "--schedule",
+    )
+    p_demo.add_argument(
+        "--schedule", type=str, default=None, metavar="SPEC",
+        help="adversarial intervention schedule, comma-separated "
+             "entries 'T:agents:COLOUR:COUNT[:light]', "
+             "'T:colour:WEIGHT:COUNT[:light]' or "
+             "'T:recolour:SRC:DST', e.g. "
+             "'500000:agents:0:500,1000000:colour:2.0:1'",
     )
     p_demo.set_defaults(func=_cmd_demo)
 

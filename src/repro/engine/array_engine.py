@@ -20,9 +20,11 @@ Kolmogorov-Smirnov tests in ``tests/integration/test_array_equivalence.py``.
 
 Kernels exist for the Diversification protocol (light-adopts-dark,
 dark-dark lightening with probability ``1/w_i``), its unweighted
-ablation, and the Voter and 3-Majority baselines; protocols without a
-kernel raise and should run on the scalar engine (the experiment
-runners fall back automatically).  Supported interaction graphs are the
+ablation, and the whole baseline suite (Voter, 2-Choices, 3-Majority,
+anti-voter, SIS epidemic, random recolouring, trivial resampling);
+protocols without a kernel raise and should run on the scalar engine
+(the experiment runners fall back automatically).  Supported
+interaction graphs are the
 complete graph (``topology=None`` or
 :class:`~repro.topology.base.CompleteGraph`) and any CSR-adjacency
 topology exposing ``neighbour_arrays()``
@@ -38,9 +40,13 @@ count is paid once instead of R times.
 The engine shares the scalar engine's seeding contract: draws are
 buffered in fixed-size blocks anchored to the executed-step count, so
 ``step()`` equals ``run(1)`` and ``run(a); run(b)`` equals
-``run(a + b)`` for a fixed seed.  Populations are fixed size — the
-adversary interventions of :mod:`repro.adversary` require the scalar
-engines.
+``run(a + b)`` for a fixed seed.  The adversary interventions of
+:mod:`repro.adversary` apply between (not during) ``run`` calls through
+:meth:`ArraySimulation.add_agents`, :meth:`ArraySimulation.add_colour`
+and :meth:`ArraySimulation.recolour`; population growth discards the
+draw buffer (re-anchoring the stream, exactly like the scalar engine)
+and requires the complete graph, since CSR adjacency cannot grow.  In
+batched mode an intervention applies to every replication at once.
 """
 
 from __future__ import annotations
@@ -49,7 +55,12 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..baselines.anti_voter import AntiVoterModel
+from ..baselines.epidemic import SISEpidemic
 from ..baselines.three_majority import ThreeMajority
+from ..baselines.trivial import TrivialResampling
+from ..baselines.two_choices import TwoChoices
+from ..baselines.uniform_partition import RandomRecolouring
 from ..baselines.voter import VoterModel
 from ..core.ablations import UnweightedLightening
 from ..core.diversification import Diversification
@@ -155,6 +166,142 @@ class _ThreeMajorityKernel:
         return winner, new_s
 
 
+class _TwoChoicesKernel:
+    """Adopt the sampled colour only when both samples agree on a
+    colour different from one's own (dark shade on change)."""
+
+    coins = 0
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        pass
+
+    def apply(self, uc, us, vc, vs, coins):
+        c1 = vc[..., 0]
+        c2 = vc[..., 1]
+        change = (c1 == c2) & (c1 != uc)
+        new_c = np.where(change, c1, uc)
+        new_s = np.where(change, DARK, us)
+        return new_c, new_s
+
+
+class _AntiVoterKernel:
+    """Adopt the opposite of the sampled colour (two-colour model)."""
+
+    coins = 0
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        if k != 2:
+            raise ValueError(
+                f"the anti-voter kernel needs exactly two colour slots, "
+                f"got k={k}"
+            )
+
+    def apply(self, uc, us, vc, vs, coins):
+        opposite = 1 - vc[..., 0]
+        change = opposite != uc
+        new_c = np.where(change, opposite, uc)
+        new_s = np.where(change, DARK, us)
+        return new_c, new_s
+
+
+class _SISKernel:
+    """SIS contact process: spontaneous recovery for infected agents,
+    transmission on contact for susceptible ones.  The branches are
+    exclusive per agent, so one pre-drawn coin serves both (the scalar
+    engine draws lazily; only the distribution must match)."""
+
+    coins = 1
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        if k != 2:
+            raise ValueError(
+                f"the SIS kernel needs exactly two colour slots "
+                f"(susceptible/infected), got k={k}"
+            )
+
+    def apply(self, uc, us, vc, vs, coins):
+        protocol = self._protocol
+        infected = uc == protocol.INFECTED
+        coin = coins[..., 0]
+        recover = infected & (coin < protocol.recovery)
+        catch = (
+            ~infected
+            & (vc[..., 0] == protocol.INFECTED)
+            & (coin < protocol.transmission)
+        )
+        new_c = np.where(
+            recover,
+            protocol.SUSCEPTIBLE,
+            np.where(catch, protocol.INFECTED, uc),
+        )
+        new_s = np.where(recover | catch, DARK, us)
+        return new_c, new_s
+
+
+class _RandomRecolouringKernel:
+    """Relabel to a uniformly random colour on same-colour meetings
+    (the strawman's global-knowledge redraw over all ``k`` colours)."""
+
+    coins = 1
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        if self._protocol.k > k:
+            raise ValueError(
+                f"random recolouring redraws over {self._protocol.k} "
+                f"colours but the engine has only k={k} slots"
+            )
+
+    def apply(self, uc, us, vc, vs, coins):
+        k = self._protocol.k
+        redraw = vc[..., 0] == uc
+        pick = (coins[..., 0] * k).astype(np.int64)
+        np.minimum(pick, k - 1, out=pick)  # ulp guard on coin ~ 1
+        new_c = np.where(redraw, pick, uc)
+        new_s = np.where(redraw, DARK, us)
+        return new_c, new_s
+
+
+class _TrivialResamplingKernel:
+    """Redraw own colour proportionally to the protocol's private
+    weight snapshot, gated by the resample probability."""
+
+    coins = 2
+
+    def __init__(self, protocol):
+        self._protocol = protocol
+
+    def refresh(self, k: int) -> None:
+        if self._protocol.known_k > k:
+            raise ValueError(
+                f"trivial resampling draws over {self._protocol.known_k} "
+                f"colours but the engine has only k={k} slots"
+            )
+
+    def apply(self, uc, us, vc, vs, coins):
+        protocol = self._protocol
+        resample = coins[..., 0] < protocol.resample_probability
+        pick = np.searchsorted(
+            protocol.cumulative_shares(), coins[..., 1], side="right"
+        )
+        pick = np.minimum(pick, protocol.known_k - 1).astype(np.int64)
+        change = resample & (pick != uc)
+        new_c = np.where(change, pick, uc)
+        new_s = np.where(change, DARK, us)
+        return new_c, new_s
+
+
 #: Exact protocol type -> kernel factory.  Exact matches only: a
 #: subclass overriding ``transition`` must not inherit its parent's
 #: kernel.
@@ -165,6 +312,11 @@ _KERNEL_FACTORIES = {
     ),
     VoterModel: _VoterKernel,
     ThreeMajority: _ThreeMajorityKernel,
+    TwoChoices: _TwoChoicesKernel,
+    AntiVoterModel: _AntiVoterKernel,
+    SISEpidemic: _SISKernel,
+    RandomRecolouring: _RandomRecolouringKernel,
+    TrivialResampling: _TrivialResamplingKernel,
 }
 
 
@@ -465,6 +617,94 @@ class ArraySimulation:
         keys = self._colours + (np.arange(rows) * k)[:, None]
         data = keys.ravel() if mask is None else keys[mask]
         return np.bincount(data, minlength=rows * k).reshape(rows, k)
+
+    # ------------------------------------------------------------------
+    # Adversary support (between, never during, ``run`` calls)
+
+    def add_agents(self, colour: int, count: int, dark: bool = True) -> None:
+        """Inject ``count`` fresh agents of an existing colour (into
+        every replication, in batched mode).
+
+        Growth discards the draw buffer — partner draws are relative to
+        the population size — which re-anchors the stream exactly like
+        the scalar engine's refill-on-growth; it requires the complete
+        graph because CSR adjacency cannot grow.
+        """
+        if not 0 <= colour < self._k:
+            raise ValueError(f"unknown colour {colour}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        if not self._complete:
+            raise ValueError(
+                "population growth requires the complete graph; explicit "
+                "topologies cannot gain agents"
+            )
+        shade = DARK if dark else LIGHT
+        shape = (
+            (self.replications, count) if self._batched else (count,)
+        )
+        self._colours = np.concatenate(
+            [self._colours, np.full(shape, colour, dtype=np.int64)],
+            axis=-1,
+        )
+        self._shades = np.concatenate(
+            [self._shades, np.full(shape, shade, dtype=np.int64)],
+            axis=-1,
+        )
+        self._n += count
+        self._buf_pos = self._batch_block  # discard stale partner draws
+        if self._live_counts is not None:
+            counts = self._live_counts
+            counts["colour"][colour] += count
+            counts["dark" if dark else "light"][colour] += count
+
+    def add_colour(self, weight: float, count: int, dark: bool = True) -> int:
+        """Introduce a brand-new colour with ``count`` supporters,
+        widening the protocol's weight table (the kernel rebinds its
+        per-colour tables from that table on the next run)."""
+        weights = getattr(self.protocol, "weights", None)
+        if weights is None:
+            raise TypeError(
+                f"protocol {self.protocol.name!r} has no weight table"
+            )
+        if count < 0:  # validate before any widening takes effect
+            raise ValueError("count must be non-negative")
+        colour = weights.add_colour(weight)
+        self._grow_colour_slots(weights.k)
+        self._kernel.refresh(self._k)
+        self.add_agents(colour, count, dark=dark)
+        return colour
+
+    def recolour(self, source: int, target: int) -> None:
+        """Repaint every agent of ``source`` colour as ``target``
+        (shades kept; batch-wide in batched mode).  Indices are stable,
+        so the draw buffer stays valid."""
+        if not (0 <= source < self._k and 0 <= target < self._k):
+            raise ValueError("source and target must be existing colours")
+        if source == target:
+            return
+        self._colours[self._colours == source] = target
+        if self._live_counts is not None:
+            self._live_counts = {
+                "colour": self._bincount(None),
+                "dark": self._bincount(self._shades > LIGHT),
+                "light": self._bincount(self._shades == LIGHT),
+            }
+
+    def _grow_colour_slots(self, new_k: int) -> None:
+        if new_k < self._k:
+            raise ValueError("colour slots can only grow")
+        extra = new_k - self._k
+        self._k = int(new_k)
+        if extra and self._live_counts is not None:
+            self._live_counts = {
+                key: np.concatenate(
+                    [table, np.zeros(extra, dtype=table.dtype)]
+                )
+                for key, table in self._live_counts.items()
+            }
 
     # ------------------------------------------------------------------
     # Stepping

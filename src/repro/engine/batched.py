@@ -34,10 +34,16 @@ replications at the same time-step.
 
 The ``lighten_probabilities`` override mirrors the scalar engine and
 gives the A2 ablation (:class:`~repro.core.ablations.UnweightedLightening`)
-the same fast path.  Adversarial interventions (``add_agents``,
-``add_colour``) are *not* supported here: batched runs model repetitions
-of a fixed instance, and intervention studies route through the scalar
-engines (see :func:`repro.experiments.replication.replicate_colour_counts`).
+the same fast path.  Adversarial interventions are supported batch-wide
+between ``run`` calls: :meth:`~BatchedAggregateSimulation.add_agents`,
+:meth:`~BatchedAggregateSimulation.add_colour` (which widens the
+``(R, 2k)`` count matrix and the shared weight table) and
+:meth:`~BatchedAggregateSimulation.recolour` apply the *same*
+deterministic intervention to every replication — exactly what the
+scalar per-replication loop does with a shared
+:class:`~repro.adversary.schedule.InterventionSchedule` — so E6/E7-style
+robustness sweeps fuse all R replications into one engine (see
+:func:`repro.experiments.replication.replicate_colour_counts`).
 """
 
 from __future__ import annotations
@@ -337,6 +343,56 @@ class BatchedAggregateSimulation:
             if finished.any():
                 act = act[~finished]
         return self
+
+    # ------------------------------------------------------------------
+    # Adversary support (batch-wide, between ``run`` calls)
+
+    def add_agents(self, colour: int, count: int, dark: bool = True) -> None:
+        """Inject ``count`` fresh agents of an existing colour into
+        *every* replication (the same deterministic shock the scalar
+        loop applies per replication)."""
+        if not 0 <= colour < self.k:
+            raise ValueError(f"unknown colour {colour}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if dark:
+            self._dark[:, colour] += count
+        else:
+            self._light[:, colour] += count
+        self._n += count
+
+    def add_colour(self, weight: float, count: int, dark: bool = True) -> int:
+        """Introduce a brand-new colour with ``count`` supporters in
+        every replication, widening the count matrix and the shared
+        weight table.
+
+        Sustainability requires new colours to arrive dark (Sec 1.2).
+        """
+        if count < 0:  # validate before any widening takes effect
+            raise ValueError("count must be non-negative")
+        colour = self.weights.add_colour(weight)
+        k = self.weights.k
+        state = np.zeros((self._state.shape[0], 2 * k), dtype=np.int64)
+        state[:, : k - 1] = self._dark
+        state[:, k : 2 * k - 1] = self._light
+        self._state = state
+        self._dark = state[:, :k]
+        self._light = state[:, k:]
+        self._lighten = np.append(self._lighten, 1.0 / weight)
+        self.add_agents(colour, count, dark=dark)
+        return colour
+
+    def recolour(self, source: int, target: int) -> None:
+        """Repaint all agents of ``source`` as ``target`` (shades kept)
+        in every replication."""
+        if not (0 <= source < self.k and 0 <= target < self.k):
+            raise ValueError("source and target must be existing colours")
+        if source == target:
+            return
+        self._dark[:, target] += self._dark[:, source]
+        self._light[:, target] += self._light[:, source]
+        self._dark[:, source] = 0
+        self._light[:, source] = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

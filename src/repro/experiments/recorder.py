@@ -42,6 +42,15 @@ class CountRecorder:
             return time + self.interval
         return self._next
 
+    def last_time(self) -> int | None:
+        """Time of the latest snapshot, or None before the first.
+
+        The segmented runner uses this to force a horizon snapshot, so
+        a record always ends with the state at the requested final
+        time-step even when the interval does not divide the horizon.
+        """
+        return self._times[-1] if self._times else None
+
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -7,18 +7,23 @@ the boilerplate so experiments stay focused on their measurement.
 :func:`replicate_colour_counts` is the routed entry point for the most
 common measurement — final colour counts over R replications.  When the
 run is *aggregate-compatible* (Diversification or its
-``lighten_probabilities`` ablations on the complete graph, no
-interventions), all R replications are fused into one
-:class:`~repro.engine.batched.BatchedAggregateSimulation`.  Agent-level
-runs (explicit topologies, baseline dynamics) that have a vectorised
-kernel fuse into one batched ``(R, n)``
+``lighten_probabilities`` ablations on the complete graph), all R
+replications are fused into one
+:class:`~repro.engine.batched.BatchedAggregateSimulation` — including
+under an intervention schedule, which is applied batch-wide between
+event segments (so the E6/E7 adversarial sweeps share the batched fast
+path).  Agent-level runs (explicit topologies, baseline dynamics) that
+have a vectorised kernel fuse into one batched ``(R, n)``
 :class:`~repro.engine.array_engine.ArraySimulation` instead; protocols
-without a kernel and intervention schedules fall back to the scalar
-per-replication loop.
+without a kernel — and population-growing schedules on explicit
+topologies — fall back to the scalar per-replication loop.  On every
+path a schedule sees an independent copy of the protocol's weight
+table per run, never the caller's.
 """
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -116,10 +121,13 @@ def is_aggregate_compatible(
     The batched engine simulates the configuration chain of the
     Diversification family on the complete graph, so anything that
     needs agent identities (an explicit topology, a non-aggregate
-    protocol) or mid-run mutation (an intervention schedule) must use
-    the scalar path.  ``protocol=None`` means plain Diversification.
+    protocol) must use the scalar path.  Intervention schedules are
+    accepted: the batched engine applies them batch-wide between event
+    segments, so a ``schedule`` never forces the scalar loop here.
+    ``protocol=None`` means plain Diversification.
     """
-    if topology is not None or schedule is not None:
+    del schedule  # any schedule is batched-compatible on this path
+    if topology is not None:
         return False
     if protocol is None:
         return True
@@ -154,20 +162,24 @@ def replicate_colour_counts(
     """Final colour counts of R replications, shape ``(R, k)``.
 
     Routes through :class:`~repro.engine.batched.BatchedAggregateSimulation`
-    when ``batched`` is set and the run is aggregate-compatible.
-    Agent-level runs fuse into one batched ``(R, n)``
+    when ``batched`` is set and the run is aggregate-compatible —
+    intervention schedules included, applied batch-wide.  Agent-level
+    runs fuse into one batched ``(R, n)``
     :class:`~repro.engine.array_engine.ArraySimulation` when ``batched``
-    is set and the protocol/topology pair has a vectorised path;
-    otherwise each replication runs on its own engine seeded by an
-    independent child generator of ``base_seed``.  Rows are zero-padded
-    to the widest colour set when an intervention schedule adds colours
-    mid-run.
+    is set and the protocol/topology/schedule triple has a vectorised
+    path; otherwise each replication runs on its own engine seeded by
+    an independent child generator of ``base_seed``.  Rows are
+    zero-padded to the widest colour set when an intervention schedule
+    adds colours mid-run.  A schedule always mutates an independent
+    copy of the protocol (one per run on the scalar loop, one shared
+    batch copy on the fused paths), never the caller's instance.
 
     ``engine`` mirrors :func:`~repro.experiments.runner.run_agent`:
     ``"auto"`` applies the routing above, ``"scalar"``/``"array"``
     force the agent-level engines (skipping the aggregate fast path),
     e.g. to benchmark one engine in isolation.
     """
+    from ..adversary.schedule import run_with_interventions
     from ..engine.array_engine import ArraySimulation
     from .recorder import _pad_stack
     from .runner import (
@@ -181,11 +193,11 @@ def replicate_colour_counts(
     if replications < 1:
         raise ValueError("need at least one replication")
     if engine == "auto" and is_aggregate_compatible(
-        protocol, topology=topology
+        protocol, topology=topology, schedule=schedule
     ):
-        # The whole aggregate family shares one routed path; an
-        # intervention schedule makes run_aggregate fall back to its
-        # scalar per-replication loop internally.
+        # The whole aggregate family shares one routed path; with a
+        # schedule the fused batched engine applies the interventions
+        # batch-wide between event segments.
         batch = run_aggregate(
             weights, n, steps,
             start=start,
@@ -210,13 +222,20 @@ def replicate_colour_counts(
             "ablation on the agent engines"
         )
     # use_array_engine also validates the engine name and rejects
-    # engine="array" under an intervention schedule.
+    # engine="array" for population-growing schedules on an explicit
+    # topology.
     run_protocol = protocol or Diversification(weights.copy())
     if batched and use_array_engine(
         run_protocol, topology=topology, schedule=schedule, engine=engine
     ):
+        if protocol is not None and schedule is not None:
+            # The fused engine shares one protocol across all
+            # replications; a schedule that widens its weight table
+            # must mutate a copy, never the caller's instance.
+            run_protocol = copy.deepcopy(protocol)
         # Fuse all R replications into one (R, n) array engine: one
-        # shared draw stream, one Python-level loop.
+        # shared draw stream, one Python-level loop; interventions
+        # apply to every replication at once between segments.
         rng = make_rng(base_seed)
         colour_rows = np.array(
             [
@@ -234,17 +253,18 @@ def replicate_colour_counts(
             topology=topology,
             rng=rng,
         )
-        simulation.run(steps)
+        run_with_interventions(simulation, steps, schedule)
         return simulation.colour_counts()
     # Per-replication fallback: one simulator per replication,
-    # independent child generators (and, when a schedule mutates the
-    # weight table, an independent table copy per replication).
+    # independent child generators.  run_agent deep-copies the
+    # protocol under a schedule, so each replication mutates its own
+    # weight table — a shared weighted protocol no longer compounds
+    # colours across replications.
     children = spawn(make_rng(base_seed), replications)
     finals = []
     for child in children:
-        run_protocol = protocol or Diversification(weights.copy())
         record = run_agent(
-            run_protocol, weights, n, steps,
+            protocol or Diversification(weights.copy()), weights, n, steps,
             start=start,
             seed=child,
             record_interval=max(1, steps),

@@ -11,6 +11,13 @@ E6's ``(protocol × seed)`` sweep runs through the declarative pipeline
 with the ``"stream"`` seed scope (consecutive children of the base
 seed, reproducing the legacy shared-generator spawn pattern); E7 is a
 single recorded run and rides the pipeline as a one-shard plan.
+
+Both experiments additionally replicate their adversarial runs through
+the *fused batched* aggregate engine
+(:func:`~repro.experiments.runner.run_aggregate` with
+``replications=R`` and a ``schedule``): all R shocked replications
+advance as one ``(R, 2k)`` count matrix, with the interventions applied
+batch-wide between event segments.
 """
 
 from __future__ import annotations
@@ -34,9 +41,15 @@ from .workloads import colours_from_counts, worst_case_counts
 
 E6_PROFILES = {
     "full": {},
-    "quick": {"n": 96, "steps_per_agent": 400, "seeds": 5},
+    "quick": {
+        "n": 96, "steps_per_agent": 400, "seeds": 5,
+        "adv_replications": 4,
+    },
 }
-E7_PROFILES = {"full": {}, "quick": {"n": 512, "settle_factor": 6.0}}
+E7_PROFILES = {
+    "full": {},
+    "quick": {"n": 512, "settle_factor": 6.0, "replications": 8},
+}
 
 # E6 contenders, in table order.  Keyed by name so shards can rebuild
 # their protocol from plain parameters.
@@ -69,17 +82,38 @@ def minimum_counts_under(
 
 
 def _measure_sustainability(params: dict, rng: np.random.Generator) -> dict:
-    """E6 shard: one survival run of one contender."""
+    """E6 shard: one survival run of one contender, plus (for the
+    weighted protocol) a fused batched adversarial survival check."""
+    n = params["n"]
+    steps = params["steps_per_agent"] * n
     mins, dark_mins = minimum_counts_under(
         _E6_FACTORIES[params["protocol"]],
         WeightTable(params["vector"]),
-        params["n"],
-        params["steps_per_agent"] * params["n"],
+        n,
+        steps,
         seed=rng,
     )
+    adv_min_dark = None
+    replications = params["adv_replications"]
+    if replications and params["protocol"] == "diversification":
+        # R shocked replications fused into one batched aggregate
+        # engine: an agent flood, then a brand-new (dark) colour.
+        schedule = InterventionSchedule(
+            [
+                (steps // 3, AddAgents(colour=0, count=n // 4, dark=True)),
+                (2 * steps // 3, AddColour(weight=2.0, count=1, dark=True)),
+            ]
+        )
+        batch = run_aggregate(
+            WeightTable(params["vector"]), n, steps,
+            start="worst", seed=rng,
+            replications=replications, schedule=schedule, batched=True,
+        )
+        adv_min_dark = int(batch.final_dark_counts.min())
     return {
         "min_colour": int(mins.min()),
         "min_dark": int(dark_mins.min()),
+        "adv_min_dark": adv_min_dark,
     }
 
 
@@ -90,20 +124,32 @@ def _build_sustainability(result) -> ExperimentTable:
         "E6",
         "Sustainability from singleton starts (Def 1.1(3))",
         ["protocol", "runs", "runs w/ all colours alive",
-         "min colour count seen", "min dark count seen", "sustainable"],
+         "min colour count seen", "min dark count seen",
+         "survives adversary", "sustainable"],
     )
     for params, values in result.by_cell():
         survived = sum(1 for v in values if v["min_colour"] >= 1)
         overall_min = min(v["min_colour"] for v in values)
         overall_dark_min = min(v["min_dark"] for v in values)
+        adversarial = [
+            v["adv_min_dark"] for v in values
+            if v.get("adv_min_dark") is not None
+        ]
         table.add_row(
             params["protocol"], seeds, survived, int(overall_min),
-            int(overall_dark_min), survived == seeds,
+            int(overall_dark_min),
+            "-" if not adversarial else all(m >= 1 for m in adversarial),
+            survived == seeds,
         )
     table.add_note(
         "the structural invariant: a lone dark agent of a colour never "
         "changes, so Diversification keeps min dark count >= 1 with "
         "probability 1"
+    )
+    table.add_note(
+        "'survives adversary': fused batched replications under an "
+        "agent-flood + new-dark-colour schedule keep every dark count "
+        ">= 1 at the horizon ('-' for protocols without weights)"
     )
     return table
 
@@ -115,8 +161,13 @@ def spec_sustainability(
     steps_per_agent: int = 600,
     seeds: int = 10,
     base_seed: int = 1234,
+    adv_replications: int = 8,
 ) -> ScenarioSpec:
-    """E6 as a scenario: contender grid × ``seeds`` replications."""
+    """E6 as a scenario: contender grid × ``seeds`` replications.
+
+    ``adv_replications`` sets the size of the fused batched adversarial
+    survival check run per diversification shard (0 disables it).
+    """
     return ScenarioSpec(
         name="e6",
         measure=_measure_sustainability,
@@ -125,6 +176,7 @@ def spec_sustainability(
             "vector": tuple(weight_vector),
             "n": n,
             "steps_per_agent": steps_per_agent,
+            "adv_replications": adv_replications,
         },
         replications=seeds,
         base_seed=base_seed,
@@ -140,6 +192,7 @@ def experiment_sustainability(
     steps_per_agent: int = 600,
     seeds: int = 10,
     base_seed: int = 1234,
+    adv_replications: int = 8,
 ) -> ExperimentTable:
     """E6: colour survival from singleton starts (Def 1.1(3)).
 
@@ -148,12 +201,16 @@ def experiment_sustainability(
     model loses colours routinely from the same start.  Random
     recolouring also keeps lone supporters (change requires meeting
     one's own colour) but needs global knowledge of k and ignores
-    weights — its failure is diversity, not sustainability.
+    weights — its failure is diversity, not sustainability.  The
+    diversification rows additionally verify survival under an
+    adversarial schedule across ``adv_replications`` fused batched
+    replications.
     """
     return execute(
         spec_sustainability(
             n, weight_vector, steps_per_agent=steps_per_agent,
             seeds=seeds, base_seed=base_seed,
+            adv_replications=adv_replications,
         )
     ).table()
 
@@ -179,7 +236,8 @@ def recovery_time_after(
 
 
 def _measure_adversary(params: dict, rng: np.random.Generator) -> dict:
-    """E7 shard: one recorded run with the flood and new-colour shocks."""
+    """E7 shard: one recorded run with the flood and new-colour shocks,
+    plus R shocked replications fused into the batched engine."""
     weights = WeightTable(params["vector"])
     w = weights.total
     n = params["n"]
@@ -197,6 +255,13 @@ def _measure_adversary(params: dict, rng: np.random.Generator) -> dict:
         weights, n, total, start="worst", seed=rng,
         record_interval=max(1, total // 1024), schedule=schedule,
     )
+    # The same shocked run, replicated: all R replications advance as
+    # one (R, 2k) batched engine with the schedule applied batch-wide.
+    replications = params["replications"]
+    batch = run_aggregate(
+        weights, n, total, start="worst", seed=rng,
+        replications=replications, schedule=schedule, batched=True,
+    )
     return {
         "times": [int(t) for t in record.times],
         "colour_counts": record.colour_counts.tolist(),
@@ -205,6 +270,9 @@ def _measure_adversary(params: dict, rng: np.random.Generator) -> dict:
         "weights_after": [float(v) for v in record.weights],
         "shock1": shock1,
         "shock2": shock2,
+        "replications": replications,
+        "replicated_final_counts": batch.final_colour_counts.tolist(),
+        "replicated_min_dark": int(batch.final_dark_counts.min()),
     }
 
 
@@ -262,6 +330,22 @@ def _build_adversary(result) -> ExperimentTable:
             for i in range(final_weights.k)
         )
     )
+    replicated = np.asarray(
+        value["replicated_final_counts"], dtype=np.float64
+    )
+    mean_shares = (
+        replicated / replicated.sum(axis=1, keepdims=True)
+    ).mean(axis=0)
+    table.add_note(
+        f"fused batched replications (R={value['replications']}): "
+        "mean final shares "
+        + ", ".join(
+            f"c{i}: {mean_shares[i]:.3f}/{fair[i]:.3f}"
+            for i in range(final_weights.k)
+        )
+        + f"; min dark count {value['replicated_min_dark']} "
+        f"(sustainable={value['replicated_min_dark'] >= 1})"
+    )
     table.add_note(
         f"diversity band used for recovery: ±{bound:.4f} on every share"
     )
@@ -274,8 +358,10 @@ def spec_adversary(
     *,
     seed: int = 404,
     settle_factor: float = 8.0,
+    replications: int = 24,
 ) -> ScenarioSpec:
-    """E7 as a one-shard scenario (single shocked run)."""
+    """E7 as a one-shard scenario (single recorded shocked run, plus
+    ``replications`` fused batched repetitions of the same shocks)."""
     return ScenarioSpec(
         name="e7",
         measure=_measure_adversary,
@@ -283,6 +369,7 @@ def spec_adversary(
             "vector": tuple(weight_vector),
             "n": n,
             "settle_factor": settle_factor,
+            "replications": replications,
         },
         base_seed=seed,
         seed_scope="direct",
@@ -296,16 +383,20 @@ def experiment_adversary(
     *,
     seed: int = 404,
     settle_factor: float = 8.0,
+    replications: int = 24,
 ) -> ExperimentTable:
     """E7: recovery after adversarial agent floods and colour addition.
 
     Two shocks: (1) flood — colour 0 gains n/2 fresh dark agents;
     (2) a brand-new colour (weight 2) arrives with a single dark agent.
     Expected shape: the diversity error spikes at each shock and decays
-    back inside the band; the new colour ends near its fair share.
+    back inside the band; the new colour ends near its fair share, both
+    in the recorded run and on average over ``replications`` fused
+    batched repetitions of the same schedule.
     """
     return execute(
         spec_adversary(
-            n, weight_vector, seed=seed, settle_factor=settle_factor
+            n, weight_vector, seed=seed, settle_factor=settle_factor,
+            replications=replications,
         )
     ).table()

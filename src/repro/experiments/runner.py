@@ -5,10 +5,12 @@ build on.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..adversary.interventions import AddAgents, AddColour
 from ..adversary.schedule import InterventionSchedule, run_with_interventions
 from ..core.diversification import Diversification
 from ..core.protocol import Protocol
@@ -21,8 +23,9 @@ from ..engine.array_engine import (
 )
 from ..engine.batched import BatchedAggregateSimulation
 from ..engine.population import Population
-from ..engine.rng import make_rng, spawn
+from ..engine.rng import make_rng, spawn, spawn_sequences
 from ..engine.simulator import Simulation
+from ..topology.base import CompleteGraph
 from .recorder import CountRecorder
 from .workloads import (
     colours_from_counts,
@@ -34,6 +37,25 @@ from .workloads import (
 
 STARTS = ("worst", "uniform", "proportional", "random")
 AGENT_ENGINES = ("auto", "scalar", "array")
+
+
+def seed_streams(
+    seed: int | np.random.Generator | None,
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """Decorrelated ``(workload, engine)`` generators from one seed.
+
+    A generator input passes through unchanged (one shared stream
+    consumed sequentially — the documented seeding contract), but an
+    integer or ``None`` seed is split into two independent child
+    streams via :func:`~repro.engine.rng.spawn_sequences`.  Building
+    ``default_rng(seed)`` twice instead would alias the streams: with
+    ``start="random"`` the dynamics would replay the exact uniforms
+    that drew the start configuration.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed, seed
+    workload, engine = spawn_sequences(seed, 2)
+    return np.random.default_rng(workload), np.random.default_rng(engine)
 
 
 def initial_counts(
@@ -138,15 +160,17 @@ def run_aggregate(
 
     All agents start dark (the paper's initial condition).  Snapshots
     are recorded every ``record_interval`` steps (default: ``steps/256``
-    rounded up).
+    rounded up), and the record always ends with a snapshot at the
+    requested horizon even when the interval does not divide ``steps``.
 
     With ``replications=R`` the run is repeated R times and a
     :class:`BatchRunRecord` of final configurations is returned instead
-    of a time series.  When ``batched`` is set (the default) and no
-    intervention schedule is given, all R replications advance together
-    inside one :class:`~repro.engine.batched.BatchedAggregateSimulation`;
-    otherwise they loop over scalar engines with independent child
-    seeds.
+    of a time series.  When ``batched`` is set (the default) all R
+    replications advance together inside one
+    :class:`~repro.engine.batched.BatchedAggregateSimulation` —
+    including under an intervention ``schedule``, which is applied
+    batch-wide between event segments; ``batched=False`` loops over
+    scalar engines with independent child seeds instead.
     """
     if replications is not None:
         return _run_aggregate_batch(
@@ -159,11 +183,12 @@ def run_aggregate(
             batched=batched,
         )
     weights = weights.copy()  # keep the caller's table pristine
-    dark = initial_counts(start, n, weights, seed)
+    workload_rng, engine_rng = seed_streams(seed)
+    dark = initial_counts(start, n, weights, workload_rng)
     engine = AggregateSimulation(
         weights,
         dark_counts=dark,
-        rng=seed,
+        rng=engine_rng,
         lighten_probabilities=lighten_probabilities,
     )
     if record_interval is None:
@@ -196,7 +221,7 @@ def _run_aggregate_batch(
     """R replications of an aggregate run; batched when possible."""
     if replications < 1:
         raise ValueError("need at least one replication")
-    if batched and schedule is None:
+    if batched:
         table = weights.copy()
         rng = make_rng(seed)
         dark0 = initial_count_rows(start, n, table, rng, replications)
@@ -207,7 +232,10 @@ def _run_aggregate_batch(
             rng=rng,
             lighten_probabilities=lighten_probabilities,
         )
-        engine.run(steps)
+        # Interventions apply batch-wide between event segments; a
+        # colour addition widens both the count matrix and ``table``,
+        # so the recorded weights always match the count columns.
+        run_with_interventions(engine, steps, schedule)
         return BatchRunRecord(
             n=engine.n,
             weights=table,
@@ -217,9 +245,9 @@ def _run_aggregate_batch(
             final_dark_counts=engine.dark_counts(),
             final_light_counts=engine.light_counts(),
         )
-    # Scalar loop: intervention schedules mutate per-run state (and may
-    # add colours), so each replication gets its own engine and weight
-    # table; final rows are zero-padded to the widest colour set.
+    # Scalar loop: each replication gets its own engine and weight
+    # table (independent child seeds); final rows are zero-padded to
+    # the widest colour set when a schedule adds colours.
     children = spawn(make_rng(seed), replications)
     records = [
         run_aggregate(
@@ -271,10 +299,11 @@ def use_array_engine(
     ``engine="auto"`` picks the vectorised
     :class:`~repro.engine.array_engine.ArraySimulation` whenever the
     protocol has a kernel, the topology is complete or CSR-backed, and
-    no intervention schedule mutates the population mid-run; anything
-    else falls back to the scalar :class:`~repro.engine.Simulation`.
-    ``engine="array"`` forces the vectorised path (raising on
-    unsupported runs), ``engine="scalar"`` forces the fallback.
+    any intervention schedule is array-compatible (see
+    :func:`array_schedule_supported`); anything else falls back to the
+    scalar :class:`~repro.engine.Simulation`.  ``engine="array"``
+    forces the vectorised path (raising on unsupported runs),
+    ``engine="scalar"`` forces the fallback.
     """
     if engine not in AGENT_ENGINES:
         raise ValueError(
@@ -283,15 +312,36 @@ def use_array_engine(
     if engine == "scalar":
         return False
     if engine == "array":
-        if schedule is not None:
+        if not array_schedule_supported(schedule, topology):
             raise ValueError(
-                "intervention schedules require the scalar engine"
+                "population-growing interventions on an explicit "
+                "topology require the scalar engine"
             )
         return True
     return (
-        schedule is None
-        and has_kernel(protocol)
+        has_kernel(protocol)
         and supports_topology(topology)
+        and array_schedule_supported(schedule, topology)
+    )
+
+
+def array_schedule_supported(
+    schedule: InterventionSchedule | None, topology
+) -> bool:
+    """Whether the array engine can apply ``schedule`` on ``topology``.
+
+    All interventions are supported on the complete graph (growth
+    discards the draw buffer and re-anchors the stream, like the scalar
+    engine).  On a CSR topology the adjacency cannot gain nodes, so
+    only index-stable schedules (pure recolourings) qualify.
+    """
+    if schedule is None:
+        return True
+    if topology is None or isinstance(topology, CompleteGraph):
+        return True
+    return not any(
+        isinstance(intervention, (AddAgents, AddColour))
+        for _, intervention in schedule.entries()
     )
 
 
@@ -317,9 +367,20 @@ def run_agent(
     for the ``"auto"`` routing rule).  Both engines simulate the same
     per-step model; their trajectories agree in distribution but not
     draw-for-draw.
+
+    Under an intervention ``schedule`` the protocol is deep-copied
+    first, so a schedule that widens the weight table (colour addition)
+    never mutates the caller's protocol — reusing one protocol instance
+    across runs no longer compounds colours.  The record then carries
+    the run's own (possibly widened) table.
     """
-    counts = initial_counts(start, n, weights, seed)
+    workload_rng, engine_rng = seed_streams(seed)
+    counts = initial_counts(start, n, weights, workload_rng)
     colours = colours_from_counts(counts)
+    run_weights = weights
+    if schedule is not None:
+        protocol = copy.deepcopy(protocol)
+        run_weights = getattr(protocol, "weights", weights)
     if use_array_engine(
         protocol, topology=topology, schedule=schedule, engine=engine
     ):
@@ -328,7 +389,7 @@ def run_agent(
             np.asarray(colours, dtype=np.int64),
             k=weights.k,
             topology=topology,
-            rng=seed,
+            rng=engine_rng,
             observers=list(observers),
         )
     else:
@@ -339,7 +400,7 @@ def run_agent(
             protocol,
             population,
             topology=topology,
-            rng=seed,
+            rng=engine_rng,
             observers=list(observers),
         )
     if record_interval is None:
@@ -348,7 +409,7 @@ def run_agent(
     run_with_interventions(simulation, steps, schedule, recorder=recorder)
     return RunRecord(
         n=simulation.population.n,
-        weights=weights,
+        weights=run_weights,
         steps=steps,
         times=recorder.times(),
         colour_counts=recorder.colour_counts(),

@@ -210,3 +210,127 @@ class TestRoutedEquivalence:
                 finals["array"][:, colour], finals["scalar"][:, colour]
             )
             assert result.pvalue > P_FLOOR, f"colour {colour}"
+
+
+class TestAdversarialArrayEquivalence:
+    """The fused (R, n) array engine under an E7-style schedule (agent
+    flood + new dark colour) matches R scalar engines each applying the
+    same schedule, per-colour in distribution."""
+
+    STEPS = 1500
+
+    def make_schedule(self):
+        from repro.adversary.interventions import AddAgents, AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        return InterventionSchedule(
+            [
+                (self.STEPS // 3, AddAgents(colour=0, count=N // 2)),
+                (2 * self.STEPS // 3, AddColour(weight=2.0, count=2)),
+            ]
+        )
+
+    def finals(self, engine_name: str, seed: int) -> np.ndarray:
+        from repro.experiments.replication import replicate_colour_counts
+
+        weights = WeightTable(WEIGHT_VECTOR)
+        counts = replicate_colour_counts(
+            weights, N, self.STEPS,
+            replications=REPLICATIONS,
+            protocol=Diversification(weights.copy()),
+            schedule=self.make_schedule(),
+            base_seed=seed,
+            engine=engine_name,
+            batched=engine_name == "array",
+        )
+        assert weights.k == 3  # caller's table untouched
+        return counts
+
+    @pytest.fixture(scope="class")
+    def adversarial(self):
+        return {
+            "array": self.finals("array", seed=51),
+            "scalar": self.finals("scalar", seed=62),
+        }
+
+    def test_population_conserved(self, adversarial):
+        expected = N + N // 2 + 2
+        for counts in adversarial.values():
+            assert counts.shape == (REPLICATIONS, 4)
+            assert (counts.sum(axis=1) == expected).all()
+
+    def test_ks_fused_array_vs_scalar(self, adversarial):
+        for colour in range(4):
+            result = stats.ks_2samp(
+                adversarial["array"][:, colour],
+                adversarial["scalar"][:, colour],
+            )
+            assert result.pvalue > P_FLOOR, (
+                f"colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_bit_reproducible_from_one_seed(self):
+        np.testing.assert_array_equal(
+            self.finals("array", seed=77), self.finals("array", seed=77)
+        )
+
+
+class TestBaselineKernelEquivalence:
+    """Every newly kernelised baseline matches its scalar transition in
+    distribution (final colour counts over R replications)."""
+
+    STEPS = 1200
+
+    def cases(self):
+        from repro.baselines.anti_voter import AntiVoterModel
+        from repro.baselines.epidemic import SISEpidemic
+        from repro.baselines.trivial import TrivialResampling
+        from repro.baselines.two_choices import TwoChoices
+        from repro.baselines.uniform_partition import RandomRecolouring
+
+        half = [0] * 30 + [1] * 30
+        return {
+            "2-choices": (lambda: TwoChoices(), [0] * 40 + [1] * 20, 2),
+            "anti-voter": (lambda: AntiVoterModel(), list(half), 2),
+            "sis": (lambda: SISEpidemic(0.7, 0.2), [0] * 45 + [1] * 15, 2),
+            "random-recolouring": (
+                lambda: RandomRecolouring(3), list(COLOURS), 3
+            ),
+            "trivial": (
+                lambda: TrivialResampling(
+                    WeightTable(WEIGHT_VECTOR), 0.8
+                ),
+                list(COLOURS),
+                3,
+            ),
+        }
+
+    @pytest.mark.parametrize(
+        "name",
+        ["2-choices", "anti-voter", "sis", "random-recolouring", "trivial"],
+    )
+    def test_ks_batched_vs_scalar(self, name):
+        factory, colours, k = self.cases()[name]
+        batched = ArraySimulation(
+            factory(),
+            np.asarray(colours),
+            k=k,
+            rng=404,
+            replications=REPLICATIONS,
+        )
+        batched.run(self.STEPS)
+        batched_finals = batched.colour_counts()
+        scalar_rows = []
+        for child in spawn(make_rng(505), REPLICATIONS):
+            protocol = factory()
+            population = Population.from_colours(colours, protocol, k=k)
+            Simulation(protocol, population, rng=child).run(self.STEPS)
+            scalar_rows.append(population.colour_counts())
+        scalar_finals = np.asarray(scalar_rows)
+        for colour in range(k):
+            result = stats.ks_2samp(
+                batched_finals[:, colour], scalar_finals[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, (
+                f"{name} colour {colour}: KS p={result.pvalue:.2e}"
+            )

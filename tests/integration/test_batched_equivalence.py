@@ -151,3 +151,62 @@ class TestLightenOverrideEquivalence:
                 batched[:, colour], scalar_counts[:, colour]
             )
             assert result.pvalue > P_FLOOR, f"colour {colour}"
+
+
+class TestAdversarialBatchedEquivalence:
+    """The fused batched engine under an E7-style intervention schedule
+    (agent flood, then a brand-new dark colour) must match the scalar
+    per-replication loop in distribution — final counts per colour,
+    including the adversarially added one."""
+
+    N = 60
+    STEPS = 2000
+
+    def make_schedule(self):
+        from repro.adversary.interventions import AddAgents, AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        return InterventionSchedule(
+            [
+                (self.STEPS // 3, AddAgents(colour=0, count=self.N // 2)),
+                (2 * self.STEPS // 3, AddColour(weight=2.0, count=1)),
+            ]
+        )
+
+    def finals(self, batched: bool, seed: int) -> np.ndarray:
+        from repro.experiments.runner import run_aggregate
+
+        batch = run_aggregate(
+            WeightTable([1.0, 2.0, 3.0]), self.N, self.STEPS,
+            seed=seed, replications=REPLICATIONS,
+            schedule=self.make_schedule(), batched=batched,
+        )
+        assert batch.batched is batched
+        assert batch.weights.k == 4  # widened by the schedule
+        return batch.final_colour_counts
+
+    @pytest.fixture(scope="class")
+    def adversarial(self):
+        return self.finals(True, seed=17), self.finals(False, seed=34)
+
+    def test_population_conserved(self, adversarial):
+        batched, scalar = adversarial
+        expected = self.N + self.N // 2 + 1
+        assert batched.shape == scalar.shape == (REPLICATIONS, 4)
+        assert (batched.sum(axis=1) == expected).all()
+        assert (scalar.sum(axis=1) == expected).all()
+
+    def test_ks_per_colour(self, adversarial):
+        batched, scalar = adversarial
+        for colour in range(4):
+            result = stats.ks_2samp(
+                batched[:, colour], scalar[:, colour]
+            )
+            assert result.pvalue > P_FLOOR, (
+                f"colour {colour}: KS p={result.pvalue:.2e}"
+            )
+
+    def test_bit_reproducible_from_one_seed(self):
+        np.testing.assert_array_equal(
+            self.finals(True, seed=91), self.finals(True, seed=91)
+        )

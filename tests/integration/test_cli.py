@@ -268,3 +268,71 @@ class TestCommands:
         assert "psi(t)" in out
         assert "sigma^2(t)" in out
         assert "*" in out  # the ASCII chart rendered
+
+
+class TestDemoSchedule:
+    def test_parse_schedule_entries(self):
+        from repro.adversary.interventions import (
+            AddAgents,
+            AddColour,
+            RecolourColour,
+        )
+        from repro.cli import _parse_schedule
+
+        schedule = _parse_schedule(
+            "100:agents:0:5,200:colour:2.0:1:light,300:recolour:0:1"
+        )
+        entries = schedule.entries()
+        assert [t for t, _ in entries] == [100, 200, 300]
+        assert entries[0][1] == AddAgents(colour=0, count=5, dark=True)
+        assert entries[1][1] == AddColour(weight=2.0, count=1, dark=False)
+        assert entries[2][1] == RecolourColour(source=0, target=1)
+
+    def test_parse_schedule_empty_is_none(self):
+        from repro.cli import _parse_schedule
+
+        assert _parse_schedule(None) is None
+        assert _parse_schedule("  ") is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["100:bogus:1:2", "x:agents:0:5", "100:agents:0", "50:recolour:1"],
+    )
+    def test_parse_schedule_rejects_bad_entries(self, spec):
+        from repro.cli import _parse_schedule
+
+        with pytest.raises(SystemExit):
+            _parse_schedule(spec)
+
+    def test_demo_single_with_schedule_widens_table(self, capsys):
+        code = main(
+            ["demo", "--n", "200", "--weights", "1,2", "--rounds", "200",
+             "--seed", "3",
+             "--schedule", "10000:agents:0:20,20000:colour:2.0:1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diversity error" in out
+        # Three rows: the two original colours plus the added one.
+        assert out.count("\n2       2") >= 1
+
+    def test_demo_replicated_batched_with_schedule(self, capsys):
+        code = main(
+            ["demo", "--n", "120", "--weights", "1,2", "--rounds", "200",
+             "--seed", "5", "--replications", "16",
+             "--schedule", "8000:agents:0:12,16000:colour:2.0:1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched engine" in out  # schedules stay on the fused path
+        assert "mean count" in out
+
+    def test_demo_array_replicated_with_schedule(self, capsys):
+        code = main(
+            ["demo", "--n", "100", "--weights", "1,2", "--rounds", "100",
+             "--seed", "5", "--replications", "6", "--engine", "array",
+             "--schedule", "5000:colour:2.0:1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agent/array engine" in out

@@ -1,14 +1,24 @@
 """Property-based tests: sustainability survives arbitrary adversarial
-schedules of agent/colour additions (the paper's robustness claim)."""
+schedules of agent/colour additions (the paper's robustness claim) —
+on the scalar aggregate engine and on the fused batched engines, where
+every intervention applies to all replications at once."""
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.adversary import AddAgents, AddColour, InterventionSchedule
+from repro.adversary import (
+    AddAgents,
+    AddColour,
+    InterventionSchedule,
+    RecolourColour,
+)
 from repro.adversary.schedule import run_with_interventions
+from repro.core.diversification import Diversification
 from repro.core.weights import WeightTable
 from repro.engine.aggregate import AggregateSimulation
+from repro.engine.array_engine import ArraySimulation
+from repro.engine.batched import BatchedAggregateSimulation
 
 
 @st.composite
@@ -85,3 +95,92 @@ class TestAdversarialSustainability:
             engine, total_steps, InterventionSchedule(events)
         )
         assert engine.k == k0 + additions
+
+
+class TestBatchedAdversarialSustainability:
+    """The fused (R, 2k) engine under the same schedules: the paper's
+    invariants must hold in every replication simultaneously."""
+
+    @given(adversarial_run(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_dark_invariant_survives_batch_wide(self, setup, replications):
+        weights, dark, total_steps, events, seed = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, replications=replications, rng=seed
+        )
+        run_with_interventions(
+            engine, total_steps, InterventionSchedule(events)
+        )
+        assert (engine.dark_counts() >= 1).all()
+        assert engine.time == total_steps
+        assert (engine.times() == total_steps).all()
+
+    @given(adversarial_run(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_population_accounting_exact_per_replication(
+        self, setup, replications
+    ):
+        weights, dark, total_steps, events, seed = setup
+        engine = BatchedAggregateSimulation(
+            weights, dark, replications=replications, rng=seed
+        )
+        expected_n = engine.n + sum(event.count for _, event in events)
+        run_with_interventions(
+            engine, total_steps, InterventionSchedule(events)
+        )
+        assert engine.n == expected_n
+        totals = engine.dark_counts().sum(axis=1) + (
+            engine.light_counts().sum(axis=1)
+        )
+        assert (totals == expected_n).all()
+
+    @given(adversarial_run(), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_array_engine_matches_invariants(self, setup, replications):
+        """The fused (R, n) agent-level engine under the same schedule:
+        conservation and dark survival per replication."""
+        weights, dark, total_steps, events, seed = setup
+        colours = np.repeat(np.arange(len(dark)), dark)
+        engine = ArraySimulation(
+            Diversification(weights),
+            colours,
+            k=weights.k,
+            rng=seed,
+            replications=replications,
+        )
+        expected_n = engine.n + sum(event.count for _, event in events)
+        run_with_interventions(
+            engine, total_steps, InterventionSchedule(events)
+        )
+        assert engine.n == expected_n
+        counts = engine.colour_counts()
+        assert counts.shape == (replications, weights.k)
+        assert (counts.sum(axis=1) == expected_n).all()
+        assert (engine.dark_counts() >= 1).all()
+
+    @given(
+        st.integers(2, 4),
+        st.integers(1, 4),
+        st.integers(100, 2000),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_recolour_keeps_target_dark_representative(
+        self, k, replications, total_steps, seed
+    ):
+        """A recolouring moves the source colour's whole support onto
+        the target, so the target's dark representative is never erased
+        and all non-source colours stay sustainable."""
+        weights = WeightTable.uniform(k, 2.0)
+        engine = BatchedAggregateSimulation(
+            weights, [5] * k, replications=replications, rng=seed
+        )
+        schedule = InterventionSchedule(
+            [(total_steps // 2, RecolourColour(source=0, target=1))]
+        )
+        run_with_interventions(engine, total_steps, schedule)
+        dark = engine.dark_counts()
+        assert (dark[:, 1:] >= 1).all()
+        assert (engine.colour_counts()[:, 0] == 0).all()
+        totals = engine.colour_counts().sum(axis=1)
+        assert (totals == 5 * k).all()

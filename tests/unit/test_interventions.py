@@ -13,6 +13,8 @@ from repro.adversary import (
 from repro.core.diversification import Diversification
 from repro.core.weights import WeightTable
 from repro.engine.aggregate import AggregateSimulation
+from repro.engine.array_engine import ArraySimulation
+from repro.engine.batched import BatchedAggregateSimulation
 from repro.engine.population import Population
 from repro.engine.simulator import Simulation
 from repro.experiments.recorder import CountRecorder
@@ -28,6 +30,27 @@ def build_agent_engine(seed=0):
 def build_aggregate_engine(seed=0):
     weights = WeightTable([1.0, 2.0])
     return AggregateSimulation(weights, dark_counts=[6, 6], rng=seed), weights
+
+
+def build_batched_engine(seed=0, replications=3):
+    weights = WeightTable([1.0, 2.0])
+    engine = BatchedAggregateSimulation(
+        weights, [6, 6], replications=replications, rng=seed
+    )
+    return engine, weights
+
+
+def build_array_engine(seed=0, replications=None):
+    weights = WeightTable([1.0, 2.0])
+    protocol = Diversification(weights)
+    engine = ArraySimulation(
+        protocol,
+        np.array([0] * 6 + [1] * 6),
+        k=2,
+        rng=seed,
+        replications=replications,
+    )
+    return engine, weights
 
 
 class TestAddAgents:
@@ -90,6 +113,141 @@ class TestRecolour:
     def test_unsupported_engine_rejected(self):
         with pytest.raises(TypeError):
             AddAgents(0, 1).apply(object())
+
+
+class TestBatchedEngineInterventions:
+    """Interventions dispatch onto the fused (R, 2k) engine and apply
+    to every replication at once."""
+
+    def test_add_agents_batch_wide(self):
+        engine, _ = build_batched_engine()
+        AddAgents(colour=0, count=3, dark=False).apply(engine)
+        assert engine.n == 15
+        np.testing.assert_array_equal(engine.light_counts()[:, 0], 3)
+
+    def test_add_colour_widens_matrix_and_table(self):
+        engine, weights = build_batched_engine()
+        AddColour(weight=4.0, count=2, dark=True).apply(engine)
+        assert weights.k == 3
+        assert engine.k == 3
+        assert engine.dark_counts().shape == (3, 3)
+        np.testing.assert_array_equal(engine.dark_counts()[:, 2], 2)
+        np.testing.assert_array_equal(engine.light_counts()[:, 2], 0)
+        # The dynamics keep running after the widening.
+        engine.run(500)
+        assert (engine.colour_counts().sum(axis=1) == 14).all()
+
+    def test_recolour_batch_wide(self):
+        engine, _ = build_batched_engine()
+        engine.run(300)  # create some light agents
+        totals = engine.colour_counts().sum(axis=1)
+        RecolourColour(source=1, target=0).apply(engine)
+        counts = engine.colour_counts()
+        np.testing.assert_array_equal(counts[:, 1], 0)
+        np.testing.assert_array_equal(counts.sum(axis=1), totals)
+
+    def test_invalid_arguments_rejected(self):
+        engine, _ = build_batched_engine()
+        with pytest.raises(ValueError):
+            engine.add_agents(5, 1)
+        with pytest.raises(ValueError):
+            engine.add_agents(0, -1)
+        with pytest.raises(ValueError):
+            engine.recolour(0, 9)
+
+
+class TestArrayEngineInterventions:
+    """Interventions dispatch onto the vectorised agent-level engine,
+    in single-run and batched mode."""
+
+    def test_add_agents_single(self):
+        engine, _ = build_array_engine()
+        AddAgents(colour=1, count=4, dark=True).apply(engine)
+        assert engine.n == 16
+        assert engine.dark_counts()[1] == 10
+        engine.run(200)
+        assert engine.colour_counts().sum() == 16
+
+    def test_add_agents_light(self):
+        engine, _ = build_array_engine()
+        AddAgents(colour=0, count=2, dark=False).apply(engine)
+        assert engine.light_counts()[0] == 2
+
+    def test_add_agents_batched(self):
+        engine, _ = build_array_engine(replications=4)
+        AddAgents(colour=0, count=3, dark=True).apply(engine)
+        assert engine.n == 15
+        counts = engine.colour_counts()
+        assert counts.shape == (4, 2)
+        np.testing.assert_array_equal(counts.sum(axis=1), 15)
+        engine.run(200)
+        assert (engine.colour_counts().sum(axis=1) == 15).all()
+
+    def test_add_colour_grows_weights_and_slots(self):
+        engine, weights = build_array_engine()
+        AddColour(weight=3.0, count=2, dark=True).apply(engine)
+        assert weights.k == 3
+        assert engine.k == 3
+        assert engine.colour_counts()[2] == 2
+        engine.run(300)
+        assert engine.colour_counts().sum() == 14
+
+    def test_recolour_preserves_shades(self):
+        engine, _ = build_array_engine()
+        engine.run(200)  # create some light agents
+        light_total = engine.light_counts().sum()
+        RecolourColour(source=0, target=1).apply(engine)
+        counts = engine.colour_counts()
+        assert counts[0] == 0 and counts[1] == 12
+        assert engine.light_counts().sum() == light_total
+
+    def test_growth_rejected_on_csr_topology(self):
+        from repro.topology import CycleGraph
+
+        weights = WeightTable([1.0, 2.0])
+        engine = ArraySimulation(
+            Diversification(weights),
+            np.array([0] * 6 + [1] * 6),
+            k=2,
+            topology=CycleGraph(12),
+            rng=0,
+        )
+        with pytest.raises(ValueError, match="complete graph"):
+            engine.add_agents(0, 2)
+
+    def test_add_colour_without_weight_table_rejected(self):
+        from repro.baselines.voter import VoterModel
+
+        engine = ArraySimulation(
+            VoterModel(), np.array([0, 1, 0, 1]), k=2, rng=0
+        )
+        with pytest.raises(TypeError):
+            AddColour(weight=2.0, count=1).apply(engine)
+
+    def test_live_counts_follow_interventions(self):
+        """With observers attached the engine keeps live count tables;
+        interventions must keep them in sync."""
+        from repro.engine.observers import MinCountTracker
+
+        weights = WeightTable([1.0, 2.0])
+        engine = ArraySimulation(
+            Diversification(weights),
+            np.array([0] * 6 + [1] * 6),
+            k=2,
+            rng=0,
+            observers=[MinCountTracker()],
+        )
+        engine.run(100)
+        AddColour(weight=2.0, count=3, dark=True).apply(engine)
+        RecolourColour(source=0, target=1).apply(engine)
+        engine.run(100)
+        np.testing.assert_array_equal(
+            engine.colour_counts(),
+            np.bincount(
+                engine.population.colours_view(), minlength=engine.k
+            ),
+        )
+        assert engine.colour_counts().sum() == 15
 
 
 class TestSchedule:

@@ -137,10 +137,12 @@ class TestAgentEngineRouting:
         )
         assert isinstance(record.extras["simulation"], Simulation)
 
-    def test_schedule_falls_back_to_scalar(self, skewed_weights):
+    def test_schedule_routes_to_array_on_complete_graph(
+        self, skewed_weights
+    ):
         from repro.adversary.interventions import AddAgents
         from repro.adversary.schedule import InterventionSchedule
-        from repro.engine.simulator import Simulation
+        from repro.engine.array_engine import ArraySimulation
 
         weights = skewed_weights.copy()
         schedule = InterventionSchedule([(100, AddAgents(0, 5))])
@@ -148,12 +150,40 @@ class TestAgentEngineRouting:
             Diversification(weights), weights, n=30, steps=500, seed=0,
             schedule=schedule,
         )
-        assert isinstance(record.extras["simulation"], Simulation)
+        assert isinstance(record.extras["simulation"], ArraySimulation)
         assert record.final_colour_counts.sum() == 35
 
-    def test_array_engine_rejects_schedule(self, skewed_weights):
+    def test_growth_schedule_on_topology_falls_back_to_scalar(
+        self, skewed_weights
+    ):
+        from repro.adversary.interventions import RecolourColour
+        from repro.adversary.schedule import InterventionSchedule
+        from repro.engine.array_engine import ArraySimulation
+        from repro.experiments.runner import use_array_engine
+        from repro.topology import CycleGraph
+
+        weights = skewed_weights.copy()
+        protocol = Diversification(weights)
+        # Index-stable recolourings stay on the array engine even on an
+        # explicit CSR topology ...
+        recolour_only = InterventionSchedule([(50, RecolourColour(0, 1))])
+        record = run_agent(
+            protocol, weights, n=30, steps=500, seed=0,
+            topology=CycleGraph(30), schedule=recolour_only,
+        )
+        assert isinstance(record.extras["simulation"], ArraySimulation)
+        # ... but population growth does not (adjacency cannot grow).
+        from repro.adversary.interventions import AddAgents
+
+        growth = InterventionSchedule([(100, AddAgents(0, 5))])
+        assert not use_array_engine(
+            protocol, topology=CycleGraph(30), schedule=growth
+        )
+
+    def test_array_engine_rejects_growth_on_topology(self, skewed_weights):
         from repro.adversary.interventions import AddAgents
         from repro.adversary.schedule import InterventionSchedule
+        from repro.topology import CycleGraph
 
         weights = skewed_weights.copy()
         schedule = InterventionSchedule([(100, AddAgents(0, 5))])
@@ -161,6 +191,7 @@ class TestAgentEngineRouting:
             run_agent(
                 Diversification(weights), weights, n=30, steps=500,
                 seed=0, schedule=schedule, engine="array",
+                topology=CycleGraph(30),
             )
 
     def test_unknown_engine_rejected(self, skewed_weights):
@@ -171,13 +202,14 @@ class TestAgentEngineRouting:
             )
 
 
-class TestScalarReplicationWeightsRegression:
-    """Regression: the scalar replication fallback used to return the
-    *original* k-colour weight table while the final count rows were
-    zero-padded to the widened colour set, so ``record.weights.k``
-    disagreed with the count matrices after a ColourAddition schedule."""
+class TestReplicationWeightsRegression:
+    """Regression: the replication paths must return the *widened*
+    weight table when a ColourAddition schedule grows the colour set,
+    so ``record.weights.k`` always matches the count matrices — on the
+    fused batched engine and on the scalar fallback loop alike."""
 
-    def test_widened_table_recorded(self):
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_widened_table_recorded(self, batched):
         from repro.adversary.interventions import AddColour
         from repro.adversary.schedule import InterventionSchedule
 
@@ -187,9 +219,9 @@ class TestScalarReplicationWeightsRegression:
         )
         batch = run_aggregate(
             weights, n=30, steps=600, seed=0,
-            replications=3, schedule=schedule, batched=True,
+            replications=3, schedule=schedule, batched=batched,
         )
-        assert not batch.batched  # schedules force the scalar loop
+        assert batch.batched is batched  # schedules stay on the fused path
         assert batch.final_dark_counts.shape == (3, 3)
         assert batch.weights.k == batch.final_dark_counts.shape[1]
         assert list(batch.weights) == [1.0, 2.0, 3.0]
@@ -208,6 +240,148 @@ class TestScalarReplicationWeightsRegression:
         )
         assert batch.weights.k == 2
         assert batch.final_dark_counts.shape == (2, 2)
+
+
+class TestTerminalSnapshotRegression:
+    """Regression: when ``record_interval`` does not divide ``steps``
+    the record used to stop up to interval-1 steps short of the
+    horizon, so ``final_colour_counts`` was not the requested state."""
+
+    def test_aggregate_records_horizon(self, skewed_weights):
+        record = run_aggregate(skewed_weights, 300, 1000, seed=5)
+        # default interval = steps // 256 = 3, which does not divide
+        # 1000: the old code ended the record at time 999.
+        assert record.times[-1] == 1000
+
+    def test_agent_records_horizon(self, skewed_weights):
+        weights = skewed_weights.copy()
+        record = run_agent(
+            Diversification(weights), weights, n=30, steps=1000,
+            seed=5, record_interval=300,
+        )
+        assert record.times[-1] == 1000
+
+    def test_horizon_snapshot_not_duplicated(self, skewed_weights):
+        record = run_aggregate(
+            skewed_weights, 60, 1000, seed=1, record_interval=250
+        )
+        np.testing.assert_array_equal(
+            record.times, [0, 250, 500, 750, 1000]
+        )
+
+    def test_horizon_snapshot_with_schedule(self, skewed_weights):
+        from repro.adversary.interventions import AddAgents
+        from repro.adversary.schedule import InterventionSchedule
+
+        schedule = InterventionSchedule([(500, AddAgents(0, 7))])
+        record = run_aggregate(
+            skewed_weights, 60, 1000, seed=1, record_interval=300,
+            schedule=schedule,
+        )
+        assert record.times[-1] == 1000
+        assert record.final_colour_counts.sum() == 67
+
+
+class TestRandomStartSeedingRegression:
+    """Regression: ``start="random"`` with an integer seed used to
+    build ``default_rng(seed)`` twice — once for the start counts and
+    once for the engine — so the dynamics replayed the exact uniforms
+    that drew the start configuration."""
+
+    def test_streams_decorrelated(self):
+        from repro.experiments.runner import seed_streams
+
+        workload, engine = seed_streams(7)
+        reference = np.random.default_rng(7)
+        # The engine stream must be neither the workload stream nor
+        # the old aliased default_rng(seed) stream.
+        w_draws = workload.random(8)
+        e_draws = engine.random(8)
+        assert not np.allclose(w_draws, e_draws)
+        assert not np.allclose(e_draws, np.random.default_rng(7).random(8))
+        del reference
+
+    def test_generator_input_passes_through(self):
+        from repro.experiments.runner import seed_streams
+
+        rng = np.random.default_rng(3)
+        workload, engine = seed_streams(rng)
+        assert workload is rng and engine is rng
+
+    def test_run_aggregate_random_start_not_aliased(self, skewed_weights):
+        from repro.engine.aggregate import AggregateSimulation
+
+        # Reconstruct the pre-fix trajectory: both the workload and the
+        # engine consumed default_rng(seed) from the same state.
+        seed, n, steps = 11, 60, 2000
+        aliased = np.random.default_rng(seed)
+        dark0 = initial_counts("random", n, skewed_weights, aliased)
+        engine = AggregateSimulation(
+            skewed_weights.copy(), dark_counts=dark0,
+            rng=np.random.default_rng(seed),
+        )
+        engine.run(steps)
+        record = run_aggregate(
+            skewed_weights, n, steps, start="random", seed=seed,
+            record_interval=steps,
+        )
+        differs_start = not np.array_equal(
+            record.colour_counts[0], dark0
+        )
+        differs_final = not np.array_equal(
+            record.final_colour_counts, engine.colour_counts()
+        )
+        assert differs_start or differs_final
+
+    def test_run_aggregate_random_start_reproducible(self, skewed_weights):
+        first = run_aggregate(
+            skewed_weights, 60, 1500, start="random", seed=21
+        )
+        second = run_aggregate(
+            skewed_weights, 60, 1500, start="random", seed=21
+        )
+        np.testing.assert_array_equal(
+            first.colour_counts, second.colour_counts
+        )
+
+
+class TestProtocolTableMutationRegression:
+    """Regression: ``run_agent`` with an AddColour schedule used to
+    widen the caller's protocol's shared weight table in place, so
+    reusing one protocol instance across runs compounded colours."""
+
+    def test_run_agent_leaves_caller_protocol(self):
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        table = WeightTable([1.0, 2.0, 3.0])
+        protocol = Diversification(table)
+        schedule = InterventionSchedule([(100, AddColour(2.0, 5))])
+        for expected_runs in range(3):
+            record = run_agent(
+                protocol, table, n=30, steps=400, seed=expected_runs,
+                schedule=schedule,
+            )
+            # Each run widens its own copy exactly once ...
+            assert record.weights.k == 4
+            assert record.final_colour_counts.shape[0] == 4
+        # ... and the caller's table never grows.
+        assert table.k == 3
+        assert protocol.weights.k == 3
+
+    def test_run_agent_scalar_engine_leaves_caller_protocol(self):
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        table = WeightTable([1.0, 2.0, 3.0])
+        protocol = Diversification(table)
+        schedule = InterventionSchedule([(100, AddColour(2.0, 5))])
+        record = run_agent(
+            protocol, table, n=30, steps=400, seed=0,
+            schedule=schedule, engine="scalar",
+        )
+        assert record.weights.k == 4
+        assert table.k == 3
 
 
 class TestReportFormatting:

@@ -121,8 +121,10 @@ class TestAggregateCompatibility:
     def test_topology_forces_fallback(self):
         assert not is_aggregate_compatible(None, topology=object())
 
-    def test_schedule_forces_fallback(self):
-        assert not is_aggregate_compatible(None, schedule=object())
+    def test_schedule_stays_on_batched_path(self):
+        """Interventions apply batch-wide now; a schedule no longer
+        forces the scalar replication loop."""
+        assert is_aggregate_compatible(None, schedule=object())
 
 
 class _SpyBatchedEngine:
@@ -191,7 +193,7 @@ class TestReplicateColourCountsRouting:
         assert counts.shape == (3, 2)
         assert (counts.sum(axis=1) == 20).all()
 
-    def test_schedule_forces_scalar_loop_and_pads_new_colours(
+    def test_schedule_fuses_batched_and_pads_new_colours(
         self, spy_batched
     ):
         from repro.adversary.interventions import AddColour
@@ -205,9 +207,51 @@ class TestReplicateColourCountsRouting:
             weights, 30, 400, replications=3, base_seed=4,
             schedule=schedule,
         )
-        assert spy_batched.instances == 0
+        assert spy_batched.instances == 1  # fused despite the schedule
         assert counts.shape == (3, 3)  # padded to the new colour set
         assert (counts.sum(axis=1) == 40).all()  # 30 + 10 injected
+        assert weights.k == 2  # caller's table untouched
+
+    def test_schedule_scalar_fallback_copies_protocol_per_run(self):
+        """Regression: a *passed* weighted protocol used to share one
+        weight table across the scalar fallback's replications, so an
+        AddColour schedule compounded colours (k=3, then 4, ...)."""
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = WeightTable([1.0, 2.0])
+        protocol = EagerRecolouring(weights)
+        schedule = InterventionSchedule(
+            [(100, AddColour(weight=3.0, count=5))]
+        )
+        counts = replicate_colour_counts(
+            weights, 30, 400, replications=3, base_seed=4,
+            protocol=protocol, schedule=schedule,
+        )
+        # One added colour per replication — not one, two, three.
+        assert counts.shape == (3, 3)
+        assert (counts.sum(axis=1) == 35).all()
+        assert protocol.weights.k == 2  # caller's protocol untouched
+        assert weights.k == 2
+
+    def test_schedule_fused_array_copies_protocol(self):
+        """The fused (R, n) array path under a schedule must mutate a
+        copy of the passed protocol, not the caller's instance."""
+        from repro.adversary.interventions import AddColour
+        from repro.adversary.schedule import InterventionSchedule
+
+        weights = WeightTable([1.0, 2.0])
+        protocol = Diversification(weights)
+        schedule = InterventionSchedule(
+            [(100, AddColour(weight=3.0, count=5))]
+        )
+        counts = replicate_colour_counts(
+            weights, 30, 400, replications=4, base_seed=4,
+            protocol=protocol, schedule=schedule, engine="array",
+        )
+        assert counts.shape == (4, 3)
+        assert (counts.sum(axis=1) == 35).all()
+        assert protocol.weights.k == 2
 
     def test_deterministic_given_seed(self):
         weights = WeightTable([1.0, 2.0, 3.0])
