@@ -1,0 +1,85 @@
+"""Consolidate ``benchmarks/results/*.json`` into one
+``BENCH_SUMMARY.json`` so the perf trajectory is tracked across PRs.
+
+Each benchmark script writes its own timing JSON (e.g.
+``e17_fused_sweep_timing.json``); CI runs them as separate jobs and
+this collector merges whatever landed in the results directory into a
+single artifact with a compact speedup index:
+
+    PYTHONPATH=src python benchmarks/collect.py
+
+The collector is deliberately forgiving — a missing results directory
+yields an empty summary and unparsable files are recorded as errors
+instead of failing the job — because benchmark jobs are non-blocking
+and any subset of them may have run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY_NAME = "BENCH_SUMMARY.json"
+
+
+def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
+    """Merge every timing JSON under ``results_dir`` into one payload.
+
+    Returns a ``repro-bench-summary/v1`` dict: the full per-benchmark
+    payloads plus a ``speedups`` index of every benchmark that reports
+    a ``speedup`` (and whether it met its ``target_speedup``).
+    """
+    summary: dict = {
+        "format": "repro-bench-summary/v1",
+        "benchmarks": {},
+        "speedups": {},
+        "errors": {},
+    }
+    if not results_dir.is_dir():
+        return summary
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            summary["errors"][path.name] = str(error)
+            continue
+        summary["benchmarks"][path.stem] = payload
+        if isinstance(payload, dict) and "speedup" in payload:
+            entry = {"speedup": payload["speedup"]}
+            if "target_speedup" in payload:
+                entry["target_speedup"] = payload["target_speedup"]
+                entry["meets_target"] = (
+                    payload["speedup"] >= payload["target_speedup"]
+                )
+            summary["speedups"][path.stem] = entry
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = pathlib.Path(argv[0]) if argv else RESULTS_DIR
+    summary = collect(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    out = results_dir / SUMMARY_NAME
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"collected {len(summary['benchmarks'])} benchmark(s) -> {out}")
+    for name, entry in sorted(summary["speedups"].items()):
+        target = entry.get("target_speedup")
+        status = (
+            ""
+            if target is None
+            else (" (meets target)" if entry["meets_target"]
+                  else f" (BELOW {target:.1f}x target)")
+        )
+        print(f"  {name}: {entry['speedup']:.2f}x{status}")
+    for name, error in sorted(summary["errors"].items()):
+        print(f"  {name}: UNREADABLE ({error})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

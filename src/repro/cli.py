@@ -5,6 +5,7 @@ Examples::
     repro list
     repro run e2 --quick
     repro run e1 e2 --profile quick --jobs 4
+    repro run e3 e4 e9 --profile quick --fused
     repro run --profile quick --out results
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
     repro demo --n 1000 --replications 100 --batched
@@ -167,13 +168,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         kwargs = dict(definition.profiles[profile])
         if definition.spec is not None:
-            result = execute(definition.spec(**kwargs), jobs=args.jobs)
+            result = execute(
+                definition.spec(**kwargs), jobs=args.jobs,
+                fused=args.fused,
+            )
             table = result.table()
         else:
-            if args.jobs is not None and args.jobs > 1:
+            ignored = [
+                flag
+                for flag, given in (
+                    ("--jobs", args.jobs is not None and args.jobs > 1),
+                    ("--fused", args.fused),
+                )
+                if given
+            ]
+            if ignored:
                 print(
                     f"note: {name} runs outside the pipeline; "
-                    "--jobs has no effect on it",
+                    f"{'/'.join(ignored)} has no effect on it",
                     file=sys.stderr,
                 )
             result = None
@@ -364,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="run pipeline shards across N worker processes "
              "(default: serial; results are identical either way)",
+    )
+    p_run.add_argument(
+        "--fused", action="store_true",
+        help="mega-batch compatible shards into one vectorised engine "
+             "(heterogeneous per-row weights/n/horizons); shards "
+             "without a fused implementation fall back to the "
+             "per-shard path (honouring --jobs).  Fused results match "
+             "the per-shard path in distribution (per-cell "
+             "KS-equivalent), not bit for bit",
     )
     p_run.add_argument(
         "--out", type=str, default=None, metavar="DIR",

@@ -9,7 +9,10 @@
 * :class:`AggregateSimulation` — count-based engine (complete graph,
   Diversification family);
 * :class:`BatchedAggregateSimulation` — R aggregate replications as one
-  ``(R, 2k)`` count matrix.
+  ``(R, 2k)`` count matrix;
+* :class:`HeterogeneousAggregateBatch` — B rows with *different* weight
+  tables, populations and horizons (padded ``(B, k_max)`` state) in one
+  event loop, the engine behind mega-batched scenario sweeps.
 """
 
 from .aggregate import AggregateSimulation
@@ -21,6 +24,7 @@ from .array_engine import (
     supports_topology,
 )
 from .batched import BatchedAggregateSimulation
+from .hetero import HeterogeneousAggregateBatch
 from .multishade import MultiShadeAggregate
 from .observers import (
     ConvergenceDetector,
@@ -38,6 +42,7 @@ __all__ = [
     "ArrayPopulationView",
     "ArraySimulation",
     "BatchedAggregateSimulation",
+    "HeterogeneousAggregateBatch",
     "MultiShadeAggregate",
     "Simulation",
     "Population",

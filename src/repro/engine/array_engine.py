@@ -84,7 +84,14 @@ _BATCH_DRAWS = 65536
 class _DiversificationKernel:
     """Vectorised Eq. (2): adopt when light meets dark, lighten a dark
     pair of equal colour with the per-colour coin ``1/w_i`` (or 1 for
-    the unweighted ablation)."""
+    the unweighted ablation).
+
+    In batched ``(R, n)`` mode the kernel optionally carries a *per-row*
+    ``(R, k)`` lighten table (:meth:`set_row_lighten`), so replications
+    with different weight tables fuse into one engine: Diversification's
+    dynamics depend on the weights only through the lightening coins, so
+    per-row coins capture per-row weight tables exactly.
+    """
 
     coins = 1
 
@@ -92,8 +99,23 @@ class _DiversificationKernel:
         self._protocol = protocol
         self._unweighted = unweighted
         self._lighten: np.ndarray | None = None
+        self._row_lighten: np.ndarray | None = None
+
+    def set_row_lighten(self, table: np.ndarray) -> None:
+        """Install a per-row ``(R, k)`` lighten table (batched mode;
+        row ``r`` holds the coins of replication ``r``)."""
+        self._row_lighten = np.asarray(table, dtype=np.float64)
 
     def refresh(self, k: int) -> None:
+        if self._row_lighten is not None:
+            if self._row_lighten.shape[1] != k:
+                raise ValueError(
+                    f"per-row lighten table has {self._row_lighten.shape[1]} "
+                    f"columns but the engine has k={k}; colour addition "
+                    "is not supported with per-row tables"
+                )
+            self._lighten = self._row_lighten
+            return
         weights = self._protocol.weights
         if weights.k != k:
             raise ValueError(
@@ -112,11 +134,17 @@ class _DiversificationKernel:
         u_dark = us > LIGHT
         v_dark = v0s > LIGHT
         adopt = ~u_dark & v_dark
+        if self._lighten.ndim == 2:
+            # Per-row table: batched calls pass one scheduled agent per
+            # replication, so position i of ``uc`` is replication i.
+            threshold = self._lighten[np.arange(uc.shape[0]), uc]
+        else:
+            threshold = self._lighten[uc]
         lighten = (
             u_dark
             & v_dark
             & (uc == v0c)
-            & (coins[..., 0] < self._lighten[uc])
+            & (coins[..., 0] < threshold)
         )
         new_c = np.where(adopt, v0c, uc)
         new_s = np.where(adopt, DARK, np.where(lighten, LIGHT, us))
@@ -427,6 +455,12 @@ class ArraySimulation:
         replications: Fuse R replications into an ``(R, n)`` state
             matrix.  ``None`` (with 1-D ``colours``) selects single-run
             mode; 2-D ``colours`` implies batched mode.
+        lighten_rows: Optional ``(R, k)`` per-row lightening coins for
+            the Diversification kernel in batched mode, letting rows
+            with *different* weight tables share one fused engine (the
+            dynamics depend on the weights only through these coins).
+            Incompatible with colour addition (the per-row table cannot
+            grow).
     """
 
     def __init__(
@@ -441,6 +475,7 @@ class ArraySimulation:
         rng: int | np.random.Generator | None = None,
         observers: Iterable[Observer] = (),
         replications: int | None = None,
+        lighten_rows=None,
     ):
         self.protocol = protocol
         self._kernel = kernel_for(protocol)
@@ -530,6 +565,28 @@ class ArraySimulation:
                 raise ValueError(
                     "batched replications require the uniform scheduler"
                 )
+        if lighten_rows is not None:
+            if not self._batched:
+                raise ValueError(
+                    "lighten_rows requires batched (R, n) mode"
+                )
+            table = np.asarray(lighten_rows, dtype=np.float64)
+            expected = (self._colours.shape[0], self._k)
+            if table.shape != expected:
+                raise ValueError(
+                    f"lighten_rows must have shape {expected}, "
+                    f"got {table.shape}"
+                )
+            if (table < 0.0).any() or (table > 1.0).any():
+                raise ValueError(
+                    "lighten probabilities must be in [0, 1]"
+                )
+            if not hasattr(self._kernel, "set_row_lighten"):
+                raise ValueError(
+                    "per-row lighten tables are only supported by the "
+                    "Diversification kernel"
+                )
+            self._kernel.set_row_lighten(table)
         self.rng = make_rng(rng)
         self._time = 0
         self.changes = 0

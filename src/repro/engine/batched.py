@@ -56,6 +56,9 @@ from ..core.weights import WeightTable
 from .aggregate import resolve_lighten_probabilities
 from .rng import make_rng
 
+#: Target total uniform draws per per-step buffer refill (steps x 3 x R).
+_STEP_DRAWS = 16384
+
 
 class BatchedAggregateSimulation:
     """Count-based simulator of R replications of Diversification.
@@ -120,6 +123,13 @@ class BatchedAggregateSimulation:
         )
         self.rng = make_rng(rng)
         self._times = np.zeros(replications, dtype=np.int64)
+        # Per-step mode draws its three (R,) uniform vectors per step
+        # from a block buffer (one rng.random call per chunk instead of
+        # three per step); the buffer holds raw uniforms only, so it
+        # survives interventions (count widening never invalidates it).
+        self._step_block = max(1, _STEP_DRAWS // (3 * replications))
+        self._step_buf: np.ndarray | None = None
+        self._step_pos = 0
 
     @staticmethod
     def _as_matrix(
@@ -194,6 +204,28 @@ class BatchedAggregateSimulation:
     # ------------------------------------------------------------------
     # Per-step mode (used by the equivalence tests)
 
+    def _next_step_uniforms(self) -> np.ndarray:
+        """The next ``(3, R)`` uniform block of the per-step stream.
+
+        Uniforms are drawn in ``(chunk, 3, R)`` blocks; ``random`` fills
+        C-order, so the consumed values equal three consecutive
+        ``random(R)`` calls per step — per-step trajectories are
+        bit-identical for any chunking of ``run_per_step``/``step``
+        calls (regression-tested in
+        ``tests/property/test_batched_invariants.py``).  Mixing the
+        per-step and event-driven modes on one engine interleaves the
+        event draws between buffer refills; the modes are equivalent in
+        distribution either way.
+        """
+        if self._step_buf is None or self._step_pos >= self._step_buf.shape[0]:
+            self._step_buf = self.rng.random(
+                (self._step_block, 3, self.replications)
+            )
+            self._step_pos = 0
+        block = self._step_buf[self._step_pos]
+        self._step_pos += 1
+        return block
+
     def step(self) -> np.ndarray:
         """One faithful time-step in every replication.
 
@@ -201,38 +233,14 @@ class BatchedAggregateSimulation:
         changed.
         """
         self._times += 1
-        rng = self.rng
-        state = self._state
-        R, width = state.shape
-        k = width // 2
-        rows = np.arange(R)
-        # Scheduled agent u: class c < k is dark colour c, class c >= k
-        # is light colour c - k; probability proportional to the count.
-        u_cls = _pick_rows(state, rng.random(R))
-        # Sampled agent v among the other n - 1 agents: exclude u from
-        # its own class before the second categorical draw.
-        adjusted = state.copy()
-        adjusted[rows, u_cls] -= 1
-        v_cls = _pick_rows(adjusted, rng.random(R))
-        coin = rng.random(R)
-        u_dark = u_cls < k
-        v_dark = v_cls < k
-        u_col = np.where(u_dark, u_cls, u_cls - k)
-        v_col = np.where(v_dark, v_cls, v_cls - k)
-        adopt = ~u_dark & v_dark
-        lighten = (
-            u_dark
-            & v_dark
-            & (u_col == v_col)
-            & (coin < self._lighten[u_col])
+        return apply_step_rows(
+            self._state,
+            self._dark,
+            self._light,
+            self._lighten,
+            np.arange(self._state.shape[0]),
+            self._next_step_uniforms(),
         )
-        a_rows = np.flatnonzero(adopt)
-        self._light[a_rows, u_col[a_rows]] -= 1
-        self._dark[a_rows, v_col[a_rows]] += 1
-        l_rows = np.flatnonzero(lighten)
-        self._dark[l_rows, u_col[l_rows]] -= 1
-        self._light[l_rows, u_col[l_rows]] += 1
-        return adopt | lighten
 
     def run_per_step(self, steps: int) -> "BatchedAggregateSimulation":
         """Advance ``steps`` time-steps in faithful per-step mode."""
@@ -263,85 +271,17 @@ class BatchedAggregateSimulation:
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
-        k = self.weights.k
-        horizon = self._times + steps
-        rng = self.rng
-        times = self._times
-        dark, light = self._dark, self._light
-        lighten = self._lighten
         denom = float(self._n) * (self._n - 1)
-        total_dark = dark.sum(axis=1)
-        terms = (dark * (dark - 1)).astype(np.float64) * lighten
-        # Index array of replications still short of the horizon; rows
-        # retire when they are absorbed or their next jump overshoots.
-        act = np.flatnonzero(times < horizon)
-        while act.size:
-            # Row-wise cumulative masses over 3k classes: the first 2k
-            # (adopt per light colour, scaled by the dark total, then
-            # the lighten terms) form the active-event distribution —
-            # their running total at column 2k-1 *is* the event rate —
-            # and the last k hold the dark counts for the partner pick.
-            td = total_dark[act]
-            cum = np.cumsum(
-                np.concatenate(
-                    [light[act] * td[:, None], terms[act], dark[act]],
-                    axis=1,
-                ),
-                axis=1,
-            )
-            rate = cum[:, 2 * k - 1]
-            # Replications with no active events left (single colour,
-            # all dark, w = 1 edge cases) coast to the horizon.
-            alive = rate > 0.0
-            if not alive.all():
-                dead = act[~alive]
-                times[dead] = horizon[dead]
-                act, cum, rate, td = (
-                    act[alive], cum[alive], rate[alive], td[alive]
-                )
-                if act.size == 0:
-                    break
-            gaps = rng.geometric(np.minimum(rate / denom, 1.0))
-            arrival = times[act] + gaps
-            # A jump past the horizon means the remaining steps are
-            # no-ops (truncated geometric), exactly as in the scalar
-            # engine: stop that replication at the horizon, no event.
-            over = arrival > horizon[act]
-            if over.any():
-                done = act[over]
-                times[done] = horizon[done]
-                keep = ~over
-                act, cum, td, arrival = (
-                    act[keep], cum[keep], td[keep], arrival[keep]
-                )
-                if act.size == 0:
-                    break
-            times[act] = arrival
-            # One active event per remaining replication; two uniforms
-            # per row (fused type/colour pick, then the dark-partner
-            # pick, which lighten events simply discard).
-            u = rng.random((2, act.size))
-            event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1])
-            cls = np.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
-            adopt = cls < k
-            # Adopt moves light i -> dark j; lighten moves dark i ->
-            # light i — one ±1 delta pair per event.  The partner pick
-            # thresholds inside the third block of the shared cumsum.
-            light_col = np.where(adopt, cls, cls - k)
-            partner_pick = _below(
-                cum[:, 2 * k - 1] + u[1] * td, cum[:, 3 * k - 1]
-            )
-            j = np.argmax(cum[:, 2 * k:] > partner_pick[:, None], axis=1)
-            dark_col = np.where(adopt, j, light_col)
-            delta = np.where(adopt, -1, 1)
-            light[act, light_col] += delta
-            dark[act, dark_col] -= delta
-            total_dark[act] -= delta
-            d = dark[act, dark_col].astype(np.float64)
-            terms[act, dark_col] = d * (d - 1.0) * lighten[dark_col]
-            finished = arrival >= horizon[act]
-            if finished.any():
-                act = act[~finished]
+        advance_event_driven(
+            self._times,
+            self._times + steps,
+            self._dark,
+            self._light,
+            self._lighten,
+            np.full(self.replications, denom, dtype=np.float64),
+            self.rng,
+            self.weights.k,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -399,6 +339,156 @@ class BatchedAggregateSimulation:
             f"BatchedAggregateSimulation(R={self.replications}, "
             f"n={self.n}, k={self.k}, t={self.time})"
         )
+
+
+def apply_step_rows(
+    state: np.ndarray,
+    dark: np.ndarray,
+    light: np.ndarray,
+    lighten: np.ndarray,
+    rows: np.ndarray,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Shared per-step transition of the batched engines: one faithful
+    time-step for the ``rows`` of a ``(B, 2k)`` state matrix, mutating
+    ``dark``/``light`` in place (``state`` is their concatenation).
+
+    The scheduled agent's class and its sampled partner's class are
+    drawn by vectorised categorical sampling over the ``2k`` (dark,
+    light) classes — class ``c < k`` is dark colour ``c``, class
+    ``c >= k`` light colour ``c - k`` — with the scheduled agent
+    excluded from the partner draw, then the adopt/lighten rules apply
+    through boolean masks.  ``uniforms`` holds the step's three
+    ``(len(rows),)`` draws; ``lighten`` is a ``(k,)`` vector
+    (homogeneous rows) or a ``(B, k)`` matrix (per-row tables).
+    Returns the per-``rows`` changed mask.
+    """
+    k = state.shape[1] // 2
+    # Fancy indexing yields a fresh copy, safe to mutate below.
+    masses = state[rows]
+    sub = np.arange(rows.size)
+    u_cls = _pick_rows(masses, uniforms[0])
+    # Exclude u from its own class before the partner draw.
+    masses[sub, u_cls] -= 1
+    v_cls = _pick_rows(masses, uniforms[1])
+    coin = uniforms[2]
+    u_dark = u_cls < k
+    v_dark = v_cls < k
+    u_col = np.where(u_dark, u_cls, u_cls - k)
+    v_col = np.where(v_dark, v_cls, v_cls - k)
+    adopt = ~u_dark & v_dark
+    threshold = (
+        lighten[rows, u_col] if lighten.ndim == 2 else lighten[u_col]
+    )
+    lightened = (
+        u_dark & v_dark & (u_col == v_col) & (coin < threshold)
+    )
+    a_sel = np.flatnonzero(adopt)
+    light[rows[a_sel], u_col[a_sel]] -= 1
+    dark[rows[a_sel], v_col[a_sel]] += 1
+    l_sel = np.flatnonzero(lightened)
+    dark[rows[l_sel], u_col[l_sel]] -= 1
+    light[rows[l_sel], u_col[l_sel]] += 1
+    return adopt | lightened
+
+
+def advance_event_driven(
+    times: np.ndarray,
+    horizon: np.ndarray,
+    dark: np.ndarray,
+    light: np.ndarray,
+    lighten: np.ndarray,
+    denom: np.ndarray,
+    rng: np.random.Generator,
+    k: int,
+) -> None:
+    """Shared event-driven core of the batched engines: advance each
+    row to its own ``horizon[r]`` with per-row geometric event jumps,
+    mutating ``times``, ``dark`` and ``light`` in place.
+
+    ``lighten`` is either a ``(k,)`` vector (homogeneous rows — the
+    :class:`BatchedAggregateSimulation` case) or a ``(B, k)`` matrix
+    (per-row tables — the heterogeneous engine); ``denom`` holds each
+    row's ``n_r (n_r - 1)`` jump denominator.  Rows retire
+    independently: absorbed rows (no active events left) and rows whose
+    next jump overshoots coast to their horizon, the rest keep
+    advancing, and the loop ends when every row has arrived.
+    """
+    row_lighten = lighten.ndim == 2
+    total_dark = dark.sum(axis=1)
+    terms = (dark * (dark - 1)).astype(np.float64) * lighten
+    # Index array of rows still short of the horizon; rows retire when
+    # they are absorbed or their next jump overshoots.
+    act = np.flatnonzero(times < horizon)
+    while act.size:
+        # Row-wise cumulative masses over 3k classes: the first 2k
+        # (adopt per light colour, scaled by the dark total, then the
+        # lighten terms) form the active-event distribution — their
+        # running total at column 2k-1 *is* the event rate — and the
+        # last k hold the dark counts for the partner pick.
+        td = total_dark[act]
+        cum = np.cumsum(
+            np.concatenate(
+                [light[act] * td[:, None], terms[act], dark[act]],
+                axis=1,
+            ),
+            axis=1,
+        )
+        rate = cum[:, 2 * k - 1]
+        # Rows with no active events left (single colour, all dark,
+        # w = 1 edge cases) coast to the horizon.
+        alive = rate > 0.0
+        if not alive.all():
+            dead = act[~alive]
+            times[dead] = horizon[dead]
+            act, cum, rate, td = (
+                act[alive], cum[alive], rate[alive], td[alive]
+            )
+            if act.size == 0:
+                break
+        gaps = rng.geometric(np.minimum(rate / denom[act], 1.0))
+        arrival = times[act] + gaps
+        # A jump past the horizon means the remaining steps are no-ops
+        # (truncated geometric), exactly as in the scalar engine: stop
+        # that row at the horizon, no event.
+        over = arrival > horizon[act]
+        if over.any():
+            done = act[over]
+            times[done] = horizon[done]
+            keep = ~over
+            act, cum, td, arrival = (
+                act[keep], cum[keep], td[keep], arrival[keep]
+            )
+            if act.size == 0:
+                break
+        times[act] = arrival
+        # One active event per remaining row; two uniforms per row
+        # (fused type/colour pick, then the dark-partner pick, which
+        # lighten events simply discard).
+        u = rng.random((2, act.size))
+        event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1])
+        cls = np.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
+        adopt = cls < k
+        # Adopt moves light i -> dark j; lighten moves dark i ->
+        # light i — one ±1 delta pair per event.  The partner pick
+        # thresholds inside the third block of the shared cumsum.
+        light_col = np.where(adopt, cls, cls - k)
+        partner_pick = _below(
+            cum[:, 2 * k - 1] + u[1] * td, cum[:, 3 * k - 1]
+        )
+        j = np.argmax(cum[:, 2 * k:] > partner_pick[:, None], axis=1)
+        dark_col = np.where(adopt, j, light_col)
+        delta = np.where(adopt, -1, 1)
+        light[act, light_col] += delta
+        dark[act, dark_col] -= delta
+        total_dark[act] -= delta
+        d = dark[act, dark_col].astype(np.float64)
+        terms[act, dark_col] = d * (d - 1.0) * (
+            lighten[act, dark_col] if row_lighten else lighten[dark_col]
+        )
+        finished = arrival >= horizon[act]
+        if finished.any():
+            act = act[~finished]
 
 
 def _pick_rows(masses: np.ndarray, uniforms: np.ndarray) -> np.ndarray:

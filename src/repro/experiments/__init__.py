@@ -58,6 +58,18 @@ from .fairness import (
     run_fairness,
     spec_fairness,
 )
+from .fusion import (
+    FusedExecutor,
+    FusedMeasurement,
+    FusedPlan,
+    execute_fused,
+    fuse,
+    fused_implementation,
+    fused_rng,
+    measure_sweep_final_counts,
+    register_fused,
+    spec_fused_sweep,
+)
 from .phase1 import (
     E3B_PROFILES,
     experiment_phase1,
@@ -230,9 +242,19 @@ __all__ = [
     "ShardError",
     "SerialExecutor",
     "ProcessExecutor",
+    "FusedExecutor",
+    "FusedMeasurement",
+    "FusedPlan",
     "make_executor",
     "plan",
     "execute",
+    "execute_fused",
+    "fuse",
+    "fused_implementation",
+    "fused_rng",
+    "register_fused",
+    "measure_sweep_final_counts",
+    "spec_fused_sweep",
     "run_aggregate",
     "run_agent",
     "run_diversification_agent",

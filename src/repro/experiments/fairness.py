@@ -158,14 +158,19 @@ def experiment_fairness(
     horizon_rounds=(200, 800, 3200),
     *,
     seed: int = 31,
+    fused: bool = False,
 ) -> ExperimentTable:
     """E5: per-agent occupancy convergence to the fair shares.
 
     ``horizon_rounds`` are parallel rounds; time-steps are ``rounds·n``.
     Expected shape: the deviation columns shrink as the horizon grows
     (the paper proves ``(1 ± o(1)) w_i/w`` occupancy for horizons
-    ``T' > T = Ω(n^β)``).
+    ``T' > T = Ω(n^β)``).  ``fused`` routes through the fusion layer;
+    the occupancy tracker needs the exact per-change observer stream,
+    which the batched engines do not expose, so the shard falls back to
+    the per-shard path (the flag is accepted for a uniform CLI).
     """
     return execute(
-        spec_fairness(n, weight_vector, horizon_rounds, seed=seed)
+        spec_fairness(n, weight_vector, horizon_rounds, seed=seed),
+        fused=fused,
     ).table()

@@ -1,0 +1,479 @@
+"""Mega-batch fusion layer: run whole scenario sweeps as one engine.
+
+The declarative pipeline executes one shard (grid cell × replication)
+at a time — each shard pays its own engine construction and its own
+Python-level event loop.  This module fuses *compatible* shards of an
+:class:`~repro.experiments.pipeline.ExperimentPlan` into mega-batch
+jobs that advance together inside a single vectorised engine:
+
+* aggregate-family measurements pack one
+  :class:`~repro.engine.hetero.HeterogeneousAggregateBatch` row per
+  shard (per-row weight tables, populations and horizons), so an entire
+  weight-skew × k × n sweep runs through one event loop;
+* agent-level Diversification measurements pack one ``(R, n)``
+  :class:`~repro.engine.array_engine.ArraySimulation` row per shard,
+  with per-row lighten tables covering per-row weight vectors.
+
+A measurement opts in by registering a :class:`FusedMeasurement`
+(:func:`register_fused`); :func:`fuse` groups a plan's shards by the
+implementation's ``group_key`` (the engine-family compatibility key),
+and :class:`FusedExecutor` runs each group as one job — shards whose
+measurement has no fused implementation, or whose parameters are
+incompatible (``group_key`` returns None), fall back to the ordinary
+per-shard path inside the same run.  Results are scattered back to
+shard order, so :func:`execute_fused` returns the same
+:class:`~repro.experiments.pipeline.PlanResult` shape as
+:func:`~repro.experiments.pipeline.execute`.
+
+Seeding.  A fused group shares one vectorised draw stream, so fused
+results are *distribution*-equivalent to the per-shard path (verified
+per cell with KS tests in
+``tests/integration/test_fused_equivalence.py``), not bit-identical —
+the same contract the batched replication engines established.  The
+group's stream is derived deterministically from *all* participating
+shard seeds (:func:`fused_rng`), and per-row workload draws (random
+starts) still use each shard's own seed, so a fused run is reproducible
+from the spec's ``base_seed`` alone.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.weights import WeightTable
+from ..engine.hetero import HeterogeneousAggregateBatch
+from .pipeline import (
+    ExperimentPlan,
+    PlanResult,
+    ScenarioSpec,
+    SerialExecutor,
+    Shard,
+    ShardError,
+    ShardResult,
+    make_executor,
+    plan as expand_plan,
+)
+
+__all__ = [
+    "FusedMeasurement",
+    "FusedJob",
+    "FusedPlan",
+    "FusedExecutor",
+    "register_fused",
+    "fused_implementation",
+    "fuse",
+    "fused_rng",
+    "execute_fused",
+    "hetero_batch",
+    "run_recorded",
+    "measure_sweep_final_counts",
+    "spec_fused_sweep",
+]
+
+
+@dataclass(frozen=True)
+class FusedMeasurement:
+    """Fused (mega-batch) implementation of one measurement function.
+
+    Attributes:
+        family: Engine family label (``"aggregate"``, ``"array"``),
+            shown in docs/plans and part of the grouping key.
+        group_key: Maps shard params to a hashable compatibility key —
+            shards with equal keys share one mega-batch job; ``None``
+            sends the shard to the per-shard fallback path.
+        run_group: ``(spec, shards) -> values`` running one group in a
+            single fused engine, returning one measurement dict per
+            shard *in the given order*.
+    """
+
+    family: str
+    group_key: Callable[[dict], object]
+    run_group: Callable[[ScenarioSpec, list[Shard]], list[dict]]
+
+
+#: Measurement function -> fused implementation.
+_FUSED: dict[Callable, FusedMeasurement] = {}
+
+
+def register_fused(
+    measure: Callable, impl: FusedMeasurement | None
+) -> None:
+    """Register the fused implementation of a measurement function
+    (``None`` clears a registration)."""
+    _FUSED[measure] = impl
+
+
+def fused_implementation(measure: Callable) -> FusedMeasurement | None:
+    """The registered fused implementation, or None."""
+    return _FUSED.get(measure)
+
+
+@dataclass(frozen=True)
+class FusedJob:
+    """One unit of fused execution: a mega-batch group (``impl`` set)
+    or a single fallback shard (``impl`` None)."""
+
+    impl: FusedMeasurement | None
+    shards: tuple[Shard, ...]
+
+
+@dataclass(frozen=True)
+class FusedPlan:
+    """An expanded plan regrouped into fused jobs (shard order is
+    recovered at merge time through each shard's index)."""
+
+    plan: ExperimentPlan
+    jobs: tuple[FusedJob, ...]
+
+    @property
+    def fused_shards(self) -> int:
+        """Number of shards riding a mega-batch job."""
+        return sum(
+            len(job.shards) for job in self.jobs if job.impl is not None
+        )
+
+    @property
+    def fallback_shards(self) -> int:
+        """Number of shards on the per-shard fallback path."""
+        return sum(
+            len(job.shards) for job in self.jobs if job.impl is None
+        )
+
+
+def fuse(expanded: ExperimentPlan) -> FusedPlan:
+    """Group a plan's shards into mega-batch jobs.
+
+    Shards are grouped by ``(measurement, group_key(params))`` — the
+    measurement identifies the fused implementation and the key its
+    engine-family compatibility class.  Grouping keeps plan order
+    within each group, and fallback shards (no implementation, or an
+    incompatible parameter combination) become single-shard jobs.
+    """
+    impl = _FUSED.get(expanded.spec.measure)
+    groups: dict[object, list[Shard]] = {}
+    fallback: list[Shard] = []
+    for shard in expanded.shards:
+        key = impl.group_key(dict(shard.params)) if impl else None
+        if key is None:
+            fallback.append(shard)
+        else:
+            groups.setdefault(key, []).append(shard)
+    jobs = [
+        FusedJob(impl=impl, shards=tuple(shards))
+        for shards in groups.values()
+    ] + [FusedJob(impl=None, shards=(shard,)) for shard in fallback]
+    return FusedPlan(plan=expanded, jobs=tuple(jobs))
+
+
+def fused_rng(shards: Sequence[Shard]) -> np.random.Generator:
+    """One engine stream derived from *all* the group's shard seeds.
+
+    Each shard contributes two words of its seed sequence's output
+    (``generate_state`` is pure — the shard's own stream, used by the
+    per-shard path and for per-row workload draws, is untouched); the
+    pooled words seed the group generator, so the fused stream is a
+    deterministic function of the spec's seeds and the group
+    membership.
+    """
+    words = np.concatenate(
+        [shard.seed.generate_state(2, dtype=np.uint32) for shard in shards]
+    )
+    entropy = [int(word) for word in words]
+    return np.random.default_rng(np.random.SeedSequence(entropy=entropy))
+
+
+class FusedExecutor:
+    """Run a fused plan: mega-batch jobs through their fused engines,
+    fallback shards through an ordinary shard executor (serial by
+    default, a process pool when the caller asked for ``jobs``) — the
+    fallback shards are exactly the independent per-shard work that
+    benefits from parallelism.
+
+    Timing semantics: a mega-batch job is one engine call, so its
+    shards have no independent wall-clocks — each shard of the group
+    records the group's elapsed time divided evenly across its members
+    (an attribution, not a measurement; fallback shards keep real
+    per-shard timings).  Plan artifacts therefore show uniform
+    ``seconds`` across a fused group.
+    """
+
+    def __init__(self, shard_executor=None):
+        self.shard_executor = shard_executor or SerialExecutor()
+
+    @property
+    def jobs(self) -> int:
+        """Worker processes available to the fallback shards."""
+        return self.shard_executor.jobs
+
+    def run_plan(self, fused_plan: FusedPlan) -> list[tuple[dict, float]]:
+        spec = fused_plan.plan.spec
+        outcomes: list[tuple[dict, float] | None] = [None] * len(
+            fused_plan.plan.shards
+        )
+        fallback: list[Shard] = []
+        for job in fused_plan.jobs:
+            if job.impl is None:
+                fallback.extend(job.shards)
+                continue
+            start = time.perf_counter()
+            try:
+                values = job.impl.run_group(spec, list(job.shards))
+            except Exception:
+                # A mega-batch group fails as one engine call — there
+                # is no single failing shard, so the error is
+                # attributed to the group's first shard and says so.
+                raise ShardError(
+                    spec.name,
+                    job.shards[0],
+                    f"mega-batch group of {len(job.shards)} shards "
+                    "failed as one engine call (error attributed to "
+                    "the group's first shard):\n"
+                    + traceback.format_exc(),
+                ) from None
+            elapsed = time.perf_counter() - start
+            if len(values) != len(job.shards):
+                raise ShardError(
+                    spec.name,
+                    job.shards[0],
+                    f"fused implementation returned {len(values)} values "
+                    f"for {len(job.shards)} shards",
+                )
+            # Even attribution of the group's wall-clock (see the
+            # class docstring) — fused shards share one engine call.
+            per_shard = elapsed / len(job.shards)
+            for shard, value in zip(job.shards, values):
+                outcomes[shard.index] = (value, per_shard)
+        if fallback:
+            tasks = [(shard.params, shard.seed) for shard in fallback]
+            shard_outcomes = self.shard_executor.run_shards(
+                spec.measure, tasks
+            )
+            for shard, (value, error, seconds) in zip(
+                fallback, shard_outcomes
+            ):
+                if error is not None:
+                    raise ShardError(spec.name, shard, error)
+                outcomes[shard.index] = (value, seconds)
+        return outcomes
+
+
+def execute_fused(
+    spec_or_plan: ScenarioSpec | ExperimentPlan,
+    *,
+    jobs: int | None = None,
+    executor=None,
+) -> PlanResult:
+    """Fused counterpart of :func:`~repro.experiments.pipeline.execute`.
+
+    Expands the spec, fuses compatible shards into mega-batch jobs and
+    merges the results back into shard order.  Mega-batch jobs run
+    in-process (each is one engine call); ``jobs``/``executor`` apply
+    to the fallback shards, which are ordinary per-shard work.
+    Usually reached through ``execute(..., fused=True)``.
+    """
+    if isinstance(spec_or_plan, ScenarioSpec):
+        expanded = expand_plan(spec_or_plan)
+    else:
+        expanded = spec_or_plan
+    fused_plan = fuse(expanded)
+    if executor is None:
+        executor = make_executor(jobs)
+    runner = FusedExecutor(executor)
+    start = time.perf_counter()
+    outcomes = runner.run_plan(fused_plan)
+    elapsed = time.perf_counter() - start
+    results = [
+        ShardResult(shard=shard, value=value, seconds=seconds)
+        for shard, (value, seconds) in zip(expanded.shards, outcomes)
+    ]
+    return PlanResult(
+        spec=expanded.spec,
+        cells=expanded.cells,
+        results=results,
+        jobs=runner.jobs,
+        elapsed_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregate-family helpers shared by the fused implementations
+
+
+def hetero_batch(
+    shards: Sequence[Shard], *, start: str = "worst"
+) -> HeterogeneousAggregateBatch:
+    """One heterogeneous engine row per shard.
+
+    Each shard's params must carry ``vector`` (weight vector) and ``n``
+    (population size); the start workload (shard param ``start``, else
+    the keyword default) is materialised with the *shard's own* seed,
+    so random starts match the per-shard path's distribution exactly.
+    The engine stream pools all shard seeds (:func:`fused_rng`).
+    """
+    from .runner import initial_counts
+
+    tables = [WeightTable(shard.params["vector"]) for shard in shards]
+    darks = [
+        initial_counts(
+            shard.params.get("start", start),
+            int(shard.params["n"]),
+            table,
+            np.random.default_rng(shard.seed),
+        )
+        for shard, table in zip(shards, tables)
+    ]
+    return HeterogeneousAggregateBatch(
+        tables, darks, rng=fused_rng(shards)
+    )
+
+
+def run_recorded(
+    engine: HeterogeneousAggregateBatch,
+    steps: np.ndarray,
+    intervals: np.ndarray,
+) -> list[dict]:
+    """Advance each row by its own ``steps[r]`` further time-steps,
+    snapshotting its counts every ``intervals[r]`` of them.
+
+    ``steps`` counts from each row's *current* clock, so the helper
+    also works on a pre-advanced engine.  Mirrors
+    :class:`~repro.experiments.recorder.CountRecorder` applied per row:
+    a snapshot at the start, one at every whole interval, and an
+    unconditional one at the final time (no duplicate when the
+    interval divides it).  Returns one dict per row with ``times``
+    (list of ints, absolute row clocks) and ``dark``/``light``
+    ``(T_r, k_max)`` arrays.
+    """
+    rows = engine.rows
+    steps = np.asarray(steps, dtype=np.int64)
+    if (steps < 0).any():
+        raise ValueError("steps must be non-negative")
+    intervals = np.asarray(intervals, dtype=np.int64)
+    if (intervals < 1).any():
+        raise ValueError("intervals must be >= 1")
+    origin = engine.times()
+    horizons = origin + steps
+    dark = engine.dark_counts()
+    light = engine.light_counts()
+    series = [
+        {
+            "times": [int(origin[r])],
+            "dark": [dark[r]],
+            "light": [light[r]],
+        }
+        for r in range(rows)
+    ]
+    multiple = np.ones(rows, dtype=np.int64)
+    while True:
+        times = engine.times()
+        active = times < horizons
+        if not active.any():
+            break
+        target = np.minimum(origin + multiple * intervals, horizons)
+        target = np.where(active, np.maximum(target, times), times)
+        engine.run_to(target)
+        times = engine.times()
+        dark = engine.dark_counts()
+        light = engine.light_counts()
+        for r in np.flatnonzero(active):
+            series[r]["times"].append(int(times[r]))
+            series[r]["dark"].append(dark[r])
+            series[r]["light"].append(light[r])
+        reached = active & (times == origin + multiple * intervals)
+        multiple[reached] += 1
+    for row in series:
+        row["dark"] = np.asarray(row["dark"])
+        row["light"] = np.asarray(row["light"])
+    return series
+
+
+# ----------------------------------------------------------------------
+# The generic replicated-sweep measurement (benchmark/e17 workload)
+
+
+def measure_sweep_final_counts(
+    params: dict, rng: np.random.Generator
+) -> dict:
+    """One replication of one sweep cell: final colour counts after
+    ``rounds * n`` steps of the aggregate Diversification dynamics."""
+    from .runner import run_aggregate
+
+    weights = WeightTable(params["vector"])
+    n = int(params["n"])
+    steps = int(params["rounds"]) * n
+    record = run_aggregate(
+        weights, n, steps,
+        start=params.get("start", "worst"),
+        seed=rng,
+        record_interval=max(1, steps),
+    )
+    return {"counts": [int(c) for c in record.final_colour_counts]}
+
+
+def _fused_sweep_final_counts(
+    spec: ScenarioSpec, shards: list[Shard]
+) -> list[dict]:
+    """All sweep rows (cells × replications) in one heterogeneous
+    engine: per-row weights, populations and horizons."""
+    engine = hetero_batch(shards)
+    steps = np.array(
+        [
+            int(shard.params["rounds"]) * int(shard.params["n"])
+            for shard in shards
+        ],
+        dtype=np.int64,
+    )
+    engine.run(steps)
+    counts = engine.colour_counts()
+    ks = engine.ks()
+    return [
+        {"counts": [int(c) for c in counts[r, : ks[r]]]}
+        for r in range(len(shards))
+    ]
+
+
+register_fused(
+    measure_sweep_final_counts,
+    FusedMeasurement(
+        family="aggregate",
+        group_key=lambda params: "aggregate",
+        run_group=_fused_sweep_final_counts,
+    ),
+)
+
+
+def spec_fused_sweep(
+    weight_vectors=((1.0, 1.0, 1.0), (1.0, 2.0, 3.0), (1.0, 2.0, 3.0, 4.0),
+                    (1.0, 3.0, 9.0)),
+    ns=(400, 450, 500, 550, 600, 640),
+    *,
+    rounds: int = 30,
+    replications: int = 50,
+    base_seed: int = 1717,
+    start: str = "worst",
+) -> ScenarioSpec:
+    """A heterogeneous (weight skew × k × n) replicated sweep.
+
+    The default grid is the E17 acceptance workload: 4 weight vectors ×
+    6 population sizes = 24 cells × R replications, every cell with its
+    own weights, colour count and horizon — the shape of the paper's
+    phase-diagram tables.  Fused execution packs all ``24 R`` rows into
+    one :class:`~repro.engine.hetero.HeterogeneousAggregateBatch`.
+    """
+    return ScenarioSpec(
+        name="e17",
+        measure=measure_sweep_final_counts,
+        grid={
+            "vector": tuple(tuple(v) for v in weight_vectors),
+            "n": tuple(int(n) for n in ns),
+        },
+        fixed={"rounds": int(rounds), "start": start},
+        replications=int(replications),
+        base_seed=base_seed,
+        seed_scope="stream",
+    )

@@ -8,7 +8,11 @@ equilibrium values of Thm 2.13.
 
 Both are single-run experiments; they ride the declarative pipeline as
 one-shard plans (``"direct"`` seed scope) so they share the executor,
-artifact store and profile machinery with the sweep experiments.
+artifact store and profile machinery with the sweep experiments.  Both
+measurements also register fused (mega-batch) implementations on the
+heterogeneous aggregate engine, so ``execute(..., fused=True)`` — or
+``repro run e3 e4 --fused`` — advances every shard of a widened grid
+through one event loop (:mod:`repro.experiments.fusion`).
 """
 
 from __future__ import annotations
@@ -22,6 +26,12 @@ from ..core.properties import (
 )
 from ..core.weights import WeightTable
 from ..engine.aggregate import AggregateSimulation
+from .fusion import (
+    FusedMeasurement,
+    hetero_batch,
+    register_fused,
+    run_recorded,
+)
 from .pipeline import ScenarioSpec, execute
 from .table import ExperimentTable
 from .workloads import worst_case_counts
@@ -63,11 +73,9 @@ def _measure_potentials(params: dict, rng: np.random.Generator) -> dict:
     from .runner import run_aggregate
 
     weights = WeightTable(params["vector"])
-    w = weights.total
-    n = params["n"]
-    steps = int(params["settle_factor"] * w * w * n * np.log(n))
+    steps = _horizon_steps(params)
     record = run_aggregate(
-        weights, n, steps, start="worst", seed=rng,
+        weights, params["n"], steps, start="worst", seed=rng,
         record_interval=max(1, steps // 512),
     )
     series = potential_series(record)
@@ -77,6 +85,52 @@ def _measure_potentials(params: dict, rng: np.random.Generator) -> dict:
         "psi": [float(v) for v in series["psi"]],
         "sigma_sq": [float(v) for v in series["sigma_sq"]],
     }
+
+
+def _horizon_steps(params: dict) -> int:
+    """The settle horizon ``settle_factor * w^2 n ln n`` of one cell."""
+    w = WeightTable(params["vector"]).total
+    n = params["n"]
+    return int(params["settle_factor"] * w * w * n * np.log(n))
+
+
+def _fused_measure_potentials(spec, shards) -> list[dict]:
+    """E3 mega-batch: one heterogeneous engine row per shard, per-row
+    horizons and snapshot intervals (CountRecorder semantics)."""
+    engine = hetero_batch(shards)
+    steps = np.array(
+        [_horizon_steps(shard.params) for shard in shards], dtype=np.int64
+    )
+    intervals = np.maximum(1, steps // 512)
+    series = run_recorded(engine, steps, intervals)
+    values = []
+    for shard, row in zip(shards, series):
+        weights = WeightTable(shard.params["vector"])
+        k = weights.k
+        dark = row["dark"][:, :k]
+        light = row["light"][:, :k]
+        values.append(
+            {
+                "times": [int(t) for t in row["times"]],
+                "phi": [float(phi(counts, weights)) for counts in dark],
+                "psi": [float(psi(counts, weights)) for counts in light],
+                "sigma_sq": [
+                    float(sigma_squared(d.sum(), l.sum(), weights))
+                    for d, l in zip(dark, light)
+                ],
+            }
+        )
+    return values
+
+
+register_fused(
+    _measure_potentials,
+    FusedMeasurement(
+        family="aggregate",
+        group_key=lambda params: "aggregate",
+        run_group=_fused_measure_potentials,
+    ),
+)
 
 
 def _build_potentials(result) -> ExperimentTable:
@@ -157,31 +211,34 @@ def experiment_potentials(
     seed: int = 7,
     settle_factor: float = 12.0,
     plateau_constant: float = 2.0,
+    fused: bool = False,
 ) -> ExperimentTable:
     """E3: decay and plateau of φ, ψ and σ² (Thm 2.8 / Lemma 2.14).
 
     Expected shape: each potential drops by orders of magnitude from
     the worst-case start, reaches its plateau, and stays there; φ
-    plateaus no later than ψ (Subphase 2.1 before 2.2).
+    plateaus no later than ψ (Subphase 2.1 before 2.2).  ``fused``
+    routes the plan through the mega-batch fusion layer (heterogeneous
+    aggregate engine).
     """
     return execute(
         spec_potentials(
             n, weight_vector, seed=seed, settle_factor=settle_factor,
             plateau_constant=plateau_constant,
-        )
+        ),
+        fused=fused,
     ).table()
 
 
 def _measure_equilibrium(params: dict, rng: np.random.Generator) -> dict:
     """E4 shard: settle, then time-average the (dark, light) counts."""
     weights = WeightTable(params["vector"])
-    w = weights.total
     n = params["n"]
     engine = AggregateSimulation(
         weights.copy(), dark_counts=worst_case_counts(n, weights.k),
         rng=rng,
     )
-    engine.run(int(params["settle_factor"] * w * w * n * np.log(n)))
+    engine.run(_horizon_steps(params))
     dark_rows, light_rows = [], []
     for _ in range(params["window_samples"]):
         engine.run(n)
@@ -191,6 +248,51 @@ def _measure_equilibrium(params: dict, rng: np.random.Generator) -> dict:
         "dark_mean": np.asarray(dark_rows).mean(axis=0).tolist(),
         "light_mean": np.asarray(light_rows).mean(axis=0).tolist(),
     }
+
+
+def _fused_measure_equilibrium(spec, shards) -> list[dict]:
+    """E4 mega-batch: settle every row to its own horizon, then sample
+    per-row windows (rows with fewer samples sit out the extra rounds
+    through the active mask)."""
+    engine = hetero_batch(shards)
+    engine.run(
+        np.array(
+            [_horizon_steps(shard.params) for shard in shards],
+            dtype=np.int64,
+        )
+    )
+    ns = np.array(
+        [int(shard.params["n"]) for shard in shards], dtype=np.int64
+    )
+    samples = np.array(
+        [int(shard.params["window_samples"]) for shard in shards],
+        dtype=np.int64,
+    )
+    dark_acc = np.zeros((engine.rows, engine.k_max), dtype=np.float64)
+    light_acc = np.zeros_like(dark_acc)
+    for sample in range(int(samples.max())):
+        active = samples > sample
+        engine.run(np.where(active, ns, 0))
+        dark_acc[active] += engine.dark_counts()[active]
+        light_acc[active] += engine.light_counts()[active]
+    ks = engine.ks()
+    return [
+        {
+            "dark_mean": (dark_acc[r, : ks[r]] / samples[r]).tolist(),
+            "light_mean": (light_acc[r, : ks[r]] / samples[r]).tolist(),
+        }
+        for r in range(engine.rows)
+    ]
+
+
+register_fused(
+    _measure_equilibrium,
+    FusedMeasurement(
+        family="aggregate",
+        group_key=lambda params: "aggregate",
+        run_group=_fused_measure_equilibrium,
+    ),
+)
 
 
 def _build_equilibrium(result) -> ExperimentTable:
@@ -269,16 +371,20 @@ def experiment_equilibrium(
     settle_factor: float = 10.0,
     window_samples: int = 128,
     error_constant: float = 2.0,
+    fused: bool = False,
 ) -> ExperimentTable:
     """E4: Phase-3 equilibrium values (Thm 2.13).
 
     Measures time-averaged dark and light counts per colour against
     ``A_i = w_i n/(1+w)`` and ``a_i = (w_i/w) n/(1+w)`` with the paper's
-    additive error ``C·n^{3/4}(log n)^{1/4}``.
+    additive error ``C·n^{3/4}(log n)^{1/4}``.  ``fused`` routes the
+    plan through the mega-batch fusion layer (heterogeneous aggregate
+    engine).
     """
     return execute(
         spec_equilibrium(
             n, weight_vector, seed=seed, settle_factor=settle_factor,
             window_samples=window_samples, error_constant=error_constant,
-        )
+        ),
+        fused=fused,
     ).table()

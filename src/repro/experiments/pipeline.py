@@ -228,15 +228,32 @@ class ShardError(RuntimeError):
         )
 
 
-def _run_shard(task) -> tuple[dict | None, str | None, float]:
+def _run_shard(measure, task) -> tuple[dict | None, str | None, float]:
     """Worker body: run one measurement, never raise across the pool."""
-    measure, params, seed = task
+    params, seed = task
     start = time.perf_counter()
     try:
         value = measure(dict(params), np.random.default_rng(seed))
         return value, None, time.perf_counter() - start
     except Exception:
         return None, traceback.format_exc(), time.perf_counter() - start
+
+
+# The pool workers receive the measurement once, through the pool
+# initializer, instead of once per shard: ``Pool.imap`` pickles its
+# function argument with *every* task, so keeping the measurement out
+# of the per-shard tuple shrinks each shard's payload to
+# ``(params, seed)`` (asserted in ``tests/unit/test_fusion.py``).
+_WORKER_MEASURE = None
+
+
+def _init_worker(measure) -> None:
+    global _WORKER_MEASURE
+    _WORKER_MEASURE = measure
+
+
+def _run_worker_shard(task):
+    return _run_shard(_WORKER_MEASURE, task)
 
 
 class SerialExecutor:
@@ -249,10 +266,10 @@ class SerialExecutor:
 
     jobs = 1
 
-    def run_shards(self, tasks: Sequence) -> list:
+    def run_shards(self, measure, tasks: Sequence) -> list:
         outcomes = []
         for task in tasks:
-            outcome = _run_shard(task)
+            outcome = _run_shard(measure, task)
             outcomes.append(outcome)
             if outcome[1] is not None:
                 break
@@ -265,7 +282,10 @@ class ProcessExecutor:
     ``Pool.imap`` yields outputs in task order, so the merge is
     order-independent of the actual completion schedule; like the
     serial executor, no new shards are consumed once a failure is seen
-    (the pool is torn down, abandoning in-flight work).
+    (the pool is torn down, abandoning in-flight work).  The
+    measurement callable travels once per worker (pool initializer),
+    not once per shard: each shard ships only its ``(params, seed)``
+    pair.
     """
 
     def __init__(self, jobs: int):
@@ -273,10 +293,12 @@ class ProcessExecutor:
             raise ValueError("ProcessExecutor needs jobs >= 2")
         self.jobs = int(jobs)
 
-    def run_shards(self, tasks: Sequence) -> list:
+    def run_shards(self, measure, tasks: Sequence) -> list:
         outcomes = []
-        with multiprocessing.Pool(self.jobs) as pool:
-            for outcome in pool.imap(_run_shard, tasks, chunksize=1):
+        with multiprocessing.Pool(
+            self.jobs, initializer=_init_worker, initargs=(measure,)
+        ) as pool:
+            for outcome in pool.imap(_run_worker_shard, tasks, chunksize=1):
                 outcomes.append(outcome)
                 if outcome[1] is not None:
                     break
@@ -295,12 +317,29 @@ def execute(
     *,
     jobs: int | None = None,
     executor=None,
+    fused: bool = False,
 ) -> PlanResult:
     """Run a spec (or a pre-expanded plan) and merge the shard results.
 
+    With ``fused=True`` the plan routes through the mega-batch fusion
+    layer (:mod:`repro.experiments.fusion`): shards whose measurement
+    has a registered fused implementation advance together inside one
+    vectorised engine (per-cell KS-equivalent to the per-shard path,
+    not bit-identical — the rows share one draw stream), while the
+    remaining fallback shards run per shard through ``jobs``/
+    ``executor`` as usual.
+
     Raises :class:`ShardError` for the lowest-index failed shard, with
-    the experiment name and the shard's parameters in the message.
+    the experiment name and the shard's parameters in the message.  On
+    the fused path a mega-batch group fails as one engine call, so its
+    :class:`ShardError` names the *group's first shard* (and says so);
+    fallback shards run after the mega-batch jobs, so their failure
+    order follows job order, not shard index.
     """
+    if fused:
+        from .fusion import execute_fused
+
+        return execute_fused(spec_or_plan, jobs=jobs, executor=executor)
     if isinstance(spec_or_plan, ScenarioSpec):
         expanded = plan(spec_or_plan)
     else:
@@ -308,12 +347,9 @@ def execute(
     spec = expanded.spec
     if executor is None:
         executor = make_executor(jobs)
-    tasks = [
-        (spec.measure, shard.params, shard.seed)
-        for shard in expanded.shards
-    ]
+    tasks = [(shard.params, shard.seed) for shard in expanded.shards]
     start = time.perf_counter()
-    outcomes = executor.run_shards(tasks)
+    outcomes = executor.run_shards(spec.measure, tasks)
     elapsed = time.perf_counter() - start
     results = []
     for shard, (value, error, seconds) in zip(expanded.shards, outcomes):

@@ -20,6 +20,7 @@ from ..core.derandomised import DerandomisedDiversification
 from ..core.diversification import Diversification
 from ..core.properties import diversity_bound
 from ..core.weights import WeightTable
+from .fusion import FusedMeasurement, fused_rng, register_fused
 from .pipeline import ScenarioSpec, execute
 from .runner import run_agent
 from .table import ExperimentTable
@@ -48,16 +49,26 @@ _ABLATION_FACTORIES = {
 }
 
 
+def _tail_share_error(
+    counts: np.ndarray, weights: WeightTable, tail_fraction: float = 0.25
+) -> tuple[float, np.ndarray]:
+    """(max deviation from fair shares, mean shares) over the final
+    ``tail_fraction`` of a ``(T, k)`` colour-count snapshot series —
+    shared by the per-shard and fused E9 paths so both stabilise over
+    the same window."""
+    tail = max(1, int(counts.shape[0] * tail_fraction))
+    window = counts[-tail:, : weights.k].astype(float)
+    shares = window / window.sum(axis=1, keepdims=True)
+    fair = weights.fair_shares()
+    return float(np.abs(shares - fair).max()), shares.mean(axis=0)
+
+
 def _stabilised_share_error(
     record, weights: WeightTable, tail_fraction: float = 0.25
 ) -> tuple[float, np.ndarray]:
     """(max deviation from fair shares, mean shares) over the record's
     final ``tail_fraction`` of snapshots."""
-    tail = max(1, int(len(record.times) * tail_fraction))
-    counts = record.colour_counts[-tail:, : weights.k].astype(float)
-    shares = counts / counts.sum(axis=1, keepdims=True)
-    fair = weights.fair_shares()
-    return float(np.abs(shares - fair).max()), shares.mean(axis=0)
+    return _tail_share_error(record.colour_counts, weights, tail_fraction)
 
 
 def _measure_variant(params: dict, rng: np.random.Generator) -> dict:
@@ -70,6 +81,72 @@ def _measure_variant(params: dict, rng: np.random.Generator) -> dict:
     )
     error, shares = _stabilised_share_error(record, weights)
     return {"error": error, "shares": [float(s) for s in shares]}
+
+
+def _variant_group_key(params: dict):
+    """E9 fused-compatibility key: randomised (kernelised) cells with
+    equal ``(n, rounds, k)`` share one ``(R, n)`` array engine; the
+    derandomised variant has no vectorised kernel and falls back to the
+    per-shard path."""
+    if params["protocol"] != "randomised":
+        return None
+    return ("array", params["n"], params["rounds"], len(params["vector"]))
+
+
+def _fused_measure_variants(spec, shards) -> list[dict]:
+    """E9 mega-batch: all randomised shards as one batched ``(R, n)``
+    array engine, per-row lighten tables covering per-row weight
+    vectors, snapshots mirroring the scalar run's CountRecorder."""
+    from ..engine.array_engine import ArraySimulation
+    from .workloads import colours_from_counts, worst_case_counts
+
+    params0 = shards[0].params
+    n = int(params0["n"])
+    steps = int(params0["rounds"]) * n
+    tables = [WeightTable(shard.params["vector"]) for shard in shards]
+    k = tables[0].k
+    colour_rows = np.stack(
+        [
+            colours_from_counts(worst_case_counts(n, table.k))
+            for table in tables
+        ]
+    )
+    simulation = ArraySimulation(
+        Diversification(tables[0].copy()),
+        colour_rows,
+        k=k,
+        rng=fused_rng(shards),
+        lighten_rows=np.stack([1.0 / table.as_array() for table in tables]),
+    )
+    interval = max(1, steps // 256)
+    snapshots = [simulation.colour_counts()]
+    advanced = 0
+    while advanced < steps:
+        take = min(interval, steps - advanced)
+        simulation.run(take)
+        advanced += take
+        snapshots.append(simulation.colour_counts())
+    series = np.stack(snapshots)  # (T, R, k)
+    values = []
+    for row, table in enumerate(tables):
+        error, shares = _tail_share_error(series[:, row, :], table)
+        values.append(
+            {
+                "error": error,
+                "shares": [float(s) for s in shares],
+            }
+        )
+    return values
+
+
+register_fused(
+    _measure_variant,
+    FusedMeasurement(
+        family="array",
+        group_key=_variant_group_key,
+        run_group=_fused_measure_variants,
+    ),
+)
 
 
 def _build_derandomised(result) -> ExperimentTable:
@@ -129,17 +206,22 @@ def experiment_derandomised(
     rounds: int = 2500,
     seeds: int = 3,
     base_seed: int = 88,
+    fused: bool = False,
 ) -> ExperimentTable:
     """E9: derandomised vs randomised protocol, same integer weights.
 
     Expected shape: both reach the fair shares ``w_i/w`` with errors of
     the same order; the derandomised variant needs no coin flips.
+    ``fused`` mega-batches the randomised cells into one ``(R, n)``
+    array engine (the derandomised variant has no kernel and stays on
+    the per-shard path).
     """
     return execute(
         spec_derandomised(
             n, weight_vector, rounds=rounds, seeds=seeds,
             base_seed=base_seed,
-        )
+        ),
+        fused=fused,
     ).table()
 
 
@@ -230,6 +312,7 @@ def experiment_derandomised_scaling(
     settle_rounds: int = 1200,
     window_samples: int = 64,
     base_seed: int = 4242,
+    fused: bool = False,
 ) -> ExperimentTable:
     """E9b: derandomised protocol error vs n (multi-shade fast engine).
 
@@ -237,12 +320,16 @@ def experiment_derandomised_scaling(
     the open-problem variant to population sizes the agent engine
     cannot reach.  Expected shape: the stabilised error shrinks like
     ``~ 1/√n``, mirroring the randomised protocol's Thm 1.3 behaviour.
+    ``fused`` routes through the fusion layer; the multi-shade engine
+    has no mega-batch implementation yet, so every shard falls back to
+    the per-shard path (the flag is accepted for a uniform CLI).
     """
     return execute(
         spec_derandomised_scaling(
             ns, weight_vector, seeds=seeds, settle_rounds=settle_rounds,
             window_samples=window_samples, base_seed=base_seed,
-        )
+        ),
+        fused=fused,
     ).table()
 
 

@@ -103,9 +103,15 @@ class TestRegistryProfiles:
         for name, definition in REGISTRY.items():
             if definition.spec is None:
                 continue
+            run_params = set(
+                inspect.signature(definition.run).parameters.keys()
+            )
+            # ``fused`` is an execution-mode flag (like the CLI's
+            # --fused/--jobs), not a scenario parameter, so spec
+            # builders deliberately do not take it.
             assert (
-                inspect.signature(definition.spec).parameters.keys()
-                == inspect.signature(definition.run).parameters.keys()
+                set(inspect.signature(definition.spec).parameters.keys())
+                == run_params - {"fused"}
             ), name
 
 
@@ -146,6 +152,30 @@ class TestCommands:
         assert main(["run", "e8", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[E8]" in out
+
+    def test_run_fused_flag_routes_through_fusion_layer(self, capsys):
+        # e8 has no fused implementation: the flag must still work,
+        # with every shard on the FusedExecutor's fallback path.
+        assert main(["run", "e8", "--quick", "--fused"]) == 0
+        out = capsys.readouterr().out
+        assert "[E8]" in out
+
+    def test_run_fused_composes_with_jobs(self, capsys):
+        # e8's shards all fall back (no fused implementation), and
+        # fallback shards honour --jobs through the process pool.
+        assert main(["run", "e8", "--quick", "--fused", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[E8]" in captured.out
+
+    def test_run_fused_on_non_pipeline_experiment_notes_no_effect(
+        self, capsys
+    ):
+        # e12 runs outside the pipeline: the flag must not be silently
+        # swallowed.
+        assert main(["run", "e12", "--quick", "--fused"]) == 0
+        captured = capsys.readouterr()
+        assert "[E12]" in captured.out
+        assert "--fused has no effect" in captured.err
 
     def test_run_profile_quick_matches_quick_flag(self, capsys):
         assert main(["run", "e8", "--quick"]) == 0

@@ -152,3 +152,60 @@ class TestBatchedValidation:
                 WeightTable([1.0, 2.0]), [3, 3], replications=2,
                 lighten_probabilities=[0.5, 1.5],
             )
+
+
+class TestPerStepChunkingInvariance:
+    """Per-step mode draws its uniforms in buffered blocks; the
+    consumed stream — and therefore the trajectory — must depend only
+    on (seed, total steps), never on how the steps were chunked."""
+
+    def _engine(self, seed: int) -> BatchedAggregateSimulation:
+        return BatchedAggregateSimulation(
+            WeightTable([1.0, 2.0, 3.0]), [30, 15, 15],
+            replications=16, rng=seed,
+        )
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.lists(st.integers(1, 200), min_size=1, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_chunking_matches_one_call(self, seed, chunks):
+        total = sum(chunks)
+        whole = self._engine(seed)
+        whole.run_per_step(total)
+        pieces = self._engine(seed)
+        for chunk in chunks:
+            pieces.run_per_step(chunk)
+        np.testing.assert_array_equal(
+            whole.dark_counts(), pieces.dark_counts()
+        )
+        np.testing.assert_array_equal(
+            whole.light_counts(), pieces.light_counts()
+        )
+
+    def test_step_equals_run_per_step(self):
+        stepped = self._engine(99)
+        for _ in range(700):
+            stepped.step()
+        ran = self._engine(99)
+        ran.run_per_step(700)
+        np.testing.assert_array_equal(
+            stepped.dark_counts(), ran.dark_counts()
+        )
+        np.testing.assert_array_equal(
+            stepped.light_counts(), ran.light_counts()
+        )
+
+    def test_chunking_spans_buffer_refills(self):
+        """Totals larger than one uniform block must still agree (the
+        block holds 16384 // (3 R) steps; R=16 gives 341)."""
+        whole = self._engine(7)
+        whole.run_per_step(900)
+        pieces = self._engine(7)
+        pieces.run_per_step(341)
+        pieces.run_per_step(341)
+        pieces.run_per_step(218)
+        np.testing.assert_array_equal(
+            whole.dark_counts(), pieces.dark_counts()
+        )
