@@ -8,6 +8,15 @@ single artifact with a compact speedup index:
 
     PYTHONPATH=src python benchmarks/collect.py
 
+With ``--trajectory PATH`` the collector additionally appends the
+summary's speedup index as one entry to the committed per-PR history
+(``benchmarks/BENCH_TRAJECTORY.json``) and compares it against the
+previous entry, flagging any benchmark whose speedup dropped by more
+than ``--threshold`` (default 20%).  The comparison is *non-blocking*
+— regressions are printed as warnings and the exit code stays 0 —
+because CI benchmark machines are noisy; the trajectory exists so a
+real drift is visible across several PRs, not to gate a single one.
+
 The collector is deliberately forgiving — a missing results directory
 yields an empty summary and unparsable files are recorded as errors
 instead of failing the job — because benchmark jobs are non-blocking
@@ -16,12 +25,14 @@ and any subset of them may have run.
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY_NAME = "BENCH_SUMMARY.json"
+TRAJECTORY_FORMAT = "repro-bench-trajectory/v1"
 
 
 def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
@@ -59,9 +70,80 @@ def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
     return summary
 
 
+def load_trajectory(path: pathlib.Path) -> dict:
+    """Reload the committed trajectory, or an empty one if absent."""
+    if not path.exists():
+        return {"format": TRAJECTORY_FORMAT, "entries": []}
+    doc = json.loads(path.read_text())
+    if doc.get("format") != TRAJECTORY_FORMAT:
+        raise ValueError(
+            f"{path}: not a {TRAJECTORY_FORMAT} file "
+            f"(format={doc.get('format')!r})"
+        )
+    return doc
+
+
+def compare_with_last(
+    summary: dict, trajectory: dict, threshold: float = 0.2
+) -> list[str]:
+    """Speedup regressions vs the trajectory's newest entry.
+
+    Returns one human-readable line per benchmark whose speedup fell
+    by more than ``threshold`` (fractional); new or vanished benchmarks
+    are not regressions.
+    """
+    if not trajectory["entries"]:
+        return []
+    previous = trajectory["entries"][-1]["speedups"]
+    warnings = []
+    for name, entry in sorted(summary["speedups"].items()):
+        if name not in previous:
+            continue
+        before = float(previous[name]["speedup"])
+        now = float(entry["speedup"])
+        if before > 0 and now < before * (1.0 - threshold):
+            drop = 100.0 * (1.0 - now / before)
+            warnings.append(
+                f"{name}: speedup {before:.2f}x -> {now:.2f}x "
+                f"(-{drop:.0f}%, threshold {threshold:.0%})"
+            )
+    return warnings
+
+
+def append_trajectory(
+    summary: dict, path: pathlib.Path, label: str
+) -> dict:
+    """Append the summary's speedup index as one trajectory entry."""
+    trajectory = load_trajectory(path)
+    trajectory["entries"].append(
+        {"label": label, "speedups": summary["speedups"]}
+    )
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    return trajectory
+
+
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    results_dir = pathlib.Path(argv[0]) if argv else RESULTS_DIR
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results_dir", nargs="?", type=pathlib.Path, default=RESULTS_DIR,
+        help="directory of per-benchmark timing JSONs",
+    )
+    parser.add_argument(
+        "--trajectory", type=pathlib.Path, default=None, metavar="PATH",
+        help="append this run's speedups to the committed per-PR "
+             "history and warn (non-blocking) on regressions",
+    )
+    parser.add_argument(
+        "--label", type=str, default="local",
+        help="entry label for --trajectory (CI passes the commit SHA)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="fractional speedup drop that counts as a regression "
+             "(default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    results_dir = args.results_dir
     summary = collect(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     out = results_dir / SUMMARY_NAME
@@ -78,6 +160,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {name}: {entry['speedup']:.2f}x{status}")
     for name, error in sorted(summary["errors"].items()):
         print(f"  {name}: UNREADABLE ({error})", file=sys.stderr)
+    if args.trajectory is not None:
+        regressions = compare_with_last(
+            summary, load_trajectory(args.trajectory), args.threshold
+        )
+        for line in regressions:
+            print(f"  PERF REGRESSION (non-blocking): {line}")
+        trajectory = append_trajectory(summary, args.trajectory, args.label)
+        print(
+            f"trajectory: {len(trajectory['entries'])} entr"
+            f"{'y' if len(trajectory['entries']) == 1 else 'ies'} "
+            f"-> {args.trajectory}"
+        )
     return 0
 
 

@@ -1,0 +1,661 @@
+"""O(1)-memory streaming accumulators for the analysis layer.
+
+The trajectory-based analysis (record counts with a
+:class:`~repro.experiments.recorder.CountRecorder`, then evaluate
+:func:`~repro.analysis.potentials.phi` etc. over the series) costs
+O(T·k) memory in the number of recorded snapshots.  The accumulators
+here compute the same quantities *inside* the engines' event loops in
+O(B·k) memory — independent of the horizon — by exploiting that every
+tracked quantity is constant between active events:
+
+* :class:`StreamingPotentials` — exact time-weighted integrals (and
+  running max/min/current values) of the paper's three potentials
+  φ (Eq. (10)), ψ (Eq. (11)) and σ² (Lemma 2.14), per engine row;
+* :class:`StreamingShares` — exact time-weighted colour-share
+  occupancy and maximum share error (the count-level fairness
+  quantities of Def 1.1(2)) per engine row;
+* :class:`RunningMoments` — Welford-style streaming mean/variance/
+  min/max of arbitrary per-row scalar series (the concentration-stat
+  primitive), mergeable across segments.
+
+Engines feed the first two through ``attach_stream``: the engine calls
+``reset`` with the current configuration, ``update(rows, times, dark,
+light)`` after every applied event (with the affected rows' *new*
+counts and clocks), and ``sync(times)`` at each horizon.  Because each
+update adds exactly one ``dt * value`` product per affected row, in
+chronological order, the accumulated integral is *bit-identical* to a
+sequential reduction over the materialised trajectory — the
+exact-equality contract verified by ``tests/unit/test_streaming.py``.
+
+All accumulators expose ``state_dict``/``load_state`` (plain arrays,
+pickle-free) so they ride along engine checkpoints, ``merge_serial``
+to join time-adjacent checkpoint segments, and the tap-fed ones
+``concat`` to join row-disjoint accumulators from fused mega-batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.weights import WeightTable
+
+
+def _weight_matrix(weights, rows: int, width: int) -> np.ndarray:
+    """Resolve a weights spec to a ``(rows, width)`` float matrix.
+
+    ``weights`` may be a :class:`~repro.core.weights.WeightTable`
+    (shared, may grow mid-run), a ``(k,)`` vector, a ``(B, k)`` padded
+    matrix, or a zero-argument callable returning either array form
+    (the hook for engines whose weight matrix is re-allocated when it
+    widens, e.g. ``engine.weights_matrix``).
+    """
+    if callable(weights) and not isinstance(weights, WeightTable):
+        weights = weights()
+    if isinstance(weights, WeightTable):
+        weights = weights.as_array()
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim == 1:
+        w = np.tile(w, (rows, 1))
+    if w.shape[0] != rows:
+        raise ValueError(
+            f"weights have {w.shape[0]} rows but the counts have {rows}"
+        )
+    if w.shape[1] < width:
+        raise ValueError(
+            f"weights are {w.shape[1]} colours wide but the counts "
+            f"have {width}"
+        )
+    return w[:, :width]
+
+
+def potential_values(
+    dark: np.ndarray, light: np.ndarray, weights
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise (φ, ψ, σ²) for ``(B, k)`` dark/light count matrices.
+
+    Uses the paper's closed forms ``2k·Σq² − 2(Σq)²`` with
+    ``q_i = A_i/w_i`` (φ; ψ likewise on the light counts) and
+    ``σ² = (A/w − a)²``; zero-weight padding columns (heterogeneous
+    rows) carry zero mass and are excluded from ``k``.
+    """
+    dark = np.asarray(dark, dtype=np.float64)
+    light = np.asarray(light, dtype=np.float64)
+    w = _weight_matrix(weights, dark.shape[0], dark.shape[1])
+    mass = w > 0.0
+    k = mass.sum(axis=1).astype(np.float64)
+    qd = np.divide(dark, w, out=np.zeros_like(dark), where=mass)
+    ql = np.divide(light, w, out=np.zeros_like(light), where=mass)
+    phi = 2.0 * k * (qd * qd).sum(axis=1) - 2.0 * qd.sum(axis=1) ** 2
+    psi = 2.0 * k * (ql * ql).sum(axis=1) - 2.0 * ql.sum(axis=1) ** 2
+    total_w = w.sum(axis=1)
+    sigma = (dark.sum(axis=1) / total_w - light.sum(axis=1)) ** 2
+    return phi, psi, sigma
+
+
+def share_values(
+    dark: np.ndarray, light: np.ndarray, weights
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise colour shares ``C_i / n`` and max share error vs the
+    fair shares ``w_i / w`` for ``(B, k)`` count matrices."""
+    counts = np.asarray(dark, dtype=np.float64) + np.asarray(
+        light, dtype=np.float64
+    )
+    w = _weight_matrix(weights, counts.shape[0], counts.shape[1])
+    shares = counts / counts.sum(axis=1, keepdims=True)
+    fair = w / w.sum(axis=1, keepdims=True)
+    error = np.abs(shares - fair).max(axis=1)
+    return shares, error
+
+
+class _TapAccumulator:
+    """Shared tap plumbing: per-row clocks, segment bookkeeping, and
+    the serial/row-wise merge helpers.  Subclasses define the tracked
+    value arrays through ``_value_fields`` (integrated with the
+    ``dt * value`` rule) and ``_refresh(rows, dark, light)``."""
+
+    #: Names of the per-row value arrays: for each name ``x`` the
+    #: subclass holds ``_cur_x`` (current value) and ``_int_x``
+    #: (time-weighted integral); the update rule integrates the old
+    #: value over the elapsed steps, then refreshes the current one.
+    _value_fields: tuple[str, ...] = ()
+
+    def __init__(self, weights):
+        self._weights = weights
+        self._rows: int | None = None
+        self._last_time: np.ndarray | None = None
+        self._start_time: np.ndarray | None = None
+        self._events: np.ndarray | None = None
+
+    def _weights_for(self, rows: np.ndarray):
+        """Weights spec restricted to a row subset.
+
+        Per-event updates carry only the affected rows' count slices;
+        a per-row ``(B, k)`` weight matrix (heterogeneous batches) must
+        be sliced to match, while shared specs pass through whole."""
+        weights = self._weights
+        if callable(weights) and not isinstance(weights, WeightTable):
+            weights = weights()
+        if isinstance(weights, WeightTable):
+            return weights
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim == 2 and w.shape[0] == self._rows:
+            return w[rows]
+        return w
+
+    @property
+    def rows(self) -> int:
+        """Number of tracked engine rows (after ``reset``)."""
+        if self._rows is None:
+            raise ValueError("accumulator not initialised; call reset()")
+        return self._rows
+
+    def reset(
+        self, times: np.ndarray, dark: np.ndarray, light: np.ndarray
+    ) -> None:
+        """Bind to a row set and zero all integrals."""
+        times = np.asarray(times, dtype=np.float64)
+        dark = np.asarray(dark, dtype=np.float64)
+        light = np.asarray(light, dtype=np.float64)
+        self._rows = dark.shape[0]
+        self._last_time = times.copy()
+        self._start_time = times.copy()
+        self._events = np.zeros(self._rows, dtype=np.int64)
+        for name in self._value_fields:
+            setattr(
+                self, f"_int_{name}", np.zeros(self._rows, dtype=np.float64)
+            )
+        self._init_values(dark, light)
+
+    def update(
+        self,
+        rows: np.ndarray,
+        times: np.ndarray,
+        dark: np.ndarray,
+        light: np.ndarray,
+    ) -> None:
+        """Integrate the elapsed segment for ``rows`` and refresh their
+        current values from the (already updated) counts.
+
+        ``times`` holds the affected rows' new clocks; ``dark`` and
+        ``light`` their count slices.  A call with zero elapsed time is
+        a pure re-base (used after interventions, whose instantaneous
+        count changes alter the values but not the integrals).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        dt = times - self._last_time[rows]
+        for name in self._value_fields:
+            integral = getattr(self, f"_int_{name}")
+            integral[rows] += dt * getattr(self, f"_cur_{name}")[rows]
+        self._last_time[rows] = times
+        self._events[rows] += 1
+        self._refresh(
+            rows,
+            np.asarray(dark, dtype=np.float64),
+            np.asarray(light, dtype=np.float64),
+        )
+
+    def sync(self, times: np.ndarray) -> None:
+        """Integrate every row up to ``times`` (no value change —
+        the configuration is constant between events)."""
+        times = np.asarray(times, dtype=np.float64)
+        dt = times - self._last_time
+        for name in self._value_fields:
+            integral = getattr(self, f"_int_{name}")
+            integral += dt * getattr(self, f"_cur_{name}")
+        self._last_time = times.copy()
+
+    def durations(self) -> np.ndarray:
+        """Per-row integrated step spans."""
+        return self._last_time - self._start_time
+
+    def events(self) -> np.ndarray:
+        """Per-row applied-event counts."""
+        return self._events.copy()
+
+    # ------------------------------------------------------------------
+    # Merging
+
+    def merge_serial(self, later: "_TapAccumulator") -> None:
+        """Fold a time-adjacent later segment into this one.
+
+        ``later`` must have been reset at this accumulator's current
+        end times (the pattern: run, checkpoint, restore, attach a
+        fresh accumulator, run on, merge).  Integrals agree with the
+        uninterrupted run up to float-addition associativity (the
+        merge regroups ``Σa + Σb``); for *bit-identical* resumption
+        instead carry the accumulator itself across the checkpoint —
+        ``state_dict``/``load_state`` it alongside the engine snapshot
+        and re-attach with ``attach_stream(acc, reset=False)``.
+        """
+        if type(later) is not type(self):
+            raise TypeError("can only merge accumulators of the same type")
+        if later.rows != self.rows:
+            raise ValueError("row counts disagree")
+        if not np.array_equal(later._start_time, self._last_time):
+            raise ValueError(
+                "later segment does not start at this segment's end"
+            )
+        for name in self._value_fields:
+            getattr(self, f"_int_{name}")[...] += getattr(
+                later, f"_int_{name}"
+            )
+        self._events += later._events
+        self._last_time = later._last_time.copy()
+        self._merge_values(later)
+
+    @classmethod
+    def concat(cls, accumulators: list) -> "_TapAccumulator":
+        """Join row-disjoint accumulators (fused mega-batch slices)
+        into one covering their concatenated row axes."""
+        if not accumulators:
+            raise ValueError("need at least one accumulator")
+        first = accumulators[0]
+        out = cls.__new__(cls)
+        out._weights = first._weights
+        out._rows = sum(acc.rows for acc in accumulators)
+        for field in ("_last_time", "_start_time", "_events"):
+            setattr(
+                out,
+                field,
+                np.concatenate(
+                    [getattr(acc, field) for acc in accumulators]
+                ),
+            )
+        for name in first._concat_fields():
+            setattr(
+                out,
+                name,
+                np.concatenate(
+                    [getattr(acc, name) for acc in accumulators]
+                ),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """All per-row arrays (plain, pickle-free)."""
+        state = {
+            "last_time": self._last_time.copy(),
+            "start_time": self._start_time.copy(),
+            "events": self._events.copy(),
+        }
+        for name in self._concat_fields():
+            state[name.lstrip("_")] = getattr(self, name).copy()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place.
+
+        Copies every array (the accumulator mutates its state in
+        place; aliasing the caller's dict would corrupt it).
+        """
+        self._last_time = np.array(state["last_time"], dtype=np.float64)
+        self._start_time = np.array(
+            state["start_time"], dtype=np.float64
+        )
+        self._events = np.array(state["events"], dtype=np.int64)
+        self._rows = self._last_time.shape[0]
+        for name in self._concat_fields():
+            setattr(
+                self,
+                name,
+                np.array(state[name.lstrip("_")], dtype=np.float64),
+            )
+
+    # Subclass hooks -----------------------------------------------------
+
+    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _refresh(
+        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def _merge_values(self, later: "_TapAccumulator") -> None:
+        raise NotImplementedError
+
+    def _concat_fields(self) -> list[str]:
+        raise NotImplementedError
+
+
+class StreamingPotentials(_TapAccumulator):
+    """Streaming φ/ψ/σ² per engine row: exact time-weighted integrals
+    plus running max/min and the current values, in O(B) memory.
+
+    Args:
+        weights: Weight spec — a shared
+            :class:`~repro.core.weights.WeightTable`, a ``(k,)`` array,
+            a padded ``(B, k_max)`` matrix, or a callable returning
+            one of the array forms (re-evaluated every refresh, so
+            growing tables stay in sync).
+    """
+
+    _value_fields = ("phi", "psi", "sigma")
+
+    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
+        phi, psi, sigma = potential_values(dark, light, self._weights)
+        self._cur_phi = phi
+        self._cur_psi = psi
+        self._cur_sigma = sigma
+        self._max_phi = phi.copy()
+        self._max_psi = psi.copy()
+        self._max_sigma = sigma.copy()
+        self._min_phi = phi.copy()
+        self._min_psi = psi.copy()
+        self._min_sigma = sigma.copy()
+
+    def _refresh(
+        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
+    ) -> None:
+        phi, psi, sigma = potential_values(
+            dark, light, self._weights_for(rows)
+        )
+        for name, values in (
+            ("phi", phi), ("psi", psi), ("sigma", sigma)
+        ):
+            getattr(self, f"_cur_{name}")[rows] = values
+            hi = getattr(self, f"_max_{name}")
+            hi[rows] = np.maximum(hi[rows], values)
+            lo = getattr(self, f"_min_{name}")
+            lo[rows] = np.minimum(lo[rows], values)
+
+    def _merge_values(self, later: "StreamingPotentials") -> None:
+        for name in self._value_fields:
+            getattr(self, f"_cur_{name}")[...] = getattr(
+                later, f"_cur_{name}"
+            )
+            np.maximum(
+                getattr(self, f"_max_{name}"),
+                getattr(later, f"_max_{name}"),
+                out=getattr(self, f"_max_{name}"),
+            )
+            np.minimum(
+                getattr(self, f"_min_{name}"),
+                getattr(later, f"_min_{name}"),
+                out=getattr(self, f"_min_{name}"),
+            )
+
+    def _concat_fields(self) -> list[str]:
+        return [
+            f"_{kind}_{name}"
+            for name in self._value_fields
+            for kind in ("cur", "int", "max", "min")
+        ]
+
+    def summary(self) -> dict:
+        """Per-row results: time-averaged, max, min and final value of
+        each potential, plus event counts and durations."""
+        spans = self.durations()
+        safe = np.where(spans > 0, spans, 1.0)
+        out = {"events": self.events(), "duration": spans}
+        for name in self._value_fields:
+            out[f"mean_{name}"] = getattr(self, f"_int_{name}") / safe
+            out[f"max_{name}"] = getattr(self, f"_max_{name}").copy()
+            out[f"min_{name}"] = getattr(self, f"_min_{name}").copy()
+            out[f"final_{name}"] = getattr(self, f"_cur_{name}").copy()
+            out[f"integral_{name}"] = getattr(self, f"_int_{name}").copy()
+        return out
+
+
+class StreamingShares(_TapAccumulator):
+    """Streaming fairness occupancy per engine row: the exact
+    time-weighted integral of the max share error
+    ``max_i |C_i/n − w_i/w|`` (and its running max), plus per-colour
+    share occupancy ``∫ C_i/n dt`` — the count-level analogue of the
+    agent-level :class:`~repro.engine.observers.OccupancyTracker`."""
+
+    _value_fields = ("error",)
+
+    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
+        shares, error = share_values(dark, light, self._weights)
+        self._cur_error = error
+        self._max_error = error.copy()
+        self._cur_shares = shares
+        self._int_shares = np.zeros_like(shares)
+
+    def reset(self, times, dark, light) -> None:
+        super().reset(times, dark, light)
+
+    def update(self, rows, times, dark, light) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        times_f = np.asarray(times, dtype=np.float64)
+        dt = times_f - self._last_time[rows]
+        self._int_shares[rows] += dt[:, None] * self._cur_shares[rows]
+        super().update(rows, times, dark, light)
+
+    def sync(self, times) -> None:
+        times_f = np.asarray(times, dtype=np.float64)
+        dt = times_f - self._last_time
+        self._int_shares += dt[:, None] * self._cur_shares
+        super().sync(times)
+
+    def _refresh(
+        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
+    ) -> None:
+        shares, error = share_values(
+            dark, light, self._weights_for(rows)
+        )
+        if shares.shape[1] > self._cur_shares.shape[1]:
+            grow = shares.shape[1] - self._cur_shares.shape[1]
+            pad = np.zeros((self.rows, grow))
+            self._cur_shares = np.concatenate(
+                [self._cur_shares, pad], axis=1
+            )
+            self._int_shares = np.concatenate(
+                [self._int_shares, pad.copy()], axis=1
+            )
+        self._cur_shares[np.ix_(rows, range(shares.shape[1]))] = shares
+        self._cur_error[rows] = error
+        self._max_error[rows] = np.maximum(self._max_error[rows], error)
+
+    def _merge_values(self, later: "StreamingShares") -> None:
+        if later._int_shares.shape[1] > self._int_shares.shape[1]:
+            grow = later._int_shares.shape[1] - self._int_shares.shape[1]
+            pad = np.zeros((self.rows, grow))
+            self._int_shares = np.concatenate(
+                [self._int_shares, pad], axis=1
+            )
+        width = later._int_shares.shape[1]
+        self._int_shares[:, :width] += later._int_shares
+        self._cur_shares = later._cur_shares.copy()
+        self._cur_error[...] = later._cur_error
+        np.maximum(
+            self._max_error, later._max_error, out=self._max_error
+        )
+
+    def _concat_fields(self) -> list[str]:
+        return [
+            "_cur_error", "_int_error", "_max_error",
+            "_cur_shares", "_int_shares",
+        ]
+
+    def summary(self) -> dict:
+        """Per-row results: time-averaged and max share error, plus
+        time-averaged colour occupancy fractions ``(B, k)``."""
+        spans = self.durations()
+        safe = np.where(spans > 0, spans, 1.0)
+        return {
+            "events": self.events(),
+            "duration": spans,
+            "mean_error": self._int_error / safe,
+            "max_error": self._max_error.copy(),
+            "final_error": self._cur_error.copy(),
+            "occupancy": self._int_shares / safe[:, None],
+        }
+
+
+class RunningMoments:
+    """Welford-style streaming moments of per-row scalar series.
+
+    Tracks count, mean, variance (via the M2 sum of squared
+    deviations), min and max for ``rows`` parallel series in O(rows)
+    memory, with the numerically stable one-pass update and the exact
+    pairwise merge rule — the concentration-stat primitive for
+    long-horizon runs.
+    """
+
+    def __init__(self, rows: int):
+        if rows < 1:
+            raise ValueError("need at least one row")
+        self._count = np.zeros(rows, dtype=np.int64)
+        self._mean = np.zeros(rows, dtype=np.float64)
+        self._m2 = np.zeros(rows, dtype=np.float64)
+        self._min = np.full(rows, np.inf)
+        self._max = np.full(rows, -np.inf)
+
+    @property
+    def rows(self) -> int:
+        return self._count.shape[0]
+
+    def add(self, values: np.ndarray, rows: np.ndarray | None = None) -> None:
+        """Fold one observation per (selected) row into the moments."""
+        values = np.asarray(values, dtype=np.float64)
+        if rows is None:
+            rows = np.arange(self.rows)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+        self._count[rows] += 1
+        delta = values - self._mean[rows]
+        self._mean[rows] += delta / self._count[rows]
+        self._m2[rows] += delta * (values - self._mean[rows])
+        self._min[rows] = np.minimum(self._min[rows], values)
+        self._max[rows] = np.maximum(self._max[rows], values)
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another segment's moments in (Chan's parallel rule)."""
+        if other.rows != self.rows:
+            raise ValueError("row counts disagree")
+        total = self._count + other._count
+        seen = total > 0
+        delta = other._mean - self._mean
+        weight = np.divide(
+            other._count, total, out=np.zeros(self.rows), where=seen
+        )
+        self._mean += delta * weight
+        self._m2 += other._m2 + delta * delta * (
+            self._count * weight
+        )
+        self._count = total
+        np.minimum(self._min, other._min, out=self._min)
+        np.maximum(self._max, other._max, out=self._max)
+
+    def count(self) -> np.ndarray:
+        return self._count.copy()
+
+    def mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    def variance(self) -> np.ndarray:
+        """Population variance (0 for rows with fewer than 2 values)."""
+        return np.divide(
+            self._m2,
+            self._count,
+            out=np.zeros(self.rows),
+            where=self._count > 0,
+        )
+
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance())
+
+    def minimum(self) -> np.ndarray:
+        return self._min.copy()
+
+    def maximum(self) -> np.ndarray:
+        return self._max.copy()
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self._count.copy(),
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+            "min": self._min.copy(),
+            "max": self._max.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._count = np.asarray(state["count"], dtype=np.int64)
+        self._mean = np.asarray(state["mean"], dtype=np.float64)
+        self._m2 = np.asarray(state["m2"], dtype=np.float64)
+        self._min = np.asarray(state["min"], dtype=np.float64)
+        self._max = np.asarray(state["max"], dtype=np.float64)
+
+
+class PotentialTrajectory:
+    """Materialising tap with the same interface as
+    :class:`StreamingPotentials` — records every ``(time, φ, ψ, σ²)``
+    sample so tests can reduce the explicit trajectory sequentially
+    and compare against the streaming integrals *exactly*.  O(events)
+    memory; test/reference use only.
+    """
+
+    def __init__(self, weights):
+        self._weights = weights
+        self._start: np.ndarray | None = None
+        self._initial: tuple[np.ndarray, ...] | None = None
+        # Event log: ("update", rows, times, values) per applied event
+        # and ("sync", times) per horizon — syncs are recorded so the
+        # replay splits each integral into the same float additions as
+        # the streaming accumulator (one add per update AND per sync).
+        self._log: list[tuple] = []
+
+    def reset(self, times, dark, light) -> None:
+        self._start = np.asarray(times, dtype=np.float64).copy()
+        self._initial = potential_values(dark, light, self._weights)
+        self._log = []
+
+    def _weights_for(self, rows):
+        # Same per-row weight-matrix slicing rule as _TapAccumulator.
+        weights = self._weights
+        if callable(weights) and not isinstance(weights, WeightTable):
+            weights = weights()
+        if isinstance(weights, WeightTable):
+            return weights
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim == 2 and w.shape[0] == self._start.shape[0]:
+            return w[rows]
+        return w
+
+    def update(self, rows, times, dark, light) -> None:
+        rows = np.asarray(rows, dtype=np.int64).copy()
+        self._log.append((
+            "update",
+            rows,
+            np.asarray(times, dtype=np.float64).copy(),
+            potential_values(dark, light, self._weights_for(rows)),
+        ))
+
+    def sync(self, times) -> None:
+        self._log.append(
+            ("sync", np.asarray(times, dtype=np.float64).copy())
+        )
+
+    def integrals(self) -> dict:
+        """Sequential ``Σ dt·value`` reduction over the recorded
+        trajectory, replaying updates *and* horizon syncs so every
+        float addition matches the streaming accumulator's exactly."""
+        rows = self._start.shape[0]
+        names = ("phi", "psi", "sigma")
+        last_time = self._start.copy()
+        current = {
+            name: self._initial[i].copy() for i, name in enumerate(names)
+        }
+        integral = {name: np.zeros(rows) for name in names}
+        for entry in self._log:
+            if entry[0] == "update":
+                _, sel, times, values = entry
+                dt = times - last_time[sel]
+                for i, name in enumerate(names):
+                    integral[name][sel] += dt * current[name][sel]
+                    current[name][sel] = values[i]
+                last_time[sel] = times
+            else:
+                _, times = entry
+                dt = times - last_time
+                for name in names:
+                    integral[name] += dt * current[name]
+                last_time = times.copy()
+        return integral

@@ -157,6 +157,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    checkpoint_every = args.checkpoint_every
+    if args.resume and checkpoint_every is None:
+        checkpoint_every = 1
+    if checkpoint_every is not None and args.fused:
+        # Fused mega-batches advance whole shard groups inside one
+        # engine call; there is no per-shard boundary to checkpoint at.
+        print(
+            "--checkpoint-every/--resume is incompatible with --fused",
+            file=sys.stderr,
+        )
+        return 2
+    if checkpoint_every is not None and checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
     for name in names:
         definition = REGISTRY[name]
         if profile not in definition.profiles:
@@ -168,10 +182,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         kwargs = dict(definition.profiles[profile])
         if definition.spec is not None:
-            result = execute(
-                definition.spec(**kwargs), jobs=args.jobs,
-                fused=args.fused,
-            )
+            if checkpoint_every is not None:
+                from .experiments.checkpoint import execute_checkpointed
+
+                ckpt_path = (
+                    pathlib.Path(args.checkpoint_dir)
+                    / f"{name}-{profile}.ckpt.json"
+                )
+                result = execute_checkpointed(
+                    definition.spec(**kwargs),
+                    checkpoint=ckpt_path,
+                    jobs=args.jobs,
+                    every=checkpoint_every,
+                    resume=args.resume,
+                )
+            else:
+                result = execute(
+                    definition.spec(**kwargs), jobs=args.jobs,
+                    fused=args.fused,
+                )
             table = result.table()
         else:
             ignored = [
@@ -179,6 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for flag, given in (
                     ("--jobs", args.jobs is not None and args.jobs > 1),
                     ("--fused", args.fused),
+                    ("--checkpoint-every", checkpoint_every is not None),
                 )
                 if given
             ]
@@ -390,6 +420,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default=None, metavar="DIR",
         help="persist a JSON artifact per experiment (spec + per-shard "
              "results + timings) under this directory, e.g. results/",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint pipeline progress every N finished shards to "
+             "<checkpoint-dir>/<experiment>-<profile>.ckpt.json; an "
+             "interrupted run resumed with --resume skips the recorded "
+             "shards and reproduces the uninterrupted tables bit for "
+             "bit (shard seeds depend only on the spec and the shard "
+             "index).  Incompatible with --fused",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from existing checkpoint files (implies "
+             "--checkpoint-every 1 when not given); checkpoints from "
+             "a different spec are rejected, never silently mixed",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", type=str, default="checkpoints", metavar="DIR",
+        help="directory for --checkpoint-every/--resume files "
+             "(default: checkpoints/)",
     )
     p_run.set_defaults(func=_cmd_run)
 

@@ -15,6 +15,7 @@
   event loop, the engine behind mega-batched scenario sweeps.
 """
 
+from . import checkpoint
 from .aggregate import AggregateSimulation
 from .array_engine import (
     ArrayPopulationView,
@@ -36,6 +37,7 @@ from .population import Population
 from .rng import make_rng, seed_stream, spawn
 from .scheduler import RoundRobinScheduler, Scheduler, UniformScheduler
 from .simulator import Simulation
+from .streams import RowStreams, geometric_from_uniform
 
 __all__ = [
     "AggregateSimulation",
@@ -59,4 +61,7 @@ __all__ = [
     "make_rng",
     "spawn",
     "seed_stream",
+    "checkpoint",
+    "RowStreams",
+    "geometric_from_uniform",
 ]

@@ -20,6 +20,17 @@ next active event and jumps time forward, which is exact in distribution
 and several times faster near equilibrium (the active fraction is about
 ``2w/(1+w)^2``).
 
+Split invariance.  A drawn arrival that lands beyond the current
+horizon is *carried over* (``_pending``) instead of discarded, so the
+next ``run`` call consumes it first.  By memorylessness of the
+geometric this is distribution-identical to the truncate-and-redraw
+rule, but it additionally makes ``run(a); run(b)`` bit-identical to
+``run(a + b)`` for any split — the foundation of the
+``snapshot()``/``restore()`` checkpoint contract (the pending arrival
+is part of the payload).  Interventions change the event rates, so they
+drop the pending arrival (the redraw at the new rates is the correct
+truncation semantics there).
+
 A per-step mode (:meth:`AggregateSimulation.step`) is kept for the
 engine-equivalence tests against the agent-level simulator.
 
@@ -35,6 +46,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.weights import WeightTable
+from . import checkpoint as ckpt
 from .rng import make_rng
 
 
@@ -95,6 +107,8 @@ class AggregateSimulation:
         )
         self.rng = make_rng(rng)
         self.time = 0
+        self._pending: int | None = None
+        self._taps: list = []
         if self.n < 2:
             raise ValueError("need at least two agents")
 
@@ -128,6 +142,7 @@ class AggregateSimulation:
 
     def step(self) -> bool:
         """Simulate one time-step faithfully; True if counts changed."""
+        self._pending = None  # per-step mode re-examines every step
         self.time += 1
         n = self.n
         rng = self.rng
@@ -199,7 +214,12 @@ class AggregateSimulation:
         return adopt, float(sum(lighten_terms)), lighten_terms
 
     def run(self, steps: int) -> "AggregateSimulation":
-        """Advance exactly ``steps`` time-steps using event jumps."""
+        """Advance exactly ``steps`` time-steps using event jumps.
+
+        An arrival drawn past the horizon is kept in ``_pending`` and
+        consumed by the next call, so any split of a horizon into
+        consecutive ``run`` calls yields the bit-identical trajectory.
+        """
         if steps < 0:
             raise ValueError("steps must be non-negative")
         horizon = self.time + steps
@@ -211,15 +231,22 @@ class AggregateSimulation:
             if p_active <= 0.0:
                 self.time = horizon
                 break
-            gap = int(rng.geometric(min(p_active, 1.0)))
-            if self.time + gap > horizon:
+            if self._pending is None:
+                gap = int(rng.geometric(min(p_active, 1.0)))
+                self._pending = self.time + gap
+            if self._pending > horizon:
                 # The next active event falls beyond the horizon; the
-                # remaining steps are no-ops w.p. matching truncation of
-                # the geometric, so we may simply stop at the horizon.
+                # remaining steps are no-ops, and the arrival is kept
+                # for the next run call (memorylessness makes keeping
+                # and redrawing equal in distribution; keeping is also
+                # split-invariant bit-for-bit).
                 self.time = horizon
                 break
-            self.time += gap
+            self.time = self._pending
+            self._pending = None
             self._apply_active_event(adopt, lighten, lighten_terms)
+            self._notify_taps()
+        self._sync_taps()
         return self
 
     def run_until(
@@ -246,11 +273,14 @@ class AggregateSimulation:
             p_active = (adopt + lighten) / denom
             if p_active <= 0.0:
                 return None
-            gap = int(rng.geometric(min(p_active, 1.0)))
-            if self.time + gap > horizon:
+            if self._pending is None:
+                gap = int(rng.geometric(min(p_active, 1.0)))
+                self._pending = self.time + gap
+            if self._pending > horizon:
                 self.time = horizon
                 return None
-            self.time += gap
+            self.time = self._pending
+            self._pending = None
             self._apply_active_event(adopt, lighten, lighten_terms)
             events += 1
             if events % check_interval == 0 and predicate(self):
@@ -288,6 +318,7 @@ class AggregateSimulation:
             self._dark[colour] += count
         else:
             self._light[colour] += count
+        self._pending = None  # rates changed: redraw the next arrival
 
     def add_colour(self, weight: float, count: int, dark: bool = True) -> int:
         """Introduce a brand-new colour with ``count`` supporters.
@@ -311,6 +342,78 @@ class AggregateSimulation:
         self._light[target] += self._light[source]
         self._dark[source] = 0
         self._light[source] = 0
+        self._pending = None  # rates changed: redraw the next arrival
+
+    # ------------------------------------------------------------------
+    # Streaming analysis taps
+
+    def attach_stream(self, accumulator, *, reset: bool = True) -> None:
+        """Feed a streaming accumulator from inside the event loop.
+
+        The accumulator is reset to the current configuration and then
+        updated after every applied event and at each horizon, so it
+        integrates the trajectory exactly while the engine holds no
+        history.  Pass ``reset=False`` to re-attach an accumulator
+        restored via ``load_state`` alongside an engine ``restore()``
+        — continuing the original accumulation bit-identically.
+        """
+        if reset:
+            accumulator.reset(
+                np.asarray([self.time], dtype=np.int64),
+                self.dark_counts()[None, :].astype(np.float64),
+                self.light_counts()[None, :].astype(np.float64),
+            )
+        self._taps.append(accumulator)
+
+    def detach_streams(self) -> None:
+        """Drop all attached streaming accumulators."""
+        self._taps.clear()
+
+    def _notify_taps(self) -> None:
+        if not self._taps:
+            return
+        rows = np.zeros(1, dtype=np.int64)
+        times = np.asarray([self.time], dtype=np.int64)
+        dark = self.dark_counts()[None, :].astype(np.float64)
+        light = self.light_counts()[None, :].astype(np.float64)
+        for tap in self._taps:
+            tap.update(rows, times, dark, light)
+
+    def _sync_taps(self) -> None:
+        if not self._taps:
+            return
+        times = np.asarray([self.time], dtype=np.int64)
+        for tap in self._taps:
+            tap.sync(times)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state."""
+        return ckpt.payload(
+            "AggregateSimulation",
+            weights=self.weights.as_array(),
+            dark=self.dark_counts(),
+            light=self.light_counts(),
+            lighten=np.asarray(self._lighten, dtype=np.float64),
+            time=int(self.time),
+            pending=-1 if self._pending is None else int(self._pending),
+            rng=ckpt.rng_state(self.rng),
+        )
+
+    def restore(self, data: dict) -> "AggregateSimulation":
+        """Restore a :meth:`snapshot` payload in place."""
+        ckpt.check(data, "AggregateSimulation")
+        ckpt.restore_weight_table(self.weights, data["weights"])
+        self._dark = [int(c) for c in np.asarray(data["dark"])]
+        self._light = [int(c) for c in np.asarray(data["light"])]
+        self._lighten = [float(p) for p in np.asarray(data["lighten"])]
+        self.time = ckpt.as_int(data["time"])
+        pending = ckpt.as_int(data["pending"])
+        self._pending = None if pending < 0 else pending
+        ckpt.set_rng_state(self.rng, data["rng"])
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AggregateSimulation(n={self.n}, k={self.k}, t={self.time})"

@@ -66,7 +66,9 @@ from ..core.ablations import UnweightedLightening
 from ..core.diversification import Diversification
 from ..core.protocol import Protocol
 from ..core.state import DARK, LIGHT, AgentState
+from ..core.weights import WeightTable
 from ..topology.base import CompleteGraph
+from . import checkpoint as ckpt
 from .observers import Observer
 from .population import Population
 from .rng import make_rng
@@ -975,6 +977,93 @@ class ArraySimulation:
         shades[target_rows, target_cols] = new_s[changed]
         self.changes += int(np.count_nonzero(changed))
         self._time += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state.
+
+        Captures the state arrays, clocks, the partially consumed draw
+        buffer (initiators, partners and coins), scheduler progress,
+        the RNG bit-generator state, and the protocol's weight table
+        when it has one.  An exhausted buffer is dropped (the next run
+        refills at the same stream position either way); the single-run
+        conflict map is recomputed on restore, since it is a pure
+        function of the buffered draws.
+        """
+        buffered = (
+            hasattr(self, "_buf_init")
+            and self._buf_pos < self._batch_block
+        )
+        weights = getattr(self.protocol, "weights", None)
+        fields = {
+            "colours": self._colours.copy(),
+            "shades": self._shades.copy(),
+            "k": int(self._k),
+            "n": int(self._n),
+            "time": int(self._time),
+            "changes": int(self.changes),
+            "buffered": int(buffered),
+            "buf_pos": int(self._buf_pos),
+            "scheduler": self.scheduler.state_dict(),
+            "rng": ckpt.rng_state(self.rng),
+        }
+        if buffered:
+            fields["buf_init"] = self._buf_init.copy()
+            fields["buf_partners"] = self._buf_partners.copy()
+            fields["buf_coins"] = self._buf_coins.copy()
+        if isinstance(weights, WeightTable):
+            fields["weights"] = weights.as_array()
+        return ckpt.payload("ArraySimulation", **fields)
+
+    def restore(self, data: dict) -> "ArraySimulation":
+        """Restore a :meth:`snapshot` payload in place."""
+        ckpt.check(data, "ArraySimulation")
+        weights = getattr(self.protocol, "weights", None)
+        if isinstance(weights, WeightTable) and "weights" in data:
+            ckpt.restore_weight_table(weights, data["weights"])
+        colours = ckpt.as_array(data["colours"], np.int64)
+        shades = ckpt.as_array(data["shades"], np.int64)
+        if colours.ndim != self._colours.ndim or colours.shape != shades.shape:
+            raise ValueError(
+                f"state shape {colours.shape} does not match the "
+                f"engine's mode (expected {self._colours.ndim}-D)"
+            )
+        if self._batched and colours.shape[0] != self.replications:
+            raise ValueError(
+                f"checkpoint has {colours.shape[0]} replications but "
+                f"the engine has {self.replications}"
+            )
+        if not self._complete and colours.shape[-1] != self._n:
+            raise ValueError(
+                "checkpoint population size does not match the topology"
+            )
+        self._grow_colour_slots(ckpt.as_int(data["k"]))
+        self._colours = colours
+        self._shades = shades
+        self._n = ckpt.as_int(data["n"])
+        self._time = ckpt.as_int(data["time"])
+        self.changes = ckpt.as_int(data["changes"])
+        self._buf_pos = ckpt.as_int(data["buf_pos"])
+        if ckpt.as_int(data["buffered"]):
+            self._buf_init = ckpt.as_array(data["buf_init"], np.int64)
+            self._buf_partners = ckpt.as_array(
+                data["buf_partners"], np.int64
+            )
+            self._buf_coins = ckpt.as_array(data["buf_coins"], np.float64)
+            if not self._batched:
+                self._buf_runmax = _conflict_runmax(
+                    self._buf_init, self._buf_partners
+                )
+        else:
+            self._buf_pos = max(self._buf_pos, self._batch_block)
+        # Live counts are rebuilt lazily by _prepare() when observers
+        # need them.
+        self._live_counts = None
+        self.scheduler.load_state(data["scheduler"])
+        ckpt.set_rng_state(self.rng, data["rng"])
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = f"R={self.replications}, " if self._batched else ""

@@ -32,6 +32,14 @@ Replication clocks decouple mid-``run`` (each jumps at its own pace) and
 re-synchronise at the horizon, so :meth:`run` always leaves all
 replications at the same time-step.
 
+Split invariance.  Every replication owns an independent PCG64
+substream (:class:`~repro.engine.streams.RowStreams`), and an arrival
+drawn past the horizon is carried in a per-row ``_pending`` slot
+instead of being discarded, so ``run(a); run(b)`` is bit-identical to
+``run(a + b)`` for any split — the foundation of the
+``snapshot()``/``restore()`` checkpoint contract.  Interventions change
+the event rates and therefore drop all pending arrivals.
+
 The ``lighten_probabilities`` override mirrors the scalar engine and
 gives the A2 ablation (:class:`~repro.core.ablations.UnweightedLightening`)
 the same fast path.  Adversarial interventions are supported batch-wide
@@ -53,11 +61,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.weights import WeightTable
+from . import checkpoint as ckpt
 from .aggregate import resolve_lighten_probabilities
 from .rng import make_rng
-
-#: Target total uniform draws per per-step buffer refill (steps x 3 x R).
-_STEP_DRAWS = 16384
+from .streams import RowStreams, geometric_from_uniform
 
 
 class BatchedAggregateSimulation:
@@ -72,8 +79,10 @@ class BatchedAggregateSimulation:
         replications: Number of independent replications R.  Required
             when the count vectors are one-dimensional; otherwise it
             must match their leading dimension.
-        rng: Seed or generator driving *all* replications (one shared
-            stream, vectorised draws).
+        rng: Seed or generator.  Each replication draws from its own
+            PCG64 substream seeded off this base generator
+            (:class:`~repro.engine.streams.RowStreams`), which is what
+            makes runs split-invariant and checkpointable.
         lighten_probabilities: Optional per-colour override of the
             ``1/w_i`` lightening coin.
     """
@@ -123,13 +132,15 @@ class BatchedAggregateSimulation:
         )
         self.rng = make_rng(rng)
         self._times = np.zeros(replications, dtype=np.int64)
-        # Per-step mode draws its three (R,) uniform vectors per step
-        # from a block buffer (one rng.random call per chunk instead of
-        # three per step); the buffer holds raw uniforms only, so it
-        # survives interventions (count widening never invalidates it).
-        self._step_block = max(1, _STEP_DRAWS // (3 * replications))
-        self._step_buf: np.ndarray | None = None
-        self._step_pos = 0
+        # Every replication draws from its own substream (seeded off the
+        # base generator), so a row's consumed uniforms depend only on
+        # its own event history — the basis of the split-invariance
+        # contract (``run(a); run(b)`` bit-identical to ``run(a + b)``).
+        self._streams = RowStreams.from_generator(self.rng, replications)
+        # Next active-event arrival per row, carried across run calls
+        # when it overshoots the horizon (-1 = none drawn yet).
+        self._pending = np.full(replications, -1, dtype=np.int64)
+        self._taps: list = []
 
     @staticmethod
     def _as_matrix(
@@ -204,42 +215,28 @@ class BatchedAggregateSimulation:
     # ------------------------------------------------------------------
     # Per-step mode (used by the equivalence tests)
 
-    def _next_step_uniforms(self) -> np.ndarray:
-        """The next ``(3, R)`` uniform block of the per-step stream.
-
-        Uniforms are drawn in ``(chunk, 3, R)`` blocks; ``random`` fills
-        C-order, so the consumed values equal three consecutive
-        ``random(R)`` calls per step — per-step trajectories are
-        bit-identical for any chunking of ``run_per_step``/``step``
-        calls (regression-tested in
-        ``tests/property/test_batched_invariants.py``).  Mixing the
-        per-step and event-driven modes on one engine interleaves the
-        event draws between buffer refills; the modes are equivalent in
-        distribution either way.
-        """
-        if self._step_buf is None or self._step_pos >= self._step_buf.shape[0]:
-            self._step_buf = self.rng.random(
-                (self._step_block, 3, self.replications)
-            )
-            self._step_pos = 0
-        block = self._step_buf[self._step_pos]
-        self._step_pos += 1
-        return block
-
     def step(self) -> np.ndarray:
         """One faithful time-step in every replication.
+
+        Each row consumes three uniforms from its own substream, so
+        per-step trajectories are bit-identical for any chunking of
+        ``run_per_step``/``step`` calls and for any interleaving with
+        event-driven ``run`` segments (regression-tested in
+        ``tests/property/test_batched_invariants.py``).
 
         Returns a boolean ``(R,)`` mask of the replications whose counts
         changed.
         """
+        self._pending[:] = -1  # per-step mode re-examines every step
         self._times += 1
+        rows = np.arange(self._state.shape[0])
         return apply_step_rows(
             self._state,
             self._dark,
             self._light,
             self._lighten,
-            np.arange(self._state.shape[0]),
-            self._next_step_uniforms(),
+            rows,
+            self._streams.take(rows, 3).T,
         )
 
     def run_per_step(self, steps: int) -> "BatchedAggregateSimulation":
@@ -272,16 +269,20 @@ class BatchedAggregateSimulation:
         if steps < 0:
             raise ValueError("steps must be non-negative")
         denom = float(self._n) * (self._n - 1)
+        horizon = self._times + steps
         advance_event_driven(
             self._times,
-            self._times + steps,
+            horizon,
             self._dark,
             self._light,
             self._lighten,
             np.full(self.replications, denom, dtype=np.float64),
-            self.rng,
+            self._streams,
+            self._pending,
             self.weights.k,
+            tap=self._tap_update if self._taps else None,
         )
+        self._sync_taps()
         return self
 
     # ------------------------------------------------------------------
@@ -300,6 +301,7 @@ class BatchedAggregateSimulation:
         else:
             self._light[:, colour] += count
         self._n += count
+        self._pending[:] = -1  # rates changed: redraw the next arrivals
 
     def add_colour(self, weight: float, count: int, dark: bool = True) -> int:
         """Introduce a brand-new colour with ``count`` supporters in
@@ -333,6 +335,92 @@ class BatchedAggregateSimulation:
         self._light[:, target] += self._light[:, source]
         self._dark[:, source] = 0
         self._light[:, source] = 0
+        self._pending[:] = -1  # rates changed: redraw the next arrivals
+
+    # ------------------------------------------------------------------
+    # Streaming analysis taps
+
+    def attach_stream(self, accumulator, *, reset: bool = True) -> None:
+        """Feed a streaming accumulator from inside the event loop.
+
+        The accumulator is reset to the current ``(R, k)`` configuration
+        and then updated after every applied event (per affected rows)
+        and synchronised at each horizon, so it integrates all R
+        trajectories exactly while the engine holds no history.  Pass
+        ``reset=False`` to re-attach an accumulator restored via
+        ``load_state`` alongside an engine ``restore()`` — continuing
+        the original accumulation bit-identically.
+        """
+        if reset:
+            accumulator.reset(
+                self._times.copy(),
+                self._dark.astype(np.float64),
+                self._light.astype(np.float64),
+            )
+        self._taps.append(accumulator)
+
+    def detach_streams(self) -> None:
+        """Drop all attached streaming accumulators."""
+        self._taps.clear()
+
+    def _tap_update(self, rows: np.ndarray) -> None:
+        times = self._times[rows]
+        dark = self._dark[rows].astype(np.float64)
+        light = self._light[rows].astype(np.float64)
+        for tap in self._taps:
+            tap.update(rows, times, dark, light)
+
+    def _sync_taps(self) -> None:
+        if not self._taps:
+            return
+        times = self._times.copy()
+        for tap in self._taps:
+            tap.sync(times)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state."""
+        return ckpt.payload(
+            "BatchedAggregateSimulation",
+            weights=self.weights.as_array(),
+            dark=self.dark_counts(),
+            light=self.light_counts(),
+            lighten=self._lighten.copy(),
+            times=self._times.copy(),
+            pending=self._pending.copy(),
+            n=int(self._n),
+            streams=self._streams.snapshot(),
+            rng=ckpt.rng_state(self.rng),
+        )
+
+    def restore(self, data: dict) -> "BatchedAggregateSimulation":
+        """Restore a :meth:`snapshot` payload in place.
+
+        Handles checkpoints taken after ``add_colour`` interventions:
+        the count matrix is re-widened to the snapshot's colour count.
+        """
+        ckpt.check(data, "BatchedAggregateSimulation")
+        ckpt.restore_weight_table(self.weights, data["weights"])
+        k = self.weights.k
+        dark = ckpt.as_array(data["dark"], np.int64)
+        light = ckpt.as_array(data["light"], np.int64)
+        if dark.shape != (self.replications, k) or dark.shape != light.shape:
+            raise ValueError(
+                f"count shape {dark.shape} does not match "
+                f"({self.replications}, {k})"
+            )
+        self._state = np.concatenate([dark, light], axis=1)
+        self._dark = self._state[:, :k]
+        self._light = self._state[:, k:]
+        self._lighten = ckpt.as_array(data["lighten"], np.float64)
+        self._times = ckpt.as_array(data["times"], np.int64)
+        self._pending = ckpt.as_array(data["pending"], np.int64)
+        self._n = ckpt.as_int(data["n"])
+        self._streams.restore(data["streams"])
+        ckpt.set_rng_state(self.rng, data["rng"])
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -399,12 +487,14 @@ def advance_event_driven(
     light: np.ndarray,
     lighten: np.ndarray,
     denom: np.ndarray,
-    rng: np.random.Generator,
+    streams: RowStreams,
+    pending: np.ndarray,
     k: int,
+    tap=None,
 ) -> None:
     """Shared event-driven core of the batched engines: advance each
     row to its own ``horizon[r]`` with per-row geometric event jumps,
-    mutating ``times``, ``dark`` and ``light`` in place.
+    mutating ``times``, ``dark``, ``light`` and ``pending`` in place.
 
     ``lighten`` is either a ``(k,)`` vector (homogeneous rows — the
     :class:`BatchedAggregateSimulation` case) or a ``(B, k)`` matrix
@@ -413,6 +503,21 @@ def advance_event_driven(
     independently: absorbed rows (no active events left) and rows whose
     next jump overshoots coast to their horizon, the rest keep
     advancing, and the loop ends when every row has arrived.
+
+    Split invariance: every row draws from its *own* substream in
+    ``streams`` — one uniform for each arrival gap, two more only when
+    the arrival is accepted — and an arrival past the horizon is stored
+    in ``pending[r]`` (absolute step; -1 = none) instead of being
+    discarded, to be consumed by the next call.  A row's consumed draw
+    sequence is therefore a pure function of its own event history, so
+    splitting a horizon (including *per-row* splits through the
+    heterogeneous engine's ``run_to``) reproduces the uninterrupted
+    trajectory bit-for-bit.
+
+    ``tap(rows)`` — if given — is called after each batch of applied
+    events with the absolute indices of the rows that just changed
+    (their clocks already advanced), letting engines feed streaming
+    accumulators from inside the loop.
     """
     row_lighten = lighten.ndim == 2
     total_dark = dark.sum(axis=1)
@@ -436,21 +541,35 @@ def advance_event_driven(
         )
         rate = cum[:, 2 * k - 1]
         # Rows with no active events left (single colour, all dark,
-        # w = 1 edge cases) coast to the horizon.
+        # w = 1 edge cases) coast to the horizon.  An absorbed row can
+        # hold no pending arrival: rates only change through events and
+        # interventions, and interventions clear ``pending``.
         alive = rate > 0.0
         if not alive.all():
             dead = act[~alive]
             times[dead] = horizon[dead]
-            act, cum, rate, td = (
-                act[alive], cum[alive], rate[alive], td[alive]
-            )
+            act, cum, rate = act[alive], cum[alive], rate[alive]
+            td = td[alive]
             if act.size == 0:
                 break
-        gaps = rng.geometric(np.minimum(rate / denom[act], 1.0))
-        arrival = times[act] + gaps
-        # A jump past the horizon means the remaining steps are no-ops
-        # (truncated geometric), exactly as in the scalar engine: stop
-        # that row at the horizon, no event.
+        # Rows without a carried-over arrival draw a fresh gap from
+        # their own substream; held rows reuse their stored arrival
+        # without consuming any draws.
+        fresh = pending[act] < 0
+        if fresh.any():
+            rows_f = act[fresh]
+            u_gap = streams.take(rows_f, 1)[:, 0]
+            p = np.minimum(rate[fresh] / denom[rows_f], 1.0)
+            pending[rows_f] = times[rows_f] + geometric_from_uniform(
+                u_gap, p
+            )
+        arrival = pending[act]
+        # A jump past the horizon means the remaining steps are no-ops:
+        # stop that row at the horizon and keep the arrival pending for
+        # the next call (memorylessness makes keeping and redrawing
+        # equal in distribution; keeping is also split-invariant
+        # bit-for-bit).  The event uniforms are only drawn on
+        # consumption, so nothing else is buffered.
         over = arrival > horizon[act]
         if over.any():
             done = act[over]
@@ -462,10 +581,11 @@ def advance_event_driven(
             if act.size == 0:
                 break
         times[act] = arrival
+        pending[act] = -1
         # One active event per remaining row; two uniforms per row
         # (fused type/colour pick, then the dark-partner pick, which
         # lighten events simply discard).
-        u = rng.random((2, act.size))
+        u = streams.take(act, 2).T
         event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1])
         cls = np.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
         adopt = cls < k
@@ -486,6 +606,8 @@ def advance_event_driven(
         terms[act, dark_col] = d * (d - 1.0) * (
             lighten[act, dark_col] if row_lighten else lighten[dark_col]
         )
+        if tap is not None:
+            tap(act)
         finished = arrival >= horizon[act]
         if finished.any():
             act = act[~finished]

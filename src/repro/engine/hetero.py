@@ -34,10 +34,20 @@ whole sweep pays the Python interpreter once instead of once per cell
 (``benchmarks/bench_e17_fused_sweep.py`` measures the resulting
 speedup).
 
-Equivalence with the per-cell engines is distributional (all rows share
-one draw stream) and is verified per cell with Kolmogorov-Smirnov tests
-in ``tests/integration/test_fused_equivalence.py``, mirroring the
+Equivalence with the per-cell engines is distributional and is verified
+per cell with Kolmogorov-Smirnov tests in
+``tests/integration/test_fused_equivalence.py``, mirroring the
 established batched-vs-scalar precedent.
+
+Split invariance.  Every row owns an independent PCG64 substream
+(:class:`~repro.engine.streams.RowStreams`), and an arrival drawn past
+a row's target is carried in a per-row ``_pending`` slot instead of
+being discarded, so splitting any row's horizon — including *per-row*
+splits through :meth:`HeterogeneousAggregateBatch.run_to` — reproduces
+the uninterrupted trajectory bit-for-bit.  This backs the
+``snapshot()``/``restore()`` checkpoint contract; interventions change
+the event rates and therefore drop the pending arrivals of the rows
+they touch.
 """
 
 from __future__ import annotations
@@ -47,8 +57,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.weights import MIN_WEIGHT, WeightTable
+from . import checkpoint as ckpt
 from .batched import advance_event_driven, apply_step_rows
 from .rng import make_rng
+from .streams import RowStreams
 
 
 class HeterogeneousAggregateBatch:
@@ -63,8 +75,10 @@ class HeterogeneousAggregateBatch:
             ``(B, k_max)`` matrix (padding columns must be zero).
         light_counts: Initial ``a_i`` per row, same accepted shapes
             (defaults to all zero — the paper's all-dark start).
-        rng: Seed or generator driving *all* rows (one shared stream,
-            vectorised draws).
+        rng: Seed or generator.  Each row draws from its own PCG64
+            substream seeded off this base generator
+            (:class:`~repro.engine.streams.RowStreams`), which is what
+            makes runs split-invariant and checkpointable.
         lighten_rows: Optional per-row override of the ``1/w_i``
             lightening coins, same accepted shapes as the counts.
     """
@@ -124,6 +138,11 @@ class HeterogeneousAggregateBatch:
         self._denom = (
             self._n.astype(np.float64) * (self._n - 1).astype(np.float64)
         )
+        # Per-row substreams and pending arrivals: see the module
+        # docstring's split-invariance paragraph.
+        self._streams = RowStreams.from_generator(self.rng, rows)
+        self._pending = np.full(rows, -1, dtype=np.int64)
+        self._taps: list = []
 
     def _mass_columns(self) -> np.ndarray:
         """Boolean ``(B, k_max)`` mask of the non-padding columns."""
@@ -260,13 +279,14 @@ class HeterogeneousAggregateBatch:
         changed mask) through the shared per-step transition
         (:func:`~repro.engine.batched.apply_step_rows`), with the
         lighten coin thresholds indexing the per-row table."""
+        self._pending[act] = -1  # per-step mode re-examines every step
         return apply_step_rows(
             self._state,
             self._dark,
             self._light,
             self._lighten,
             act,
-            self.rng.random((3, act.size)),
+            self._streams.take(act, 3).T,
         )
 
     # ------------------------------------------------------------------
@@ -300,9 +320,12 @@ class HeterogeneousAggregateBatch:
             self._light,
             self._lighten,
             self._denom,
-            self.rng,
+            self._streams,
+            self._pending,
             self.k_max,
+            tap=self._tap_update if self._taps else None,
         )
+        self._sync_taps()
         return self
 
     # ------------------------------------------------------------------
@@ -332,6 +355,7 @@ class HeterogeneousAggregateBatch:
         self._denom[sel] = self._n[sel].astype(np.float64) * (
             self._n[sel] - 1
         )
+        self._pending[sel] = -1  # rates changed: redraw those arrivals
 
     def add_colour(
         self, weight: float, count: int, dark: bool = True, rows=None
@@ -363,6 +387,7 @@ class HeterogeneousAggregateBatch:
         self._denom[sel] = self._n[sel].astype(np.float64) * (
             self._n[sel] - 1
         )
+        self._pending[sel] = -1  # rates changed: redraw those arrivals
         return cols
 
     def recolour(self, source: int, target: int, rows=None) -> None:
@@ -381,6 +406,7 @@ class HeterogeneousAggregateBatch:
         self._light[sel, target] += self._light[sel, source]
         self._dark[sel, source] = 0
         self._light[sel, source] = 0
+        self._pending[sel] = -1  # rates changed: redraw those arrivals
 
     def _widen(self) -> None:
         """Grow the padded colour axis by one column (dark and light
@@ -396,6 +422,110 @@ class HeterogeneousAggregateBatch:
         pad = np.zeros((rows, 1), dtype=np.float64)
         self._weights = np.concatenate([self._weights, pad], axis=1)
         self._lighten = np.concatenate([self._lighten, pad.copy()], axis=1)
+
+    # ------------------------------------------------------------------
+    # Streaming analysis taps
+
+    def attach_stream(self, accumulator, *, reset: bool = True) -> None:
+        """Feed a streaming accumulator from inside the event loop.
+
+        The accumulator is reset to the current padded ``(B, k_max)``
+        configuration and then updated after every applied event (per
+        affected rows) and synchronised at each horizon; padding columns
+        carry zero mass, so they contribute nothing to any potential.
+        Pass ``reset=False`` to re-attach an accumulator restored via
+        ``load_state`` alongside an engine ``restore()`` — continuing
+        the original accumulation bit-identically.
+        """
+        if reset:
+            accumulator.reset(
+                self._times.copy(),
+                self._dark.astype(np.float64),
+                self._light.astype(np.float64),
+            )
+        self._taps.append(accumulator)
+
+    def detach_streams(self) -> None:
+        """Drop all attached streaming accumulators."""
+        self._taps.clear()
+
+    def _tap_update(self, rows: np.ndarray) -> None:
+        times = self._times[rows]
+        dark = self._dark[rows].astype(np.float64)
+        light = self._light[rows].astype(np.float64)
+        for tap in self._taps:
+            tap.update(rows, times, dark, light)
+
+    def _sync_taps(self) -> None:
+        if not self._taps:
+            return
+        times = self._times.copy()
+        for tap in self._taps:
+            tap.sync(times)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state."""
+        return ckpt.payload(
+            "HeterogeneousAggregateBatch",
+            weights=self._weights.copy(),
+            ks=self._ks.copy(),
+            dark=self.dark_counts(),
+            light=self.light_counts(),
+            lighten=self._lighten.copy(),
+            times=self._times.copy(),
+            pending=self._pending.copy(),
+            n=self._n.copy(),
+            streams=self._streams.snapshot(),
+            rng=ckpt.rng_state(self.rng),
+        )
+
+    def restore(self, data: dict) -> "HeterogeneousAggregateBatch":
+        """Restore a :meth:`snapshot` payload in place.
+
+        Handles checkpoints taken after ``add_colour`` interventions:
+        the padded matrices are re-widened to the snapshot's ``k_max``.
+        """
+        ckpt.check(data, "HeterogeneousAggregateBatch")
+        weights = ckpt.as_array(data["weights"], np.float64)
+        ks = ckpt.as_array(data["ks"], np.int64)
+        dark = ckpt.as_array(data["dark"], np.int64)
+        light = ckpt.as_array(data["light"], np.int64)
+        lighten = ckpt.as_array(data["lighten"], np.float64)
+        rows = self.rows
+        if ks.shape != (rows,) or weights.shape[0] != rows:
+            raise ValueError(
+                f"checkpoint has {ks.shape[0]} rows but the engine "
+                f"has {rows}"
+            )
+        k_max = weights.shape[1]
+        if k_max < self.k_max:
+            raise ValueError(
+                f"checkpoint k_max {k_max} is narrower than the "
+                f"engine's {self.k_max}"
+            )
+        shapes = {dark.shape, light.shape, lighten.shape}
+        if shapes != {(rows, k_max)}:
+            raise ValueError(
+                f"checkpoint matrices disagree on shape: {shapes}"
+            )
+        self._weights = weights
+        self._ks = ks
+        self._state = np.concatenate([dark, light], axis=1)
+        self._dark = self._state[:, :k_max]
+        self._light = self._state[:, k_max:]
+        self._lighten = lighten
+        self._times = ckpt.as_array(data["times"], np.int64)
+        self._pending = ckpt.as_array(data["pending"], np.int64)
+        self._n = ckpt.as_array(data["n"], np.int64)
+        self._denom = self._n.astype(np.float64) * (
+            self._n - 1
+        ).astype(np.float64)
+        self._streams.restore(data["streams"])
+        ckpt.set_rng_state(self.rng, data["rng"])
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.weights import WeightTable
+from . import checkpoint as ckpt
 from .rng import make_rng
 
 
@@ -67,6 +68,7 @@ class MultiShadeAggregate:
             self._shades.append(row)
         self.rng = make_rng(rng)
         self.time = 0
+        self._pending: int | None = None
         if self.n < 2:
             raise ValueError("need at least two agents")
 
@@ -133,6 +135,7 @@ class MultiShadeAggregate:
 
     def step(self) -> bool:
         """One faithful time-step; True if the configuration changed."""
+        self._pending = None  # per-step mode re-examines every step
         self.time += 1
         decrement_terms, positive, adopt_total, decrement_total = (
             self._rates()
@@ -147,7 +150,13 @@ class MultiShadeAggregate:
         return True
 
     def run(self, steps: int) -> "MultiShadeAggregate":
-        """Advance exactly ``steps`` time-steps using event jumps."""
+        """Advance exactly ``steps`` time-steps using event jumps.
+
+        An arrival drawn past the horizon is kept in ``_pending`` and
+        consumed by the next call, so any split of a horizon into
+        consecutive ``run`` calls yields the bit-identical trajectory
+        (cf. :mod:`repro.engine.aggregate`).
+        """
         if steps < 0:
             raise ValueError("steps must be non-negative")
         horizon = self.time + steps
@@ -161,14 +170,64 @@ class MultiShadeAggregate:
             if p_active <= 0.0:
                 self.time = horizon
                 break
-            gap = int(rng.geometric(min(p_active, 1.0)))
-            if self.time + gap > horizon:
+            if self._pending is None:
+                gap = int(rng.geometric(min(p_active, 1.0)))
+                self._pending = self.time + gap
+            if self._pending > horizon:
                 self.time = horizon
                 break
-            self.time += gap
+            self.time = self._pending
+            self._pending = None
             self._apply_event(
                 decrement_terms, positive, adopt_total, decrement_total
             )
+        return self
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state.
+
+        The ragged shade table is flattened into one int64 array plus
+        per-colour offsets so the payload stays a dict of plain arrays.
+        """
+        flat = [count for row in self._shades for count in row]
+        offsets = np.zeros(self.k + 1, dtype=np.int64)
+        for colour, row in enumerate(self._shades):
+            offsets[colour + 1] = offsets[colour] + len(row)
+        return ckpt.payload(
+            "MultiShadeAggregate",
+            weights=self.weights.as_array(),
+            shades=np.asarray(flat, dtype=np.int64),
+            offsets=offsets,
+            time=int(self.time),
+            pending=-1 if self._pending is None else int(self._pending),
+            rng=ckpt.rng_state(self.rng),
+        )
+
+    def restore(self, data: dict) -> "MultiShadeAggregate":
+        """Restore a :meth:`snapshot` payload in place."""
+        ckpt.check(data, "MultiShadeAggregate")
+        ckpt.restore_weight_table(self.weights, data["weights"])
+        flat = ckpt.as_array(data["shades"], np.int64)
+        offsets = ckpt.as_array(data["offsets"], np.int64)
+        if offsets.shape != (self.weights.k + 1,):
+            raise ValueError("shade offsets do not match the colour count")
+        self._shades = [
+            [int(c) for c in flat[offsets[i]:offsets[i + 1]]]
+            for i in range(self.weights.k)
+        ]
+        for colour, row in enumerate(self._shades):
+            if len(row) != int(self.weights.weight(colour)) + 1:
+                raise ValueError(
+                    f"colour {colour} shade row length {len(row)} does "
+                    f"not match weight {self.weights.weight(colour)}"
+                )
+        self.time = ckpt.as_int(data["time"])
+        pending = ckpt.as_int(data["pending"])
+        self._pending = None if pending < 0 else pending
+        ckpt.set_rng_state(self.rng, data["rng"])
         return self
 
     def _apply_event(

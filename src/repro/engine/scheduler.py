@@ -36,6 +36,23 @@ class Scheduler(abc.ABC):
         mid-cycle.  Stateless schedulers need not override it.
         """
 
+    def state_dict(self) -> dict:
+        """JSON-able scheduling progress for engine checkpoints.
+
+        Stateless schedulers (the uniform default) have nothing to
+        save; stateful ones must capture everything ``draw_block``
+        depends on besides its arguments.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if state:
+            raise ValueError(
+                f"scheduler {self.name!r} is stateless but the "
+                f"checkpoint carries state {state!r}"
+            )
+
 
 class UniformScheduler(Scheduler):
     """The paper's model: each step activates an agent u.a.r."""
@@ -64,6 +81,13 @@ class RoundRobinScheduler(Scheduler):
 
     def reset(self) -> None:
         self._next = self._start
+
+    def state_dict(self) -> dict:
+        return {"start": self._start, "next": self._next}
+
+    def load_state(self, state: dict) -> None:
+        self._start = int(state["start"])
+        self._next = int(state["next"])
 
     def draw_block(
         self, n: int, size: int, rng: np.random.Generator

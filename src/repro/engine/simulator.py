@@ -41,6 +41,8 @@ import numpy as np
 
 from ..core.protocol import Protocol
 from ..core.state import AgentState
+from ..core.weights import WeightTable
+from . import checkpoint as ckpt
 from .observers import Observer
 from .population import Population
 from .rng import make_rng
@@ -201,6 +203,76 @@ class Simulation:
             self._buf_partners = None
         self._buf_pos = 0
         self._buf_n = n
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """``repro-ckpt/v1`` payload of all run-relevant state.
+
+        Captures the agent states, clocks, the partially consumed draw
+        buffer (initiators and — on the complete graph — partner
+        draws), scheduler progress, the RNG bit-generator state, and
+        the protocol's weight table when it has one, so restoring
+        mid-block reproduces the uninterrupted trajectory bit-for-bit.
+        Observer state is deliberately *not* part of the engine payload:
+        observers snapshot themselves (``state_dict``/``load_state``).
+        """
+        population = self.population
+        buffered = self._buf_initiators is not None
+        weights = getattr(self.protocol, "weights", None)
+        fields = {
+            "colours": np.asarray(
+                population.colours_view(), dtype=np.int64
+            ),
+            "shades": np.asarray(population.shades_view(), dtype=np.int64),
+            "k": int(population.k),
+            "time": int(self.time),
+            "changes": int(self.changes),
+            "buffered": int(buffered),
+            "buf_pos": int(self._buf_pos),
+            "buf_n": int(self._buf_n),
+            "scheduler": self.scheduler.state_dict(),
+            "rng": ckpt.rng_state(self.rng),
+        }
+        if buffered:
+            fields["buf_initiators"] = self._buf_initiators.copy()
+            if self._buf_partners is not None:
+                fields["buf_partners"] = self._buf_partners.copy()
+        if isinstance(weights, WeightTable):
+            fields["weights"] = weights.as_array()
+        return ckpt.payload("Simulation", **fields)
+
+    def restore(self, data: dict) -> "Simulation":
+        """Restore a :meth:`snapshot` payload in place."""
+        ckpt.check(data, "Simulation")
+        weights = getattr(self.protocol, "weights", None)
+        if isinstance(weights, WeightTable) and "weights" in data:
+            ckpt.restore_weight_table(weights, data["weights"])
+        self.population.restore_states(
+            ckpt.as_array(data["colours"], np.int64),
+            ckpt.as_array(data["shades"], np.int64),
+            ckpt.as_int(data["k"]),
+        )
+        self.time = ckpt.as_int(data["time"])
+        self.changes = ckpt.as_int(data["changes"])
+        if ckpt.as_int(data["buffered"]):
+            self._buf_initiators = ckpt.as_array(
+                data["buf_initiators"], np.int64
+            )
+            self._buf_partners = (
+                ckpt.as_array(data["buf_partners"], np.int64)
+                if "buf_partners" in data
+                else None
+            )
+        else:
+            self._buf_initiators = None
+            self._buf_partners = None
+        self._buf_pos = ckpt.as_int(data["buf_pos"])
+        self._buf_n = ckpt.as_int(data["buf_n"])
+        self.scheduler.load_state(data["scheduler"])
+        ckpt.set_rng_state(self.rng, data["rng"])
+        return self
 
     def _apply(self, u: int, sampled: list[AgentState]) -> bool:
         self.time += 1

@@ -1,0 +1,197 @@
+"""Per-row uniform draw streams for the batched engines.
+
+The batched event loops (:func:`repro.engine.batched.advance_event_driven`)
+advance many rows through one Python-level loop, but rows retire at
+*different* iterations — when they are absorbed, overshoot their
+horizon, or simply have an earlier target.  With a single shared
+generator the shape of every vectorised draw depends on which rows are
+still active, so the value a row consumes depends on everyone else's
+horizon: splitting ``run(a); run(b)`` would perturb the stream and the
+trajectories.
+
+:class:`RowStreams` removes that coupling: every row owns an
+independent PCG64 substream (seeded from the engine's base generator at
+construction), and draws are served from a ``(B, block)`` pool of
+pre-generated uniforms with per-row cursors.  A row's consumed sequence
+is then a function of *its own* event history only, which is what makes
+the engines' split-invariance contract (``run(a); run(b)`` bit-identical
+to ``run(a + b)``, any per-row split) possible while the hot path stays
+vectorised — refills amortise to one ``Generator.random`` call per row
+per ``block`` draws.
+
+The pool, cursors and per-row bit-generator states round-trip through
+:meth:`RowStreams.snapshot`/:meth:`RowStreams.restore` as plain arrays
+(no pickling), so engine checkpoints capture buffered-but-unconsumed
+uniforms exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Uniforms pooled per row between refills.
+_POOL_BLOCK = 256
+
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+
+
+def geometric_from_uniform(uniforms: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Inverse-transform ``Geometric(p)`` on ``{1, 2, ...}``.
+
+    ``G = 1 + floor(log1p(-U) / log1p(-p))`` maps ``U ~ Uniform[0, 1)``
+    to ``P(G = g) = (1 - p)^(g-1) p`` exactly; ``p >= 1`` short-circuits
+    to 1.  Huge jumps (vanishing ``p`` with ``U`` within an ulp of 1)
+    are clamped to ``2**62`` steps — far past any representable horizon
+    — so the float-to-int cast never overflows.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    uniforms = np.asarray(uniforms, dtype=np.float64)
+    out = np.ones(p.shape, dtype=np.int64)
+    rest = p < 1.0
+    gaps = 1.0 + np.floor(
+        np.log1p(-uniforms[rest]) / np.log1p(-p[rest])
+    )
+    out[rest] = np.minimum(gaps, float(2**62)).astype(np.int64)
+    return out
+
+
+class RowStreams:
+    """B independent per-row uniform streams with pooled draws."""
+
+    def __init__(self, generators, *, block: int = _POOL_BLOCK):
+        self._gens: list[np.random.Generator] = list(generators)
+        if not self._gens:
+            raise ValueError("need at least one row stream")
+        if block < 4:
+            raise ValueError("block must hold at least one event's draws")
+        self._block = int(block)
+        self._pool = np.zeros((len(self._gens), self._block))
+        # Cursors start exhausted; the first take() refills on demand.
+        self._pos = np.full(len(self._gens), self._block, dtype=np.int64)
+
+    @classmethod
+    def from_generator(
+        cls,
+        rng: np.random.Generator,
+        rows: int,
+        *,
+        block: int = _POOL_BLOCK,
+    ) -> "RowStreams":
+        """Derive ``rows`` child streams from a base generator.
+
+        The children are seeded from words *drawn* off ``rng`` (rather
+        than ``SeedSequence.spawn``), so the derivation depends only on
+        the generator's current state and therefore survives an RNG
+        state checkpoint/restore of the base generator.
+        """
+        if rows < 1:
+            raise ValueError("need at least one row")
+        words = rng.integers(
+            0, np.iinfo(_U64).max, size=(rows, 4), dtype=_U64,
+            endpoint=True,
+        )
+        gens = [
+            np.random.Generator(
+                np.random.PCG64(
+                    np.random.SeedSequence([int(w) for w in row])
+                )
+            )
+            for row in words
+        ]
+        return cls(gens, block=block)
+
+    @property
+    def rows(self) -> int:
+        """Number of independent row streams."""
+        return len(self._gens)
+
+    def take(self, rows: np.ndarray, m: int) -> np.ndarray:
+        """The next ``m`` uniforms of each selected row, ``(len(rows), m)``.
+
+        Rows whose pool cannot serve ``m`` more draws refill first (the
+        partial tail is discarded — deterministically, since the refill
+        point is a pure function of the row's own take sequence).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        exhausted = self._pos[rows] + m > self._block
+        if exhausted.any():
+            for row in rows[exhausted]:
+                row = int(row)
+                self._pool[row] = self._gens[row].random(self._block)
+                self._pos[row] = 0
+        base = self._pos[rows]
+        out = self._pool[rows[:, None], base[:, None] + np.arange(m)]
+        self._pos[rows] = base + m
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def snapshot(self) -> dict:
+        """Pool, cursors and per-row PCG64 states as plain arrays."""
+        rows = self.rows
+        state = np.zeros((rows, 2), dtype=_U64)
+        inc = np.zeros((rows, 2), dtype=_U64)
+        has_uint32 = np.zeros(rows, dtype=np.int64)
+        uinteger = np.zeros(rows, dtype=_U64)
+        for row, gen in enumerate(self._gens):
+            raw = gen.bit_generator.state
+            state[row, 0] = (raw["state"]["state"] >> 64) & _MASK64
+            state[row, 1] = raw["state"]["state"] & _MASK64
+            inc[row, 0] = (raw["state"]["inc"] >> 64) & _MASK64
+            inc[row, 1] = raw["state"]["inc"] & _MASK64
+            has_uint32[row] = int(raw["has_uint32"])
+            uinteger[row] = int(raw["uinteger"])
+        return {
+            "block": self._block,
+            "pool": self._pool.copy(),
+            "pos": self._pos.copy(),
+            "state": state,
+            "inc": inc,
+            "has_uint32": has_uint32,
+            "uinteger": uinteger,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore pool, cursors and per-row states in place."""
+        if int(data["block"]) != self._block:
+            raise ValueError(
+                f"stream pool block {data['block']} does not match the "
+                f"engine's block {self._block}"
+            )
+        pool = np.asarray(data["pool"], dtype=np.float64)
+        pos = np.asarray(data["pos"], dtype=np.int64)
+        state = np.asarray(data["state"], dtype=_U64)
+        inc = np.asarray(data["inc"], dtype=_U64)
+        has_uint32 = np.asarray(data["has_uint32"], dtype=np.int64)
+        uinteger = np.asarray(data["uinteger"], dtype=_U64)
+        if pool.shape != (self.rows, self._block):
+            raise ValueError(
+                f"stream pool shape {pool.shape} does not match "
+                f"({self.rows}, {self._block})"
+            )
+        self._pool[...] = pool
+        self._pos[...] = pos
+        for row, gen in enumerate(self._gens):
+            gen.bit_generator.state = {
+                "bit_generator": "PCG64",
+                "state": {
+                    "state": (int(state[row, 0]) << 64)
+                    | int(state[row, 1]),
+                    "inc": (int(inc[row, 0]) << 64) | int(inc[row, 1]),
+                },
+                "has_uint32": int(has_uint32[row]),
+                "uinteger": int(uinteger[row]),
+            }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "RowStreams":
+        """Rebuild a standalone stream set from :meth:`snapshot` data."""
+        rows = np.asarray(data["pos"]).shape[0]
+        gens = [
+            np.random.Generator(np.random.PCG64(0)) for _ in range(rows)
+        ]
+        streams = cls(gens, block=int(data["block"]))
+        streams.restore(data)
+        return streams

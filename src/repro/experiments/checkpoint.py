@@ -1,0 +1,169 @@
+"""Shard-level checkpoint/resume for the declarative pipeline.
+
+:func:`execute_checkpointed` runs a :class:`ScenarioSpec` like
+:func:`~repro.experiments.pipeline.execute`, but records every finished
+shard's measurement in a ``repro-plan-ckpt/v1`` JSON file as it goes.
+A later invocation pointed at the same file skips the recorded shards
+and runs only the remainder — *bit-identically*, because shard seeds
+depend only on ``(spec, shard index)``, never on which shards ran in
+which process or session (see :func:`~repro.experiments.pipeline.plan`).
+
+The checkpoint carries a fingerprint of the spec (grid, fixed params,
+seeding rule); resuming with a modified spec is rejected rather than
+silently mixing incompatible shards.  Fused mega-batch execution
+(``fused=True`` / ``repro run --fused``) advances whole shard groups
+inside one engine call, so there is no per-shard boundary to checkpoint
+at — the two modes are mutually exclusive by construction and the CLI
+rejects the flag combination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+from .export import spec_to_payload
+from .pipeline import (
+    ExperimentPlan,
+    PlanResult,
+    ScenarioSpec,
+    ShardError,
+    ShardResult,
+    make_executor,
+    plan,
+)
+
+PLAN_CKPT_FORMAT = "repro-plan-ckpt/v1"
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """Stable hash of the spec's serialised form (grid, fixed params,
+    replications, seeding rule) — the resume-compatibility key."""
+    doc = json.dumps(spec_to_payload(spec), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def load_plan_checkpoint(path: str | pathlib.Path) -> dict:
+    """Reload and validate a ``repro-plan-ckpt/v1`` file."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("format") != PLAN_CKPT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {PLAN_CKPT_FORMAT} checkpoint "
+            f"(format={doc.get('format')!r})"
+        )
+    return doc
+
+
+def _flush(path: pathlib.Path, doc: dict) -> None:
+    """Atomically rewrite the checkpoint (write-temp + rename), so a
+    crash mid-flush never leaves a truncated file behind."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def execute_checkpointed(
+    spec_or_plan: ScenarioSpec | ExperimentPlan,
+    *,
+    checkpoint: str | pathlib.Path,
+    jobs: int | None = None,
+    executor=None,
+    every: int = 1,
+    resume: bool = True,
+) -> PlanResult:
+    """Run a spec with per-shard checkpointing to ``checkpoint``.
+
+    Completed shards are flushed to the JSON file every ``every``
+    finished shards (each flush boundary is one executor call, so with
+    a process pool prefer ``every >= jobs``).  With ``resume=True``
+    (the default) an existing compatible checkpoint's shards are
+    skipped; ``resume=False`` starts over and overwrites the file.  On
+    a shard failure the completed work is flushed *before* the
+    :class:`~repro.experiments.pipeline.ShardError` propagates, so the
+    failed invocation's progress is never lost.
+
+    Returns the same :class:`~repro.experiments.pipeline.PlanResult`
+    as an uninterrupted :func:`~repro.experiments.pipeline.execute`
+    run — values bit-identical regardless of how many sessions the
+    shards were spread over.  ``elapsed_seconds`` covers only this
+    invocation; per-shard ``seconds`` of resumed shards come from the
+    checkpoint.
+    """
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    if isinstance(spec_or_plan, ScenarioSpec):
+        expanded = plan(spec_or_plan)
+    else:
+        expanded = spec_or_plan
+    spec = expanded.spec
+    if executor is None:
+        executor = make_executor(jobs)
+    path = pathlib.Path(checkpoint)
+    fingerprint = spec_fingerprint(spec)
+    completed: dict[int, dict] = {}
+    if resume and path.exists():
+        doc = load_plan_checkpoint(path)
+        if doc.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"{path}: checkpoint was taken from a different "
+                f"{doc.get('experiment')!r} spec; refusing to resume "
+                "(pass resume=False to start over)"
+            )
+        if int(doc.get("total_shards", -1)) != len(expanded.shards):
+            raise ValueError(
+                f"{path}: checkpoint covers "
+                f"{doc.get('total_shards')} shards but the plan has "
+                f"{len(expanded.shards)}"
+            )
+        completed = {
+            int(index): entry for index, entry in doc["completed"].items()
+        }
+    doc = {
+        "format": PLAN_CKPT_FORMAT,
+        "experiment": spec.name,
+        "fingerprint": fingerprint,
+        "total_shards": len(expanded.shards),
+        "completed": {
+            str(index): entry for index, entry in sorted(completed.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _flush(path, doc)
+    remaining = [
+        shard for shard in expanded.shards if shard.index not in completed
+    ]
+    start = time.perf_counter()
+    failure: ShardError | None = None
+    for chunk_start in range(0, len(remaining), every):
+        chunk = remaining[chunk_start : chunk_start + every]
+        tasks = [(shard.params, shard.seed) for shard in chunk]
+        outcomes = executor.run_shards(spec.measure, tasks)
+        for shard, (value, error, seconds) in zip(chunk, outcomes):
+            if error is not None:
+                failure = ShardError(spec.name, shard, error)
+                break
+            entry = {"value": value, "seconds": seconds}
+            completed[shard.index] = entry
+            doc["completed"][str(shard.index)] = entry
+        _flush(path, doc)
+        if failure is not None:
+            raise failure
+    elapsed = time.perf_counter() - start
+    results = [
+        ShardResult(
+            shard=shard,
+            value=completed[shard.index]["value"],
+            seconds=float(completed[shard.index]["seconds"]),
+        )
+        for shard in expanded.shards
+    ]
+    return PlanResult(
+        spec=spec,
+        cells=expanded.cells,
+        results=results,
+        jobs=executor.jobs,
+        elapsed_seconds=elapsed,
+    )

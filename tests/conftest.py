@@ -8,6 +8,22 @@ import pytest
 from repro.core.weights import WeightTable
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden tables under tests/golden/ from the "
+             "current code instead of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should refresh tests/golden/ in place."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator; tests must not depend on call order

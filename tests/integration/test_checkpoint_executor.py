@@ -1,0 +1,210 @@
+"""Shard-level checkpoint/resume through the pipeline executor.
+
+The contract under test: ``execute_checkpointed`` spread over any
+number of interrupted invocations returns the same values as one
+uninterrupted ``execute`` — including across a mid-plan failure and
+across serial/process executors — and refuses to resume a checkpoint
+taken from a different spec.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    PLAN_CKPT_FORMAT,
+    execute_checkpointed,
+    load_plan_checkpoint,
+    spec_fingerprint,
+)
+from repro.experiments.pipeline import ScenarioSpec, ShardError, execute
+
+
+#: In-process call log / failure switch — works with the serial
+#: executor, which runs measures in this process.
+CALLS: list = []
+ARMED = {"boom": False}
+
+
+def measure_square(params, rng):
+    """Deterministic in (params, seed): the bit-identity probe."""
+    CALLS.append(params["n"])
+    return {
+        "n": params["n"],
+        "value": params["n"] * params["gain"],
+        "draw": float(rng.random()),
+    }
+
+
+def exploding_measure(params, rng):
+    """Fails on n=16 while ARMED — the mid-plan crash probe."""
+    value = measure_square(params, rng)
+    if ARMED["boom"] and params["n"] == 16:
+        raise RuntimeError("boom at n=16")
+    return value
+
+
+def make_spec(measure=measure_square, **overrides):
+    fields = {
+        "name": "ckpt-it",
+        "measure": measure,
+        "grid": {"n": [8, 16, 32]},
+        "fixed": {"gain": 3},
+        "replications": 2,
+        "base_seed": 77,
+        "seed_scope": "stream",
+    }
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestBitIdentity:
+    def test_serial_matches_execute(self, tmp_path):
+        spec = make_spec()
+        plain = execute(spec)
+        checkpointed = execute_checkpointed(
+            spec, checkpoint=tmp_path / "run.ckpt.json"
+        )
+        assert checkpointed.values() == plain.values()
+
+    def test_chunked_flushes_match(self, tmp_path):
+        spec = make_spec()
+        plain = execute(spec)
+        result = execute_checkpointed(
+            spec, checkpoint=tmp_path / "run.ckpt.json", every=2
+        )
+        assert result.values() == plain.values()
+        doc = load_plan_checkpoint(tmp_path / "run.ckpt.json")
+        assert doc["format"] == PLAN_CKPT_FORMAT
+        assert len(doc["completed"]) == 6
+
+    def test_process_pool_matches_serial(self, tmp_path):
+        spec = make_spec()
+        serial = execute_checkpointed(
+            spec, checkpoint=tmp_path / "serial.ckpt.json"
+        )
+        pooled = execute_checkpointed(
+            spec, checkpoint=tmp_path / "pooled.ckpt.json", jobs=2, every=4
+        )
+        assert pooled.values() == serial.values()
+
+    def test_zero_work_resume(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "run.ckpt.json"
+        first = execute_checkpointed(spec, checkpoint=path)
+        CALLS.clear()
+        resumed = execute_checkpointed(spec, checkpoint=path)
+        assert not CALLS  # everything came from the checkpoint
+        assert resumed.values() == first.values()
+
+
+class TestFailureRecovery:
+    def test_failure_flushes_then_resume_completes(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        ARMED["boom"] = True
+        spec = make_spec(measure=exploding_measure)
+        try:
+            with pytest.raises(ShardError):
+                execute_checkpointed(spec, checkpoint=path)
+        finally:
+            ARMED["boom"] = False
+        doc = load_plan_checkpoint(path)
+        done_before = len(doc["completed"])
+        assert 0 < done_before < 6  # progress survived the crash
+
+        result = execute_checkpointed(spec, checkpoint=path)
+        reference = execute(make_spec())
+        assert result.values() == reference.values()
+
+    def test_resumed_shards_keep_recorded_seconds(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        spec = make_spec()
+        execute_checkpointed(spec, checkpoint=path)
+        doc = load_plan_checkpoint(path)
+        recorded = {
+            int(i): entry["seconds"] for i, entry in doc["completed"].items()
+        }
+        resumed = execute_checkpointed(spec, checkpoint=path)
+        for shard_result in resumed.results:
+            assert shard_result.seconds == recorded[shard_result.shard.index]
+
+
+class TestCompatibility:
+    def test_different_spec_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        execute_checkpointed(make_spec(), checkpoint=path)
+        changed = make_spec(fixed={"gain": 4})
+        assert spec_fingerprint(changed) != spec_fingerprint(make_spec())
+        with pytest.raises(ValueError, match="refusing to resume"):
+            execute_checkpointed(changed, checkpoint=path)
+
+    def test_resume_false_overwrites(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        execute_checkpointed(make_spec(), checkpoint=path)
+        changed = make_spec(fixed={"gain": 4})
+        result = execute_checkpointed(changed, checkpoint=path, resume=False)
+        assert result.values() == execute(changed).values()
+        doc = load_plan_checkpoint(path)
+        assert doc["fingerprint"] == spec_fingerprint(changed)
+
+    def test_corrupt_format_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        path.write_text(json.dumps({"format": "nope", "completed": {}}))
+        with pytest.raises(ValueError, match=PLAN_CKPT_FORMAT):
+            execute_checkpointed(make_spec(), checkpoint=path)
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            execute_checkpointed(
+                make_spec(), checkpoint=tmp_path / "x.json", every=0
+            )
+
+
+class TestCliFlags:
+    def test_parser_accepts_checkpoint_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "run", "e2", "--quick",
+                "--checkpoint-every", "2",
+                "--checkpoint-dir", "ckpts",
+            ]
+        )
+        assert args.checkpoint_every == 2
+        assert args.checkpoint_dir == "ckpts"
+        assert not args.resume
+        args = build_parser().parse_args(["run", "e2", "--resume"])
+        assert args.resume
+
+    def test_fused_and_checkpoint_are_mutually_exclusive(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run", "e2", "--quick", "--fused",
+                "--checkpoint-every", "1",
+                "--checkpoint-dir", str(tmp_path),
+            ]
+        )
+        assert code == 2
+
+    def test_run_then_resume_produces_identical_table(self, tmp_path):
+        from repro.cli import main
+
+        base = [
+            "run", "e2", "--quick",
+            "--checkpoint-dir", str(tmp_path / "ckpts"),
+        ]
+        code = main(
+            base + ["--checkpoint-every", "2", "--out", str(tmp_path / "a")]
+        )
+        assert code == 0
+        code = main(base + ["--resume", "--out", str(tmp_path / "b")])
+        assert code == 0
+        doc_a = json.loads((tmp_path / "a" / "e2-quick.json").read_text())
+        doc_b = json.loads((tmp_path / "b" / "e2-quick.json").read_text())
+        assert doc_a["table"] == doc_b["table"]
+        values_a = [shard["value"] for shard in doc_a["shards"]]
+        values_b = [shard["value"] for shard in doc_b["shards"]]
+        assert values_a == values_b

@@ -1,0 +1,71 @@
+"""Golden-table regression corpus.
+
+Every registered experiment's quick-profile table is rendered and
+compared *byte for byte* against the committed reference under
+``tests/golden/``.  Shard seeds depend only on the spec, so any diff
+is a real behaviour change — an engine tweak that moves a draw, a
+changed default, a formatting change — and must be either fixed or
+consciously re-baselined with::
+
+    pytest tests/integration/test_golden_tables.py --update-goldens
+
+Wall-clock-dependent lines (throughput notes) are normalised away;
+everything else is exact.
+"""
+
+import io
+import contextlib
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+#: Lines whose content depends on wall-clock timing, not on the
+#: simulated dynamics (e12's throughput footnote).
+TIMING_LINE = re.compile(r"steps/s|seconds|elapsed")
+
+
+def normalise(text: str) -> str:
+    kept = [
+        line for line in text.splitlines() if not TIMING_LINE.search(line)
+    ]
+    return "\n".join(kept).rstrip() + "\n"
+
+
+def render_quick(name: str) -> str:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(["run", name, "--quick"])
+    assert code == 0, f"repro run {name} --quick exited {code}"
+    return normalise(buffer.getvalue())
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_quick_table_matches_golden(name, update_goldens):
+    golden = GOLDEN_DIR / f"{name}-quick.txt"
+    rendered = render_quick(name)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden.write_text(rendered)
+        return
+    assert golden.exists(), (
+        f"missing golden table {golden}; generate it with "
+        "pytest tests/integration/test_golden_tables.py --update-goldens"
+    )
+    assert rendered == golden.read_text(), (
+        f"{name} quick table changed; if intended, re-baseline with "
+        "pytest tests/integration/test_golden_tables.py --update-goldens"
+    )
+
+
+def test_no_orphan_goldens():
+    """Every committed golden corresponds to a registered experiment —
+    renames must clean up after themselves."""
+    known = {f"{name}-quick.txt" for name in ALL_EXPERIMENTS}
+    on_disk = {path.name for path in GOLDEN_DIR.glob("*.txt")}
+    assert on_disk <= known, f"orphan goldens: {sorted(on_disk - known)}"

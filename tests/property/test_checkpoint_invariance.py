@@ -1,0 +1,352 @@
+"""Split-invariance property suites for engine checkpointing.
+
+The contract (``repro-ckpt/v1``): for EVERY engine and ANY split point
+
+    ``run(a); snapshot(); ...; restore(); run(b)``
+
+is bit-identical to the uninterrupted ``run(a + b)`` — counts, clocks,
+change totals, and every subsequent RNG draw.  The suites drive each
+engine to a hypothesis-chosen split (including split 0, the full
+horizon, mid-buffer splits for the block-buffered agent engines,
+mid-record-interval and mid-schedule splits through the segmented
+runner, and per-row splits for the fused heterogeneous engine) and
+compare against an uninterrupted twin seeded identically.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.interventions import AddAgents, AddColour
+from repro.adversary.schedule import InterventionSchedule, run_with_interventions
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine import (
+    AggregateSimulation,
+    ArraySimulation,
+    BatchedAggregateSimulation,
+    HeterogeneousAggregateBatch,
+    MultiShadeAggregate,
+    Population,
+    RoundRobinScheduler,
+    Simulation,
+)
+from repro.experiments.recorder import CountRecorder
+
+WEIGHTS = [1.0, 2.0, 3.0]
+DARK = [30, 20, 10]
+
+
+def agg_fingerprint(engine):
+    """Counts + clock + a fresh RNG draw (drawn once, at the end)."""
+    return (
+        engine.dark_counts().tolist(),
+        engine.light_counts().tolist(),
+        int(engine.time),
+        float(engine.rng.random()),
+    )
+
+
+class TestAggregateSplitInvariance:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        split=st.integers(0, 600),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_split_matches_uninterrupted(self, seed, split):
+        total = 600
+        weights = WeightTable(WEIGHTS)
+        whole = AggregateSimulation(weights, dark_counts=DARK, rng=seed)
+        whole.run(total)
+        resumed = AggregateSimulation(weights, dark_counts=DARK, rng=seed)
+        resumed.run(split)
+        payload = resumed.snapshot()
+        fresh = WeightTable(WEIGHTS)
+        other = AggregateSimulation(fresh, dark_counts=DARK, rng=0)
+        other.restore(payload)
+        other.run(total - split)
+        assert agg_fingerprint(other) == agg_fingerprint(whole)
+
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 400))
+    @settings(max_examples=10, deadline=None)
+    def test_snapshot_is_read_only(self, seed, split):
+        """Taking a snapshot must not perturb the trajectory."""
+        total = 400
+        weights = WeightTable(WEIGHTS)
+        plain = AggregateSimulation(weights, dark_counts=DARK, rng=seed)
+        plain.run(total)
+        observed = AggregateSimulation(weights, dark_counts=DARK, rng=seed)
+        observed.run(split)
+        observed.snapshot()
+        observed.run(total - split)
+        assert agg_fingerprint(observed) == agg_fingerprint(plain)
+
+
+class TestMultiShadeSplitInvariance:
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_any_split_matches_uninterrupted(self, seed, split):
+        total = 500
+        weights = WeightTable(WEIGHTS)
+        counts = [12, 10, 8]
+        whole = MultiShadeAggregate(weights, colour_counts=counts, rng=seed)
+        whole.run(total)
+        resumed = MultiShadeAggregate(
+            weights, colour_counts=counts, rng=seed
+        )
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = MultiShadeAggregate(
+            WeightTable(WEIGHTS), colour_counts=counts, rng=0
+        )
+        other.restore(payload)
+        other.run(total - split)
+        for colour in range(weights.k):
+            assert whole.shade_counts(colour) == other.shade_counts(colour)
+        assert agg_fingerprint(other) == agg_fingerprint(whole)
+
+
+class TestBatchedSplitInvariance:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        split=st.integers(0, 500),
+        replications=st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_split_matches_uninterrupted(
+        self, seed, split, replications
+    ):
+        total = 500
+        weights = WeightTable(WEIGHTS)
+        whole = BatchedAggregateSimulation(
+            weights, DARK, replications=replications, rng=seed
+        )
+        whole.run(total)
+        resumed = BatchedAggregateSimulation(
+            weights, DARK, replications=replications, rng=seed
+        )
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = BatchedAggregateSimulation(
+            WeightTable(WEIGHTS), DARK, replications=replications, rng=0
+        )
+        other.restore(payload)
+        other.run(total - split)
+        assert np.array_equal(whole.dark_counts(), other.dark_counts())
+        assert np.array_equal(whole.light_counts(), other.light_counts())
+        assert np.array_equal(whole._times, other._times)
+        # Per-row stream draws continue identically after restore.
+        rows = np.arange(replications)
+        assert np.array_equal(
+            whole._streams.take(rows, 2), other._streams.take(rows, 2)
+        )
+        assert whole.rng.random() == other.rng.random()
+
+
+class TestHeteroSplitInvariance:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        split_a=st.integers(0, 300),
+        split_b=st.integers(0, 400),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_per_row_splits_match_uninterrupted(
+        self, seed, split_a, split_b
+    ):
+        """Fused rows may checkpoint at *different* per-row clocks."""
+        tables = [WeightTable([1.0, 2.0]), WeightTable(WEIGHTS)]
+        darks = [[20, 10], [15, 10, 5]]
+        horizons = np.asarray([300, 400])
+        whole = HeterogeneousAggregateBatch(tables, darks, rng=seed)
+        whole.run_to(horizons)
+        resumed = HeterogeneousAggregateBatch(
+            [WeightTable([1.0, 2.0]), WeightTable(WEIGHTS)], darks,
+            rng=seed,
+        )
+        resumed.run_to(np.asarray([split_a, split_b]))
+        payload = resumed.snapshot()
+        other = HeterogeneousAggregateBatch(
+            [WeightTable([1.0, 2.0]), WeightTable(WEIGHTS)], darks, rng=0
+        )
+        other.restore(payload)
+        other.run_to(horizons)
+        assert np.array_equal(whole.dark_counts(), other.dark_counts())
+        assert np.array_equal(whole.light_counts(), other.light_counts())
+        assert np.array_equal(whole._times, other._times)
+        assert whole.rng.random() == other.rng.random()
+
+
+def build_simulation(seed, scheduler=None):
+    weights = WeightTable(WEIGHTS)
+    protocol = Diversification(weights)
+    colours = [i % weights.k for i in range(12)]
+    population = Population.from_colours(colours, protocol, k=weights.k)
+    kwargs = {} if scheduler is None else {"scheduler": scheduler}
+    return Simulation(protocol, population, rng=seed, **kwargs)
+
+
+def sim_fingerprint(simulation):
+    return (
+        list(simulation.population.colours_view()),
+        list(simulation.population.shades_view()),
+        int(simulation.time),
+        int(simulation.changes),
+        float(simulation.rng.random()),
+    )
+
+
+class TestSimulationSplitInvariance:
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_any_split_matches_uninterrupted(self, seed, split):
+        """Splits land mid-buffer: the engine pre-draws scheduling in
+        blocks, so the snapshot must carry the unconsumed draws."""
+        total = 500
+        whole = build_simulation(seed)
+        whole.run(total)
+        resumed = build_simulation(seed)
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = build_simulation(0)
+        other.restore(payload)
+        other.run(total - split)
+        assert sim_fingerprint(other) == sim_fingerprint(whole)
+
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_round_robin_scheduler_state_restored(self, seed, split):
+        total = 300
+        whole = build_simulation(seed, scheduler=RoundRobinScheduler())
+        whole.run(total)
+        resumed = build_simulation(seed, scheduler=RoundRobinScheduler())
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = build_simulation(0, scheduler=RoundRobinScheduler())
+        other.restore(payload)
+        other.run(total - split)
+        assert sim_fingerprint(other) == sim_fingerprint(whole)
+
+
+class TestArraySplitInvariance:
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 700))
+    @settings(max_examples=15, deadline=None)
+    def test_single_any_split_matches_uninterrupted(self, seed, split):
+        total = 700
+        weights = WeightTable(WEIGHTS)
+        colours = np.asarray([i % weights.k for i in range(16)])
+
+        def build(s):
+            return ArraySimulation(
+                Diversification(WeightTable(WEIGHTS)),
+                colours,
+                k=weights.k,
+                rng=s,
+            )
+
+        whole = build(seed)
+        whole.run(total)
+        resumed = build(seed)
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = build(0)
+        other.restore(payload)
+        other.run(total - split)
+        assert np.array_equal(whole._colours, other._colours)
+        assert np.array_equal(whole._shades, other._shades)
+        assert int(whole.time) == int(other.time)
+        assert int(whole.changes) == int(other.changes)
+        assert whole.rng.random() == other.rng.random()
+
+    @given(seed=st.integers(0, 2**31 - 1), split=st.integers(0, 400))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_any_split_matches_uninterrupted(self, seed, split):
+        total = 400
+        weights = WeightTable(WEIGHTS)
+        colours = np.asarray([i % weights.k for i in range(10)])
+
+        def build(s):
+            return ArraySimulation(
+                Diversification(WeightTable(WEIGHTS)),
+                colours,
+                k=weights.k,
+                replications=3,
+                rng=s,
+            )
+
+        whole = build(seed)
+        whole.run(total)
+        resumed = build(seed)
+        resumed.run(split)
+        payload = resumed.snapshot()
+        other = build(0)
+        other.restore(payload)
+        other.run(total - split)
+        assert np.array_equal(whole._colours, other._colours)
+        assert np.array_equal(whole._shades, other._shades)
+        assert whole.rng.random() == other.rng.random()
+
+
+class TestScheduledSplitInvariance:
+    """Checkpointing through the segmented runner: splits land
+    mid-schedule (between interventions) and mid-record-interval."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        split=st.integers(0, 900),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mid_schedule_and_mid_interval_resume(self, seed, split):
+        total = 900
+        interval = 70  # does not divide the horizon or the split
+
+        def schedule():
+            return InterventionSchedule(
+                [
+                    (250, AddAgents(0, 5, dark=True)),
+                    (600, AddColour(2.0, 3, dark=True)),
+                ]
+            )
+
+        weights = WeightTable(WEIGHTS)
+        whole = AggregateSimulation(weights, dark_counts=DARK, rng=seed)
+        whole_rec = CountRecorder(interval)
+        run_with_interventions(
+            whole, total, schedule(), recorder=whole_rec
+        )
+
+        first = AggregateSimulation(
+            WeightTable(WEIGHTS), dark_counts=DARK, rng=seed
+        )
+        first_rec = CountRecorder(interval)
+        run_with_interventions(
+            first, split, schedule(), recorder=first_rec,
+            final_snapshot=False,
+        )
+        payload = first.snapshot()
+        rec_state = first_rec.state_dict()
+
+        second = AggregateSimulation(
+            WeightTable(WEIGHTS), dark_counts=DARK, rng=0
+        )
+        second.restore(payload)
+        second_rec = CountRecorder(interval)
+        second_rec.load_state(rec_state)
+        run_with_interventions(
+            second,
+            total - split,
+            schedule(),
+            recorder=second_rec,
+            resume=True,
+        )
+
+        assert agg_fingerprint(second) == agg_fingerprint(whole)
+        assert np.array_equal(whole_rec.times(), second_rec.times())
+        assert np.array_equal(
+            whole_rec.colour_counts(), second_rec.colour_counts()
+        )
+        assert np.array_equal(
+            whole_rec.dark_counts(), second_rec.dark_counts()
+        )
+        assert np.array_equal(
+            whole_rec.light_counts(), second_rec.light_counts()
+        )

@@ -1,0 +1,123 @@
+"""The benchmark trajectory appender/comparator in benchmarks/collect.py."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+COLLECT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "collect.py"
+)
+
+
+@pytest.fixture(scope="module")
+def collect_module():
+    spec = importlib.util.spec_from_file_location("bench_collect", COLLECT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_collect"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("bench_collect", None)
+
+
+def summary_with(speedups):
+    return {
+        "format": "repro-bench-summary/v1",
+        "benchmarks": {},
+        "errors": {},
+        "speedups": {
+            name: {"speedup": value} for name, value in speedups.items()
+        },
+    }
+
+
+class TestTrajectory:
+    def test_append_creates_and_grows(self, collect_module, tmp_path):
+        path = tmp_path / "traj.json"
+        collect_module.append_trajectory(
+            summary_with({"a": 2.0}), path, "first"
+        )
+        doc = collect_module.append_trajectory(
+            summary_with({"a": 2.1}), path, "second"
+        )
+        assert doc["format"] == collect_module.TRAJECTORY_FORMAT
+        assert [entry["label"] for entry in doc["entries"]] == [
+            "first", "second",
+        ]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+
+    def test_wrong_format_rejected(self, collect_module, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            collect_module.load_trajectory(path)
+
+    def test_committed_seed_file_is_valid(self, collect_module):
+        doc = collect_module.load_trajectory(
+            COLLECT_PATH.parent / "BENCH_TRAJECTORY.json"
+        )
+        assert isinstance(doc["entries"], list)
+
+
+class TestCompare:
+    def test_empty_trajectory_never_regresses(self, collect_module):
+        trajectory = {"format": collect_module.TRAJECTORY_FORMAT, "entries": []}
+        assert (
+            collect_module.compare_with_last(
+                summary_with({"a": 1.0}), trajectory
+            )
+            == []
+        )
+
+    def test_flags_only_drops_beyond_threshold(self, collect_module, tmp_path):
+        path = tmp_path / "traj.json"
+        collect_module.append_trajectory(
+            summary_with({"fast": 4.0, "steady": 2.0, "gone": 1.5}),
+            path,
+            "base",
+        )
+        trajectory = collect_module.load_trajectory(path)
+        current = summary_with({"fast": 3.0, "steady": 1.7, "new": 9.0})
+        warnings = collect_module.compare_with_last(current, trajectory)
+        # fast dropped 25% (> 20%): flagged; steady dropped 15%: not;
+        # gone/new have no counterpart: not.
+        assert len(warnings) == 1
+        assert warnings[0].startswith("fast:")
+
+    def test_threshold_is_configurable(self, collect_module, tmp_path):
+        path = tmp_path / "traj.json"
+        collect_module.append_trajectory(
+            summary_with({"a": 2.0}), path, "base"
+        )
+        trajectory = collect_module.load_trajectory(path)
+        current = summary_with({"a": 1.8})
+        assert collect_module.compare_with_last(current, trajectory) == []
+        assert collect_module.compare_with_last(
+            current, trajectory, threshold=0.05
+        )
+
+    def test_cli_trajectory_flow(self, collect_module, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bench_x.json").write_text(
+            json.dumps({"speedup": 3.0, "target_speedup": 2.0})
+        )
+        traj = tmp_path / "traj.json"
+        code = collect_module.main(
+            [str(results), "--trajectory", str(traj), "--label", "run-1"]
+        )
+        assert code == 0
+        (results / "bench_x.json").write_text(json.dumps({"speedup": 1.0}))
+        code = collect_module.main(
+            [str(results), "--trajectory", str(traj), "--label", "run-2"]
+        )
+        assert code == 0  # regression is non-blocking
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        doc = collect_module.load_trajectory(traj)
+        assert len(doc["entries"]) == 2

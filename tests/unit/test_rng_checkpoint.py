@@ -1,0 +1,207 @@
+"""RNG state round-trips through ``repro-ckpt/v1`` payloads.
+
+Checkpoint bit-identity reduces to one fact: a generator restored from
+:func:`repro.engine.checkpoint.rng_state` continues the *exact* draw
+sequence of the uninterrupted generator — including downstream helpers
+(:func:`spawn_sequences`, :func:`seed_stream`) and the per-shard seeds
+of all three pipeline seed scopes (stream / cell / direct).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import checkpoint as ckpt
+from repro.engine.rng import make_rng, seed_stream, spawn, spawn_sequences
+from repro.engine.streams import RowStreams
+from repro.experiments.pipeline import ScenarioSpec, plan
+
+
+def measure_stub(params, rng):  # pragma: no cover - never executed
+    return {}
+
+
+class TestGeneratorRoundTrip:
+    def test_state_round_trip_continues_draws(self):
+        whole = make_rng(123)
+        part = make_rng(123)
+        part.random(97)  # advance mid-buffer
+        whole.random(97)
+        state = ckpt.rng_state(part)
+        restored = ckpt.restore_rng(state)
+        assert np.array_equal(whole.random(1000), restored.random(1000))
+
+    def test_state_is_json_roundtrippable(self):
+        import json
+
+        rng = make_rng(7)
+        rng.integers(0, 100, size=33)
+        state = json.loads(json.dumps(ckpt.rng_state(rng)))
+        restored = ckpt.restore_rng(state)
+        twin = make_rng(7)
+        twin.integers(0, 100, size=33)
+        assert twin.random() == restored.random()
+
+    def test_set_rng_state_in_place(self):
+        source = make_rng(5)
+        source.random(10)
+        target = make_rng(999)
+        ckpt.set_rng_state(target, ckpt.rng_state(source))
+        assert source.random() == target.random()
+
+    def test_cached_gauss_draw_survives(self):
+        """standard_normal leaves a buffered uint32 in the generator;
+        the snapshot must carry it."""
+        whole = make_rng(11)
+        part = make_rng(11)
+        whole.standard_normal(7)
+        part.standard_normal(7)
+        restored = ckpt.restore_rng(ckpt.rng_state(part))
+        assert np.array_equal(
+            whole.standard_normal(50), restored.standard_normal(50)
+        )
+
+    def test_wrong_bit_generator_rejected(self):
+        rng = make_rng(0)
+        state = ckpt.rng_state(rng)
+        state["bit_generator"] = "Philox"
+        with pytest.raises(ValueError):
+            ckpt.set_rng_state(make_rng(0), state)
+
+
+class TestSpawnAfterRestore:
+    def test_spawn_is_not_part_of_the_snapshot(self):
+        """SeedSequence spawn counters are *not* bit-generator state:
+        a restored generator's spawn() children differ from the
+        original's.  This is why no engine spawns after construction —
+        child streams draw their seed words off the generator itself
+        (see RowStreams), which IS preserved (next test)."""
+        whole = make_rng(42)
+        restored = ckpt.restore_rng(ckpt.rng_state(make_rng(42)))
+        (child_a,) = spawn(whole, 1)
+        (child_b,) = spawn(restored, 1)
+        assert child_a.random() != child_b.random()
+
+    def test_drawn_child_seeds_survive_restore(self):
+        """Child seeds drawn off the generator (the RowStreams scheme)
+        continue identically after a snapshot/restore."""
+        whole = make_rng(42)
+        part = ckpt.restore_rng(ckpt.rng_state(make_rng(42)))
+        words_a = whole.integers(0, 2**63, size=4, dtype=np.uint64)
+        words_b = part.integers(0, 2**63, size=4, dtype=np.uint64)
+        assert np.array_equal(words_a, words_b)
+        for a, b in zip(words_a, words_b):
+            assert make_rng(int(a)).random() == make_rng(int(b)).random()
+
+    def test_spawn_sequences_is_stateless(self):
+        """spawn_sequences is pure in (seed, count): checkpointing
+        cannot perturb it, and prefixes are stable."""
+        full = spawn_sequences(31337, 8)
+        again = spawn_sequences(31337, 8)
+        prefix = spawn_sequences(31337, 3)
+        for a, b in zip(full, again):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+        for a, b in zip(full[:3], prefix):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_seed_stream_is_stateless(self):
+        stream_a = seed_stream(99)
+        stream_b = seed_stream(99)
+        assert [next(stream_a) for _ in range(10)] == [
+            next(stream_b) for _ in range(10)
+        ]
+
+
+def _shard_words(spec):
+    return [
+        shard.seed.generate_state(2).tolist() for shard in plan(spec).shards
+    ]
+
+
+class TestSeedScopesIndexDeterministic:
+    """Per-shard seeds depend only on (spec, index) for every scope —
+    the foundation of bit-identical pipeline resume: skipping completed
+    shards cannot change the remaining shards' seeds."""
+
+    def test_stream_scope(self):
+        spec = ScenarioSpec(
+            name="t",
+            measure=measure_stub,
+            grid={"n": [8, 16]},
+            replications=3,
+            base_seed=5,
+            seed_scope="stream",
+        )
+        assert _shard_words(spec) == _shard_words(spec)
+
+    def test_cell_scope(self):
+        spec = ScenarioSpec(
+            name="t",
+            measure=measure_stub,
+            grid={"n": [8, 16]},
+            replications=2,
+            base_seed=5,
+            seed_scope="cell",
+            cell_seed=lambda params: params["n"] * 1000,
+        )
+        assert _shard_words(spec) == _shard_words(spec)
+
+    def test_direct_scope(self):
+        spec = ScenarioSpec(
+            name="t",
+            measure=measure_stub,
+            grid={"n": [8, 16]},
+            replications=1,
+            base_seed=5,
+            seed_scope="direct",
+            cell_seed=lambda params: params["n"],
+        )
+        assert _shard_words(spec) == _shard_words(spec)
+
+    def test_suffix_stable_under_prefix_removal(self):
+        """The seeds of shards 2.. are the same whether or not shards
+        0..1 are (re)planned — resume never reseeds remaining work."""
+        spec = ScenarioSpec(
+            name="t",
+            measure=measure_stub,
+            grid={"n": [8, 16, 32]},
+            replications=2,
+            base_seed=9,
+            seed_scope="stream",
+        )
+        first = _shard_words(spec)
+        second = _shard_words(spec)
+        assert first[2:] == second[2:]
+
+
+class TestRowStreamsRoundTrip:
+    def test_snapshot_restore_continues_draws(self):
+        rng = make_rng(77)
+        streams = RowStreams.from_generator(rng, 5)
+        rows = np.arange(5)
+        streams.take(rows, 3)
+        snap = streams.snapshot()
+        expected = streams.take(rows, 4)
+        restored = RowStreams.from_snapshot(snap)
+        assert np.array_equal(restored.take(rows, 4), expected)
+
+    def test_restore_in_place(self):
+        rng = make_rng(77)
+        streams = RowStreams.from_generator(rng, 3)
+        rows = np.arange(3)
+        streams.take(rows, 5)
+        snap = streams.snapshot()
+        expected = streams.take(rows, 2)
+        other = RowStreams.from_generator(make_rng(0), 3)
+        other.restore(snap)
+        assert np.array_equal(other.take(rows, 2), expected)
+
+    def test_snapshot_not_aliased(self):
+        """Drawing after a snapshot must not mutate the payload."""
+        streams = RowStreams.from_generator(make_rng(3), 2)
+        rows = np.arange(2)
+        snap = streams.snapshot()
+        pool = snap["pool"].copy()
+        pos = snap["pos"].copy()
+        streams.take(rows, 7)
+        assert np.array_equal(snap["pool"], pool)
+        assert np.array_equal(snap["pos"], pos)
