@@ -1,0 +1,179 @@
+"""E18 — backend-seam overhead: the Diversification kernel routed
+through the array-API backend abstraction versus a hand-inlined plain
+NumPy transcription of the same update, on large coin blocks.
+
+The seam resolves the namespace, dtype table and scalar constants once
+per ``refresh``, so the per-``apply`` cost is a handful of attribute
+lookups — the acceptance gate is **< 5% overhead** over the inlined
+reference.  When ``array_api_strict`` is importable the strict build is
+timed too (informational: the pure-Python reference namespace is not
+expected to be fast, only correct).
+
+Runs under pytest-benchmark like the other benches, and also as a plain
+script (``python benchmarks/bench_e18_backend.py``) that writes the
+timing JSON to ``benchmarks/results/e18_backend_timing.json`` for the
+CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.diversification import Diversification
+from repro.core.weights import WeightTable
+from repro.engine.array_engine import kernel_for
+from repro.engine.backend import available_backends, resolve_backend
+from repro.core.state import DARK, LIGHT
+
+K = 3
+WEIGHT_VECTOR = (1.0, 2.0, 3.0)
+BLOCK = 100_000
+ITERATIONS = 30
+REPEATS = 9
+SEED = 0
+TARGET_OVERHEAD = 0.05  # seam may cost at most 5% over inline NumPy
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "e18_backend_timing.json"
+)
+
+
+def _inputs():
+    rng = np.random.default_rng(SEED)
+    uc = rng.integers(0, K, size=BLOCK, dtype=np.int64)
+    us = rng.integers(0, 2, size=BLOCK, dtype=np.int64)
+    vc = rng.integers(0, K, size=(BLOCK, 1), dtype=np.int64)
+    vs = rng.integers(0, 2, size=(BLOCK, 1), dtype=np.int64)
+    coins = rng.random((BLOCK, 1))
+    return uc, us, vc, vs, coins
+
+
+def _inline_apply(lighten, dark0, light0):
+    """The Diversification update hand-written in plain NumPy — the
+    zero-abstraction reference the seam is measured against."""
+
+    def apply(uc, us, vc, vs, coins):
+        v0c = vc[..., 0]
+        v0s = vs[..., 0]
+        u_dark = us > LIGHT
+        v_dark = v0s > LIGHT
+        adopt = ~u_dark & v_dark
+        threshold = lighten[uc]
+        do_lighten = (
+            u_dark & v_dark & (uc == v0c) & (coins[..., 0] < threshold)
+        )
+        new_c = np.where(adopt, v0c, uc)
+        new_s = np.where(adopt, dark0, np.where(do_lighten, light0, us))
+        return new_c, new_s
+
+    return apply
+
+
+def _time_apply(apply, inputs) -> float:
+    """Best-of-``REPEATS`` wall-clock of ``ITERATIONS`` kernel calls."""
+    apply(*inputs)  # warm-up
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(ITERATIONS):
+            apply(*inputs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_interleaved(apply_a, apply_b, inputs) -> tuple[float, float]:
+    """Best-of-``REPEATS`` for two kernels with alternating rounds, so
+    CPU-frequency and cache drift hits both sides equally instead of
+    biasing whichever ran last."""
+    apply_a(*inputs)
+    apply_b(*inputs)
+    best_a = best_b = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(ITERATIONS):
+            apply_a(*inputs)
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(ITERATIONS):
+            apply_b(*inputs)
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def measure() -> dict:
+    inputs = _inputs()
+    weights = WeightTable(WEIGHT_VECTOR)
+
+    seam_kernel = kernel_for(Diversification(weights))
+    seam_kernel.refresh(K)
+    inline = _inline_apply(
+        1.0 / weights.as_array(),
+        np.int64(DARK),
+        np.int64(LIGHT),
+    )
+    seam_seconds, inline_seconds = _time_interleaved(
+        seam_kernel.apply, inline, inputs
+    )
+
+    timing = {
+        "k": K,
+        "weights": list(WEIGHT_VECTOR),
+        "block": BLOCK,
+        "iterations": ITERATIONS,
+        "repeats": REPEATS,
+        "seed": SEED,
+        "seam_seconds": seam_seconds,
+        "inline_seconds": inline_seconds,
+        "seam_us_per_call": seam_seconds / ITERATIONS * 1e6,
+        "inline_us_per_call": inline_seconds / ITERATIONS * 1e6,
+        "overhead": seam_seconds / inline_seconds - 1.0,
+        "target_overhead": TARGET_OVERHEAD,
+    }
+
+    if available_backends().get("array-api-strict"):
+        strict = resolve_backend("array-api-strict")
+        strict_kernel = kernel_for(
+            Diversification(WeightTable(WEIGHT_VECTOR)), backend=strict
+        )
+        strict_kernel.refresh(K)
+        strict_inputs = tuple(strict.from_host(block) for block in inputs)
+        timing["strict_seconds"] = _time_apply(
+            strict_kernel.apply, strict_inputs
+        )
+        timing["strict_us_per_call"] = (
+            timing["strict_seconds"] / ITERATIONS * 1e6
+        )
+    return timing
+
+
+def test_backend_seam_overhead(benchmark):
+    """Routing the kernel through the backend seam costs < 5% over an
+    inlined plain-NumPy transcription of the same update."""
+    timing = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(json.dumps(timing, indent=2))
+    assert timing["overhead"] < TARGET_OVERHEAD, timing
+
+
+def main() -> int:
+    timing = measure()
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(timing, indent=2) + "\n")
+    print(json.dumps(timing, indent=2))
+    ok = timing["overhead"] < TARGET_OVERHEAD
+    print(
+        f"seam overhead {timing['overhead'] * 100:+.2f}% "
+        f"({'within' if ok else 'ABOVE'} the "
+        f"{TARGET_OVERHEAD:.0%} budget)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

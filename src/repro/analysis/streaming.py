@@ -27,20 +27,45 @@ chronological order, the accumulated integral is *bit-identical* to a
 sequential reduction over the materialised trajectory — the
 exact-equality contract verified by ``tests/unit/test_streaming.py``.
 
-All accumulators expose ``state_dict``/``load_state`` (plain arrays,
-pickle-free) so they ride along engine checkpoints, ``merge_serial``
-to join time-adjacent checkpoint segments, and the tap-fed ones
-``concat`` to join row-disjoint accumulators from fused mega-batches.
+All accumulators expose ``state_dict``/``load_state`` (plain **host
+NumPy** arrays, pickle-free, whatever the compute backend) so they ride
+along engine checkpoints, ``merge_serial`` to join time-adjacent
+checkpoint segments, and the tap-fed ones ``concat`` to join
+row-disjoint accumulators from fused mega-batches.
+
+Backends.  All array work routes through :mod:`repro.engine.backend`
+(this module never imports numpy itself).  The accumulators accept a
+``backend=`` argument and hold their per-row state in that backend's
+namespace; like the engine event loops that feed them they rely on
+NumPy-compatible conveniences (fancy-index scatter, ``out=``), so the
+``array-api-strict`` backend is rejected with the same clear error.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.weights import WeightTable
+from ..engine.backend import (
+    FLOAT64,
+    HOST,
+    INT64,
+    Backend,
+    require_engine_loops,
+    resolve_backend,
+)
+
+#: Host namespace for the module-level helpers and the test-reference
+#: :class:`PotentialTrajectory`; accumulator methods use their own
+#: backend's namespace instead.
+np = HOST.xp
 
 
-def _weight_matrix(weights, rows: int, width: int) -> np.ndarray:
+def _resolve_loop_backend(backend) -> Backend:
+    return require_engine_loops(
+        resolve_backend(backend), "the streaming accumulators"
+    )
+
+
+def _weight_matrix(weights, rows: int, width: int, xp=None):
     """Resolve a weights spec to a ``(rows, width)`` float matrix.
 
     ``weights`` may be a :class:`~repro.core.weights.WeightTable`
@@ -49,13 +74,15 @@ def _weight_matrix(weights, rows: int, width: int) -> np.ndarray:
     (the hook for engines whose weight matrix is re-allocated when it
     widens, e.g. ``engine.weights_matrix``).
     """
+    if xp is None:
+        xp = np
     if callable(weights) and not isinstance(weights, WeightTable):
         weights = weights()
     if isinstance(weights, WeightTable):
         weights = weights.as_array()
-    w = np.asarray(weights, dtype=np.float64)
+    w = xp.asarray(weights, dtype=FLOAT64)
     if w.ndim == 1:
-        w = np.tile(w, (rows, 1))
+        w = xp.tile(w, (rows, 1))
     if w.shape[0] != rows:
         raise ValueError(
             f"weights have {w.shape[0]} rows but the counts have {rows}"
@@ -68,9 +95,7 @@ def _weight_matrix(weights, rows: int, width: int) -> np.ndarray:
     return w[:, :width]
 
 
-def potential_values(
-    dark: np.ndarray, light: np.ndarray, weights
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def potential_values(dark, light, weights, xp=None):
     """Row-wise (φ, ψ, σ²) for ``(B, k)`` dark/light count matrices.
 
     Uses the paper's closed forms ``2k·Σq² − 2(Σq)²`` with
@@ -78,13 +103,19 @@ def potential_values(
     ``σ² = (A/w − a)²``; zero-weight padding columns (heterogeneous
     rows) carry zero mass and are excluded from ``k``.
     """
-    dark = np.asarray(dark, dtype=np.float64)
-    light = np.asarray(light, dtype=np.float64)
-    w = _weight_matrix(weights, dark.shape[0], dark.shape[1])
+    if xp is None:
+        xp = np
+    dark = xp.asarray(dark, dtype=FLOAT64)
+    light = xp.asarray(light, dtype=FLOAT64)
+    w = _weight_matrix(weights, dark.shape[0], dark.shape[1], xp=xp)
     mass = w > 0.0
-    k = mass.sum(axis=1).astype(np.float64)
-    qd = np.divide(dark, w, out=np.zeros_like(dark), where=mass)
-    ql = np.divide(light, w, out=np.zeros_like(light), where=mass)
+    k = xp.astype(mass.sum(axis=1), FLOAT64)
+    qd = xp.divide(
+        dark, w, out=xp.zeros(dark.shape, dtype=FLOAT64), where=mass
+    )
+    ql = xp.divide(
+        light, w, out=xp.zeros(light.shape, dtype=FLOAT64), where=mass
+    )
     phi = 2.0 * k * (qd * qd).sum(axis=1) - 2.0 * qd.sum(axis=1) ** 2
     psi = 2.0 * k * (ql * ql).sum(axis=1) - 2.0 * ql.sum(axis=1) ** 2
     total_w = w.sum(axis=1)
@@ -92,18 +123,18 @@ def potential_values(
     return phi, psi, sigma
 
 
-def share_values(
-    dark: np.ndarray, light: np.ndarray, weights
-) -> tuple[np.ndarray, np.ndarray]:
+def share_values(dark, light, weights, xp=None):
     """Row-wise colour shares ``C_i / n`` and max share error vs the
     fair shares ``w_i / w`` for ``(B, k)`` count matrices."""
-    counts = np.asarray(dark, dtype=np.float64) + np.asarray(
-        light, dtype=np.float64
+    if xp is None:
+        xp = np
+    counts = xp.asarray(dark, dtype=FLOAT64) + xp.asarray(
+        light, dtype=FLOAT64
     )
-    w = _weight_matrix(weights, counts.shape[0], counts.shape[1])
+    w = _weight_matrix(weights, counts.shape[0], counts.shape[1], xp=xp)
     shares = counts / counts.sum(axis=1, keepdims=True)
     fair = w / w.sum(axis=1, keepdims=True)
-    error = np.abs(shares - fair).max(axis=1)
+    error = xp.abs(shares - fair).max(axis=1)
     return shares, error
 
 
@@ -119,25 +150,27 @@ class _TapAccumulator:
     #: value over the elapsed steps, then refreshes the current one.
     _value_fields: tuple[str, ...] = ()
 
-    def __init__(self, weights):
+    def __init__(self, weights, *, backend: str | Backend | None = None):
         self._weights = weights
+        self._backend = _resolve_loop_backend(backend)
         self._rows: int | None = None
-        self._last_time: np.ndarray | None = None
-        self._start_time: np.ndarray | None = None
-        self._events: np.ndarray | None = None
+        self._last_time = None
+        self._start_time = None
+        self._events = None
 
-    def _weights_for(self, rows: np.ndarray):
+    def _weights_for(self, rows):
         """Weights spec restricted to a row subset.
 
         Per-event updates carry only the affected rows' count slices;
         a per-row ``(B, k)`` weight matrix (heterogeneous batches) must
         be sliced to match, while shared specs pass through whole."""
+        xp = self._backend.xp
         weights = self._weights
         if callable(weights) and not isinstance(weights, WeightTable):
             weights = weights()
         if isinstance(weights, WeightTable):
             return weights
-        w = np.asarray(weights, dtype=np.float64)
+        w = xp.asarray(weights, dtype=FLOAT64)
         if w.ndim == 2 and w.shape[0] == self._rows:
             return w[rows]
         return w
@@ -149,30 +182,28 @@ class _TapAccumulator:
             raise ValueError("accumulator not initialised; call reset()")
         return self._rows
 
-    def reset(
-        self, times: np.ndarray, dark: np.ndarray, light: np.ndarray
-    ) -> None:
+    @property
+    def backend(self) -> Backend:
+        """The resolved array backend holding the per-row state."""
+        return self._backend
+
+    def reset(self, times, dark, light) -> None:
         """Bind to a row set and zero all integrals."""
-        times = np.asarray(times, dtype=np.float64)
-        dark = np.asarray(dark, dtype=np.float64)
-        light = np.asarray(light, dtype=np.float64)
+        xp = self._backend.xp
+        times = xp.asarray(times, dtype=FLOAT64)
+        dark = xp.asarray(dark, dtype=FLOAT64)
+        light = xp.asarray(light, dtype=FLOAT64)
         self._rows = dark.shape[0]
         self._last_time = times.copy()
         self._start_time = times.copy()
-        self._events = np.zeros(self._rows, dtype=np.int64)
+        self._events = xp.zeros(self._rows, dtype=INT64)
         for name in self._value_fields:
             setattr(
-                self, f"_int_{name}", np.zeros(self._rows, dtype=np.float64)
+                self, f"_int_{name}", xp.zeros(self._rows, dtype=FLOAT64)
             )
         self._init_values(dark, light)
 
-    def update(
-        self,
-        rows: np.ndarray,
-        times: np.ndarray,
-        dark: np.ndarray,
-        light: np.ndarray,
-    ) -> None:
+    def update(self, rows, times, dark, light) -> None:
         """Integrate the elapsed segment for ``rows`` and refresh their
         current values from the (already updated) counts.
 
@@ -181,8 +212,9 @@ class _TapAccumulator:
         a pure re-base (used after interventions, whose instantaneous
         count changes alter the values but not the integrals).
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        times = np.asarray(times, dtype=np.float64)
+        xp = self._backend.xp
+        rows = xp.asarray(rows, dtype=INT64)
+        times = xp.asarray(times, dtype=FLOAT64)
         dt = times - self._last_time[rows]
         for name in self._value_fields:
             integral = getattr(self, f"_int_{name}")
@@ -191,25 +223,26 @@ class _TapAccumulator:
         self._events[rows] += 1
         self._refresh(
             rows,
-            np.asarray(dark, dtype=np.float64),
-            np.asarray(light, dtype=np.float64),
+            xp.asarray(dark, dtype=FLOAT64),
+            xp.asarray(light, dtype=FLOAT64),
         )
 
-    def sync(self, times: np.ndarray) -> None:
+    def sync(self, times) -> None:
         """Integrate every row up to ``times`` (no value change —
         the configuration is constant between events)."""
-        times = np.asarray(times, dtype=np.float64)
+        xp = self._backend.xp
+        times = xp.asarray(times, dtype=FLOAT64)
         dt = times - self._last_time
         for name in self._value_fields:
             integral = getattr(self, f"_int_{name}")
             integral += dt * getattr(self, f"_cur_{name}")
         self._last_time = times.copy()
 
-    def durations(self) -> np.ndarray:
+    def durations(self):
         """Per-row integrated step spans."""
         return self._last_time - self._start_time
 
-    def events(self) -> np.ndarray:
+    def events(self):
         """Per-row applied-event counts."""
         return self._events.copy()
 
@@ -228,11 +261,12 @@ class _TapAccumulator:
         ``state_dict``/``load_state`` it alongside the engine snapshot
         and re-attach with ``attach_stream(acc, reset=False)``.
         """
+        xp = self._backend.xp
         if type(later) is not type(self):
             raise TypeError("can only merge accumulators of the same type")
         if later.rows != self.rows:
             raise ValueError("row counts disagree")
-        if not np.array_equal(later._start_time, self._last_time):
+        if not bool(xp.all(later._start_time == self._last_time)):
             raise ValueError(
                 "later segment does not start at this segment's end"
             )
@@ -251,14 +285,16 @@ class _TapAccumulator:
         if not accumulators:
             raise ValueError("need at least one accumulator")
         first = accumulators[0]
+        xp = first._backend.xp
         out = cls.__new__(cls)
         out._weights = first._weights
+        out._backend = first._backend
         out._rows = sum(acc.rows for acc in accumulators)
         for field in ("_last_time", "_start_time", "_events"):
             setattr(
                 out,
                 field,
-                np.concatenate(
+                xp.concatenate(
                     [getattr(acc, field) for acc in accumulators]
                 ),
             )
@@ -266,7 +302,7 @@ class _TapAccumulator:
             setattr(
                 out,
                 name,
-                np.concatenate(
+                xp.concatenate(
                     [getattr(acc, name) for acc in accumulators]
                 ),
             )
@@ -276,14 +312,18 @@ class _TapAccumulator:
     # Checkpointing
 
     def state_dict(self) -> dict:
-        """All per-row arrays (plain, pickle-free)."""
+        """All per-row arrays as plain host NumPy (pickle-free), so a
+        tap checkpointed on one backend reloads on any other."""
+        bk = self._backend
         state = {
-            "last_time": self._last_time.copy(),
-            "start_time": self._start_time.copy(),
-            "events": self._events.copy(),
+            "last_time": bk.to_numpy(self._last_time, copy=True),
+            "start_time": bk.to_numpy(self._start_time, copy=True),
+            "events": bk.to_numpy(self._events, copy=True),
         }
         for name in self._concat_fields():
-            state[name.lstrip("_")] = getattr(self, name).copy()
+            state[name.lstrip("_")] = bk.to_numpy(
+                getattr(self, name), copy=True
+            )
         return state
 
     def load_state(self, state: dict) -> None:
@@ -292,27 +332,32 @@ class _TapAccumulator:
         Copies every array (the accumulator mutates its state in
         place; aliasing the caller's dict would corrupt it).
         """
-        self._last_time = np.array(state["last_time"], dtype=np.float64)
-        self._start_time = np.array(
-            state["start_time"], dtype=np.float64
+        bk = self._backend
+        self._last_time = bk.from_host(
+            np.array(state["last_time"], dtype=FLOAT64)
         )
-        self._events = np.array(state["events"], dtype=np.int64)
+        self._start_time = bk.from_host(
+            np.array(state["start_time"], dtype=FLOAT64)
+        )
+        self._events = bk.from_host(
+            np.array(state["events"], dtype=INT64)
+        )
         self._rows = self._last_time.shape[0]
         for name in self._concat_fields():
             setattr(
                 self,
                 name,
-                np.array(state[name.lstrip("_")], dtype=np.float64),
+                bk.from_host(
+                    np.array(state[name.lstrip("_")], dtype=FLOAT64)
+                ),
             )
 
     # Subclass hooks -----------------------------------------------------
 
-    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
+    def _init_values(self, dark, light) -> None:
         raise NotImplementedError
 
-    def _refresh(
-        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
-    ) -> None:
+    def _refresh(self, rows, dark, light) -> None:
         raise NotImplementedError
 
     def _merge_values(self, later: "_TapAccumulator") -> None:
@@ -332,12 +377,16 @@ class StreamingPotentials(_TapAccumulator):
             a padded ``(B, k_max)`` matrix, or a callable returning
             one of the array forms (re-evaluated every refresh, so
             growing tables stay in sync).
+        backend: Array backend holding the per-row state (name,
+            resolved backend, or None for the engine default).
     """
 
     _value_fields = ("phi", "psi", "sigma")
 
-    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
-        phi, psi, sigma = potential_values(dark, light, self._weights)
+    def _init_values(self, dark, light) -> None:
+        phi, psi, sigma = potential_values(
+            dark, light, self._weights, xp=self._backend.xp
+        )
         self._cur_phi = phi
         self._cur_psi = psi
         self._cur_sigma = sigma
@@ -348,32 +397,32 @@ class StreamingPotentials(_TapAccumulator):
         self._min_psi = psi.copy()
         self._min_sigma = sigma.copy()
 
-    def _refresh(
-        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
-    ) -> None:
+    def _refresh(self, rows, dark, light) -> None:
+        xp = self._backend.xp
         phi, psi, sigma = potential_values(
-            dark, light, self._weights_for(rows)
+            dark, light, self._weights_for(rows), xp=xp
         )
         for name, values in (
             ("phi", phi), ("psi", psi), ("sigma", sigma)
         ):
             getattr(self, f"_cur_{name}")[rows] = values
             hi = getattr(self, f"_max_{name}")
-            hi[rows] = np.maximum(hi[rows], values)
+            hi[rows] = xp.maximum(hi[rows], values)
             lo = getattr(self, f"_min_{name}")
-            lo[rows] = np.minimum(lo[rows], values)
+            lo[rows] = xp.minimum(lo[rows], values)
 
     def _merge_values(self, later: "StreamingPotentials") -> None:
+        xp = self._backend.xp
         for name in self._value_fields:
             getattr(self, f"_cur_{name}")[...] = getattr(
                 later, f"_cur_{name}"
             )
-            np.maximum(
+            xp.maximum(
                 getattr(self, f"_max_{name}"),
                 getattr(later, f"_max_{name}"),
                 out=getattr(self, f"_max_{name}"),
             )
-            np.minimum(
+            xp.minimum(
                 getattr(self, f"_min_{name}"),
                 getattr(later, f"_min_{name}"),
                 out=getattr(self, f"_min_{name}"),
@@ -389,8 +438,9 @@ class StreamingPotentials(_TapAccumulator):
     def summary(self) -> dict:
         """Per-row results: time-averaged, max, min and final value of
         each potential, plus event counts and durations."""
+        xp = self._backend.xp
         spans = self.durations()
-        safe = np.where(spans > 0, spans, 1.0)
+        safe = xp.where(spans > 0, spans, 1.0)
         out = {"events": self.events(), "duration": spans}
         for name in self._value_fields:
             out[f"mean_{name}"] = getattr(self, f"_int_{name}") / safe
@@ -410,60 +460,65 @@ class StreamingShares(_TapAccumulator):
 
     _value_fields = ("error",)
 
-    def _init_values(self, dark: np.ndarray, light: np.ndarray) -> None:
-        shares, error = share_values(dark, light, self._weights)
+    def _init_values(self, dark, light) -> None:
+        xp = self._backend.xp
+        shares, error = share_values(
+            dark, light, self._weights, xp=xp
+        )
         self._cur_error = error
         self._max_error = error.copy()
         self._cur_shares = shares
-        self._int_shares = np.zeros_like(shares)
+        self._int_shares = xp.zeros(shares.shape, dtype=FLOAT64)
 
     def reset(self, times, dark, light) -> None:
         super().reset(times, dark, light)
 
     def update(self, rows, times, dark, light) -> None:
-        rows = np.asarray(rows, dtype=np.int64)
-        times_f = np.asarray(times, dtype=np.float64)
+        xp = self._backend.xp
+        rows = xp.asarray(rows, dtype=INT64)
+        times_f = xp.asarray(times, dtype=FLOAT64)
         dt = times_f - self._last_time[rows]
         self._int_shares[rows] += dt[:, None] * self._cur_shares[rows]
         super().update(rows, times, dark, light)
 
     def sync(self, times) -> None:
-        times_f = np.asarray(times, dtype=np.float64)
+        xp = self._backend.xp
+        times_f = xp.asarray(times, dtype=FLOAT64)
         dt = times_f - self._last_time
         self._int_shares += dt[:, None] * self._cur_shares
         super().sync(times)
 
-    def _refresh(
-        self, rows: np.ndarray, dark: np.ndarray, light: np.ndarray
-    ) -> None:
+    def _refresh(self, rows, dark, light) -> None:
+        xp = self._backend.xp
         shares, error = share_values(
-            dark, light, self._weights_for(rows)
+            dark, light, self._weights_for(rows), xp=xp
         )
         if shares.shape[1] > self._cur_shares.shape[1]:
             grow = shares.shape[1] - self._cur_shares.shape[1]
-            pad = np.zeros((self.rows, grow))
-            self._cur_shares = np.concatenate(
+            pad = xp.zeros((self.rows, grow), dtype=FLOAT64)
+            self._cur_shares = xp.concatenate(
                 [self._cur_shares, pad], axis=1
             )
-            self._int_shares = np.concatenate(
+            self._int_shares = xp.concatenate(
                 [self._int_shares, pad.copy()], axis=1
             )
-        self._cur_shares[np.ix_(rows, range(shares.shape[1]))] = shares
+        self._cur_shares[xp.ix_(rows, range(shares.shape[1]))] = shares
         self._cur_error[rows] = error
-        self._max_error[rows] = np.maximum(self._max_error[rows], error)
+        self._max_error[rows] = xp.maximum(self._max_error[rows], error)
 
     def _merge_values(self, later: "StreamingShares") -> None:
+        xp = self._backend.xp
         if later._int_shares.shape[1] > self._int_shares.shape[1]:
             grow = later._int_shares.shape[1] - self._int_shares.shape[1]
-            pad = np.zeros((self.rows, grow))
-            self._int_shares = np.concatenate(
+            pad = xp.zeros((self.rows, grow), dtype=FLOAT64)
+            self._int_shares = xp.concatenate(
                 [self._int_shares, pad], axis=1
             )
         width = later._int_shares.shape[1]
         self._int_shares[:, :width] += later._int_shares
         self._cur_shares = later._cur_shares.copy()
         self._cur_error[...] = later._cur_error
-        np.maximum(
+        xp.maximum(
             self._max_error, later._max_error, out=self._max_error
         )
 
@@ -476,8 +531,9 @@ class StreamingShares(_TapAccumulator):
     def summary(self) -> dict:
         """Per-row results: time-averaged and max share error, plus
         time-averaged colour occupancy fractions ``(B, k)``."""
+        xp = self._backend.xp
         spans = self.durations()
-        safe = np.where(spans > 0, spans, 1.0)
+        safe = xp.where(spans > 0, spans, 1.0)
         return {
             "events": self.events(),
             "duration": spans,
@@ -498,90 +554,106 @@ class RunningMoments:
     long-horizon runs.
     """
 
-    def __init__(self, rows: int):
+    def __init__(self, rows: int, *, backend: str | Backend | None = None):
         if rows < 1:
             raise ValueError("need at least one row")
-        self._count = np.zeros(rows, dtype=np.int64)
-        self._mean = np.zeros(rows, dtype=np.float64)
-        self._m2 = np.zeros(rows, dtype=np.float64)
-        self._min = np.full(rows, np.inf)
-        self._max = np.full(rows, -np.inf)
+        self._backend = _resolve_loop_backend(backend)
+        xp = self._backend.xp
+        self._count = xp.zeros(rows, dtype=INT64)
+        self._mean = xp.zeros(rows, dtype=FLOAT64)
+        self._m2 = xp.zeros(rows, dtype=FLOAT64)
+        self._min = xp.full(rows, xp.inf, dtype=FLOAT64)
+        self._max = xp.full(rows, -xp.inf, dtype=FLOAT64)
 
     @property
     def rows(self) -> int:
         return self._count.shape[0]
 
-    def add(self, values: np.ndarray, rows: np.ndarray | None = None) -> None:
+    @property
+    def backend(self) -> Backend:
+        """The resolved array backend holding the per-row state."""
+        return self._backend
+
+    def add(self, values, rows=None) -> None:
         """Fold one observation per (selected) row into the moments."""
-        values = np.asarray(values, dtype=np.float64)
+        xp = self._backend.xp
+        values = xp.asarray(values, dtype=FLOAT64)
         if rows is None:
-            rows = np.arange(self.rows)
+            rows = xp.arange(self.rows)
         else:
-            rows = np.asarray(rows, dtype=np.int64)
+            rows = xp.asarray(rows, dtype=INT64)
         self._count[rows] += 1
         delta = values - self._mean[rows]
         self._mean[rows] += delta / self._count[rows]
         self._m2[rows] += delta * (values - self._mean[rows])
-        self._min[rows] = np.minimum(self._min[rows], values)
-        self._max[rows] = np.maximum(self._max[rows], values)
+        self._min[rows] = xp.minimum(self._min[rows], values)
+        self._max[rows] = xp.maximum(self._max[rows], values)
 
     def merge(self, other: "RunningMoments") -> None:
         """Fold another segment's moments in (Chan's parallel rule)."""
+        xp = self._backend.xp
         if other.rows != self.rows:
             raise ValueError("row counts disagree")
         total = self._count + other._count
         seen = total > 0
         delta = other._mean - self._mean
-        weight = np.divide(
-            other._count, total, out=np.zeros(self.rows), where=seen
+        weight = xp.divide(
+            other._count,
+            total,
+            out=xp.zeros(self.rows, dtype=FLOAT64),
+            where=seen,
         )
         self._mean += delta * weight
         self._m2 += other._m2 + delta * delta * (
             self._count * weight
         )
         self._count = total
-        np.minimum(self._min, other._min, out=self._min)
-        np.maximum(self._max, other._max, out=self._max)
+        xp.minimum(self._min, other._min, out=self._min)
+        xp.maximum(self._max, other._max, out=self._max)
 
-    def count(self) -> np.ndarray:
+    def count(self):
         return self._count.copy()
 
-    def mean(self) -> np.ndarray:
+    def mean(self):
         return self._mean.copy()
 
-    def variance(self) -> np.ndarray:
+    def variance(self):
         """Population variance (0 for rows with fewer than 2 values)."""
-        return np.divide(
+        xp = self._backend.xp
+        return xp.divide(
             self._m2,
             self._count,
-            out=np.zeros(self.rows),
+            out=xp.zeros(self.rows, dtype=FLOAT64),
             where=self._count > 0,
         )
 
-    def std(self) -> np.ndarray:
-        return np.sqrt(self.variance())
+    def std(self):
+        return self._backend.xp.sqrt(self.variance())
 
-    def minimum(self) -> np.ndarray:
+    def minimum(self):
         return self._min.copy()
 
-    def maximum(self) -> np.ndarray:
+    def maximum(self):
         return self._max.copy()
 
     def state_dict(self) -> dict:
+        """Per-row moments as plain host NumPy arrays."""
+        bk = self._backend
         return {
-            "count": self._count.copy(),
-            "mean": self._mean.copy(),
-            "m2": self._m2.copy(),
-            "min": self._min.copy(),
-            "max": self._max.copy(),
+            "count": bk.to_numpy(self._count, copy=True),
+            "mean": bk.to_numpy(self._mean, copy=True),
+            "m2": bk.to_numpy(self._m2, copy=True),
+            "min": bk.to_numpy(self._min, copy=True),
+            "max": bk.to_numpy(self._max, copy=True),
         }
 
     def load_state(self, state: dict) -> None:
-        self._count = np.asarray(state["count"], dtype=np.int64)
-        self._mean = np.asarray(state["mean"], dtype=np.float64)
-        self._m2 = np.asarray(state["m2"], dtype=np.float64)
-        self._min = np.asarray(state["min"], dtype=np.float64)
-        self._max = np.asarray(state["max"], dtype=np.float64)
+        bk = self._backend
+        self._count = bk.from_host(np.asarray(state["count"], dtype=INT64))
+        self._mean = bk.from_host(np.asarray(state["mean"], dtype=FLOAT64))
+        self._m2 = bk.from_host(np.asarray(state["m2"], dtype=FLOAT64))
+        self._min = bk.from_host(np.asarray(state["min"], dtype=FLOAT64))
+        self._max = bk.from_host(np.asarray(state["max"], dtype=FLOAT64))
 
 
 class PotentialTrajectory:
@@ -589,13 +661,13 @@ class PotentialTrajectory:
     :class:`StreamingPotentials` — records every ``(time, φ, ψ, σ²)``
     sample so tests can reduce the explicit trajectory sequentially
     and compare against the streaming integrals *exactly*.  O(events)
-    memory; test/reference use only.
+    memory; test/reference use only (host-resident).
     """
 
     def __init__(self, weights):
         self._weights = weights
-        self._start: np.ndarray | None = None
-        self._initial: tuple[np.ndarray, ...] | None = None
+        self._start = None
+        self._initial = None
         # Event log: ("update", rows, times, values) per applied event
         # and ("sync", times) per horizon — syncs are recorded so the
         # replay splits each integral into the same float additions as
@@ -603,7 +675,7 @@ class PotentialTrajectory:
         self._log: list[tuple] = []
 
     def reset(self, times, dark, light) -> None:
-        self._start = np.asarray(times, dtype=np.float64).copy()
+        self._start = np.asarray(times, dtype=FLOAT64).copy()
         self._initial = potential_values(dark, light, self._weights)
         self._log = []
 
@@ -614,23 +686,23 @@ class PotentialTrajectory:
             weights = weights()
         if isinstance(weights, WeightTable):
             return weights
-        w = np.asarray(weights, dtype=np.float64)
+        w = np.asarray(weights, dtype=FLOAT64)
         if w.ndim == 2 and w.shape[0] == self._start.shape[0]:
             return w[rows]
         return w
 
     def update(self, rows, times, dark, light) -> None:
-        rows = np.asarray(rows, dtype=np.int64).copy()
+        rows = np.asarray(rows, dtype=INT64).copy()
         self._log.append((
             "update",
             rows,
-            np.asarray(times, dtype=np.float64).copy(),
+            np.asarray(times, dtype=FLOAT64).copy(),
             potential_values(dark, light, self._weights_for(rows)),
         ))
 
     def sync(self, times) -> None:
         self._log.append(
-            ("sync", np.asarray(times, dtype=np.float64).copy())
+            ("sync", np.asarray(times, dtype=FLOAT64).copy())
         )
 
     def integrals(self) -> dict:
@@ -643,7 +715,9 @@ class PotentialTrajectory:
         current = {
             name: self._initial[i].copy() for i, name in enumerate(names)
         }
-        integral = {name: np.zeros(rows) for name in names}
+        integral = {
+            name: np.zeros(rows, dtype=FLOAT64) for name in names
+        }
         for entry in self._log:
             if entry[0] == "update":
                 _, sel, times, values = entry

@@ -43,11 +43,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..core.weights import WeightTable
 from . import checkpoint as ckpt
+from .backend import FLOAT64, HOST, INT64, Generator
 from .rng import make_rng
+
+np = HOST.xp  # host namespace: the scalar count engine is CPU-resident
 
 
 def resolve_lighten_probabilities(
@@ -87,7 +88,7 @@ class AggregateSimulation:
         dark_counts: Sequence[int],
         light_counts: Sequence[int] | None = None,
         *,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
         lighten_probabilities: Sequence[float] | None = None,
     ):
         self.weights = weights
@@ -125,15 +126,15 @@ class AggregateSimulation:
         """Number of colours."""
         return len(self._dark)
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         """``A_i`` per colour."""
-        return np.asarray(self._dark, dtype=np.int64)
+        return np.asarray(self._dark, dtype=INT64)
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         """``a_i`` per colour."""
-        return np.asarray(self._light, dtype=np.int64)
+        return np.asarray(self._light, dtype=INT64)
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         """``C_i = A_i + a_i`` per colour."""
         return self.dark_counts() + self.light_counts()
 
@@ -359,9 +360,9 @@ class AggregateSimulation:
         """
         if reset:
             accumulator.reset(
-                np.asarray([self.time], dtype=np.int64),
-                self.dark_counts()[None, :].astype(np.float64),
-                self.light_counts()[None, :].astype(np.float64),
+                np.asarray([self.time], dtype=INT64),
+                self.dark_counts()[None, :].astype(FLOAT64),
+                self.light_counts()[None, :].astype(FLOAT64),
             )
         self._taps.append(accumulator)
 
@@ -372,17 +373,17 @@ class AggregateSimulation:
     def _notify_taps(self) -> None:
         if not self._taps:
             return
-        rows = np.zeros(1, dtype=np.int64)
-        times = np.asarray([self.time], dtype=np.int64)
-        dark = self.dark_counts()[None, :].astype(np.float64)
-        light = self.light_counts()[None, :].astype(np.float64)
+        rows = np.zeros(1, dtype=INT64)
+        times = np.asarray([self.time], dtype=INT64)
+        dark = self.dark_counts()[None, :].astype(FLOAT64)
+        light = self.light_counts()[None, :].astype(FLOAT64)
         for tap in self._taps:
             tap.update(rows, times, dark, light)
 
     def _sync_taps(self) -> None:
         if not self._taps:
             return
-        times = np.asarray([self.time], dtype=np.int64)
+        times = np.asarray([self.time], dtype=INT64)
         for tap in self._taps:
             tap.sync(times)
 
@@ -396,7 +397,7 @@ class AggregateSimulation:
             weights=self.weights.as_array(),
             dark=self.dark_counts(),
             light=self.light_counts(),
-            lighten=np.asarray(self._lighten, dtype=np.float64),
+            lighten=np.asarray(self._lighten, dtype=FLOAT64),
             time=int(self.time),
             pending=-1 if self._pending is None else int(self._pending),
             rng=ckpt.rng_state(self.rng),
@@ -420,7 +421,7 @@ class AggregateSimulation:
 
 
 def _pick_weighted(
-    masses: Sequence[float], rng: np.random.Generator
+    masses: Sequence[float], rng: Generator
 ) -> int:
     """Index sampled proportionally to non-negative masses."""
     total = float(sum(masses))

@@ -47,13 +47,21 @@ and :meth:`ArraySimulation.recolour`; population growth discards the
 draw buffer (re-anchoring the stream, exactly like the scalar engine)
 and requires the complete graph, since CSR adjacency cannot grow.  In
 batched mode an intervention applies to every replication at once.
+
+Backends.  All array work routes through :mod:`repro.engine.backend`:
+the transition kernels restrict themselves to the array-API standard
+(``take`` instead of fancy indexing, ``astype`` as a function, no
+``out=``), so :func:`kernel_for` can build a kernel against any
+resolved backend — including ``array-api-strict`` — while the engine
+step loops, which need NumPy-compatible scatter and ``bincount``, gate
+on :func:`~repro.engine.backend.require_engine_loops`.  Randomness
+stays on the host (see :mod:`repro.engine.rng`) and is device-placed
+per block; checkpoints always serialise as host NumPy arrays.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-
-import numpy as np
 
 from ..baselines.anti_voter import AntiVoterModel
 from ..baselines.epidemic import SISEpidemic
@@ -69,6 +77,15 @@ from ..core.state import DARK, LIGHT, AgentState
 from ..core.weights import WeightTable
 from ..topology.base import CompleteGraph
 from . import checkpoint as ckpt
+from .backend import (
+    FLOAT64,
+    HOST,
+    INT64,
+    Backend,
+    Generator,
+    require_engine_loops,
+    resolve_backend,
+)
 from .observers import Observer
 from .population import Population
 from .rng import make_rng
@@ -81,6 +98,13 @@ _BATCH_DRAWS = 65536
 
 # ----------------------------------------------------------------------
 # Transition kernels
+#
+# Kernels are written against the array-API standard — element-wise
+# operators, ``xp.where`` on arrays, ``xp.take`` gathers, ``xp.astype``
+# — so the same source runs on NumPy, CuPy and ``array-api-strict``.
+# Scalar constants that feed ``xp.where`` branches are materialised as
+# 0-d arrays once per ``refresh`` (the strict namespace insists on
+# arrays where NumPy would promote a Python scalar).
 
 
 class _DiversificationKernel:
@@ -97,18 +121,25 @@ class _DiversificationKernel:
 
     coins = 1
 
-    def __init__(self, protocol, unweighted: bool = False):
+    def __init__(
+        self, protocol, unweighted: bool = False, backend: Backend = HOST
+    ):
         self._protocol = protocol
         self._unweighted = unweighted
-        self._lighten: np.ndarray | None = None
-        self._row_lighten: np.ndarray | None = None
+        self._backend = backend
+        self._lighten = None
+        self._row_lighten = None
 
-    def set_row_lighten(self, table: np.ndarray) -> None:
+    def set_row_lighten(self, table) -> None:
         """Install a per-row ``(R, k)`` lighten table (batched mode;
         row ``r`` holds the coins of replication ``r``)."""
-        self._row_lighten = np.asarray(table, dtype=np.float64)
+        bk = self._backend
+        self._row_lighten = bk.asarray(table, dtype=bk.dtypes.float64)
 
     def refresh(self, k: int) -> None:
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
         if self._row_lighten is not None:
             if self._row_lighten.shape[1] != k:
                 raise ValueError(
@@ -117,20 +148,23 @@ class _DiversificationKernel:
                     "is not supported with per-row tables"
                 )
             self._lighten = self._row_lighten
-            return
-        weights = self._protocol.weights
-        if weights.k != k:
-            raise ValueError(
-                f"weight table grew to {weights.k} colours but the array "
-                f"engine was built for k={k}; colour addition needs the "
-                "scalar engines"
-            )
-        if self._unweighted:
-            self._lighten = np.ones(k, dtype=np.float64)
         else:
-            self._lighten = 1.0 / weights.as_array()
+            weights = self._protocol.weights
+            if weights.k != k:
+                raise ValueError(
+                    f"weight table grew to {weights.k} colours but the array "
+                    f"engine was built for k={k}; colour addition needs the "
+                    "scalar engines"
+                )
+            if self._unweighted:
+                self._lighten = xp.ones(k, dtype=dt.float64)
+            else:
+                self._lighten = bk.from_host(1.0 / weights.as_array())
+        self._dark0 = xp.asarray(DARK, dtype=dt.int64)
+        self._light0 = xp.asarray(LIGHT, dtype=dt.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         v0c = vc[..., 0]
         v0s = vs[..., 0]
         u_dark = us > LIGHT
@@ -139,17 +173,26 @@ class _DiversificationKernel:
         if self._lighten.ndim == 2:
             # Per-row table: batched calls pass one scheduled agent per
             # replication, so position i of ``uc`` is replication i.
-            threshold = self._lighten[np.arange(uc.shape[0]), uc]
+            # Gather with a flat take — strict has no 2-D fancy index.
+            k = self._lighten.shape[1]
+            rows = xp.arange(
+                uc.shape[0], dtype=self._backend.dtypes.int64
+            )
+            threshold = xp.take(
+                xp.reshape(self._lighten, (-1,)), rows * k + uc
+            )
         else:
-            threshold = self._lighten[uc]
+            threshold = xp.take(self._lighten, uc)
         lighten = (
             u_dark
             & v_dark
             & (uc == v0c)
             & (coins[..., 0] < threshold)
         )
-        new_c = np.where(adopt, v0c, uc)
-        new_s = np.where(adopt, DARK, np.where(lighten, LIGHT, us))
+        new_c = xp.where(adopt, v0c, uc)
+        new_s = xp.where(
+            adopt, self._dark0, xp.where(lighten, self._light0, us)
+        )
         return new_c, new_s
 
 
@@ -158,17 +201,20 @@ class _VoterKernel:
 
     coins = 0
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
-        pass
+        bk = self._backend
+        self._dark0 = bk.xp.asarray(DARK, dtype=bk.dtypes.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         v0c = vc[..., 0]
         same = v0c == uc
-        new_s = np.where(same, us, DARK)
-        return v0c.copy(), new_s
+        new_s = xp.where(same, us, self._dark0)
+        return xp.asarray(v0c, copy=True), new_s
 
 
 class _ThreeMajorityKernel:
@@ -176,23 +222,27 @@ class _ThreeMajorityKernel:
 
     coins = 1
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
-        pass
+        bk = self._backend
+        self._dark0 = bk.xp.asarray(DARK, dtype=bk.dtypes.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         c1 = vc[..., 0]
         c2 = vc[..., 1]
-        pick = (coins[..., 0] * 3).astype(np.int64)  # 0, 1 or 2
-        random_choice = np.where(pick == 0, uc, np.where(pick == 1, c1, c2))
-        winner = np.where(
+        # 0, 1 or 2
+        pick = xp.astype(coins[..., 0] * 3.0, self._backend.dtypes.int64)
+        random_choice = xp.where(pick == 0, uc, xp.where(pick == 1, c1, c2))
+        winner = xp.where(
             (uc == c1) | (uc == c2),
             uc,
-            np.where(c1 == c2, c1, random_choice),
+            xp.where(c1 == c2, c1, random_choice),
         )
-        new_s = np.where(winner == uc, us, DARK)
+        new_s = xp.where(winner == uc, us, self._dark0)
         return winner, new_s
 
 
@@ -202,18 +252,21 @@ class _TwoChoicesKernel:
 
     coins = 0
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
-        pass
+        bk = self._backend
+        self._dark0 = bk.xp.asarray(DARK, dtype=bk.dtypes.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         c1 = vc[..., 0]
         c2 = vc[..., 1]
         change = (c1 == c2) & (c1 != uc)
-        new_c = np.where(change, c1, uc)
-        new_s = np.where(change, DARK, us)
+        new_c = xp.where(change, c1, uc)
+        new_s = xp.where(change, self._dark0, us)
         return new_c, new_s
 
 
@@ -222,8 +275,9 @@ class _AntiVoterKernel:
 
     coins = 0
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
         if k != 2:
@@ -231,12 +285,15 @@ class _AntiVoterKernel:
                 f"the anti-voter kernel needs exactly two colour slots, "
                 f"got k={k}"
             )
+        bk = self._backend
+        self._dark0 = bk.xp.asarray(DARK, dtype=bk.dtypes.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         opposite = 1 - vc[..., 0]
         change = opposite != uc
-        new_c = np.where(change, opposite, uc)
-        new_s = np.where(change, DARK, us)
+        new_c = xp.where(change, opposite, uc)
+        new_s = xp.where(change, self._dark0, us)
         return new_c, new_s
 
 
@@ -248,8 +305,9 @@ class _SISKernel:
 
     coins = 1
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
         if k != 2:
@@ -257,8 +315,19 @@ class _SISKernel:
                 f"the SIS kernel needs exactly two colour slots "
                 f"(susceptible/infected), got k={k}"
             )
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
+        self._dark0 = xp.asarray(DARK, dtype=dt.int64)
+        self._susceptible0 = xp.asarray(
+            self._protocol.SUSCEPTIBLE, dtype=dt.int64
+        )
+        self._infected0 = xp.asarray(
+            self._protocol.INFECTED, dtype=dt.int64
+        )
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         protocol = self._protocol
         infected = uc == protocol.INFECTED
         coin = coins[..., 0]
@@ -268,12 +337,12 @@ class _SISKernel:
             & (vc[..., 0] == protocol.INFECTED)
             & (coin < protocol.transmission)
         )
-        new_c = np.where(
+        new_c = xp.where(
             recover,
-            protocol.SUSCEPTIBLE,
-            np.where(catch, protocol.INFECTED, uc),
+            self._susceptible0,
+            xp.where(catch, self._infected0, uc),
         )
-        new_s = np.where(recover | catch, DARK, us)
+        new_s = xp.where(recover | catch, self._dark0, us)
         return new_c, new_s
 
 
@@ -283,8 +352,9 @@ class _RandomRecolouringKernel:
 
     coins = 1
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
         if self._protocol.k > k:
@@ -292,14 +362,20 @@ class _RandomRecolouringKernel:
                 f"random recolouring redraws over {self._protocol.k} "
                 f"colours but the engine has only k={k} slots"
             )
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
+        self._dark0 = xp.asarray(DARK, dtype=dt.int64)
+        self._kmax0 = xp.asarray(self._protocol.k - 1, dtype=dt.int64)
 
     def apply(self, uc, us, vc, vs, coins):
+        xp = self._backend.xp
         k = self._protocol.k
         redraw = vc[..., 0] == uc
-        pick = (coins[..., 0] * k).astype(np.int64)
-        np.minimum(pick, k - 1, out=pick)  # ulp guard on coin ~ 1
-        new_c = np.where(redraw, pick, uc)
-        new_s = np.where(redraw, DARK, us)
+        pick = xp.astype(coins[..., 0] * k, self._backend.dtypes.int64)
+        pick = xp.minimum(pick, self._kmax0)  # ulp guard on coin ~ 1
+        new_c = xp.where(redraw, pick, uc)
+        new_s = xp.where(redraw, self._dark0, us)
         return new_c, new_s
 
 
@@ -309,8 +385,9 @@ class _TrivialResamplingKernel:
 
     coins = 2
 
-    def __init__(self, protocol):
+    def __init__(self, protocol, backend: Backend = HOST):
         self._protocol = protocol
+        self._backend = backend
 
     def refresh(self, k: int) -> None:
         if self._protocol.known_k > k:
@@ -318,42 +395,61 @@ class _TrivialResamplingKernel:
                 f"trivial resampling draws over {self._protocol.known_k} "
                 f"colours but the engine has only k={k} slots"
             )
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
+        self._dark0 = xp.asarray(DARK, dtype=dt.int64)
+        self._kmax0 = xp.asarray(self._protocol.known_k - 1, dtype=dt.int64)
+        # The cumulative-share snapshot is private to the protocol and
+        # fixed after construction; device-place it once per refresh.
+        self._cum = bk.from_host(self._protocol.cumulative_shares())
 
     def apply(self, uc, us, vc, vs, coins):
-        protocol = self._protocol
-        resample = coins[..., 0] < protocol.resample_probability
-        pick = np.searchsorted(
-            protocol.cumulative_shares(), coins[..., 1], side="right"
-        )
-        pick = np.minimum(pick, protocol.known_k - 1).astype(np.int64)
+        xp = self._backend.xp
+        dt = self._backend.dtypes
+        resample = coins[..., 0] < self._protocol.resample_probability
+        pick = xp.searchsorted(self._cum, coins[..., 1], side="right")
+        pick = xp.astype(xp.minimum(pick, self._kmax0), dt.int64)
         change = resample & (pick != uc)
-        new_c = np.where(change, pick, uc)
-        new_s = np.where(change, DARK, us)
+        new_c = xp.where(change, pick, uc)
+        new_s = xp.where(change, self._dark0, us)
         return new_c, new_s
 
 
-#: Exact protocol type -> kernel factory.  Exact matches only: a
-#: subclass overriding ``transition`` must not inherit its parent's
-#: kernel.
+#: Exact protocol type -> kernel factory (called with the protocol and
+#: the resolved backend).  Exact matches only: a subclass overriding
+#: ``transition`` must not inherit its parent's kernel.
 _KERNEL_FACTORIES = {
-    Diversification: lambda p: _DiversificationKernel(p),
-    UnweightedLightening: lambda p: _DiversificationKernel(
-        p, unweighted=True
+    Diversification: lambda p, bk: _DiversificationKernel(p, backend=bk),
+    UnweightedLightening: lambda p, bk: _DiversificationKernel(
+        p, unweighted=True, backend=bk
     ),
-    VoterModel: _VoterKernel,
-    ThreeMajority: _ThreeMajorityKernel,
-    TwoChoices: _TwoChoicesKernel,
-    AntiVoterModel: _AntiVoterKernel,
-    SISEpidemic: _SISKernel,
-    RandomRecolouring: _RandomRecolouringKernel,
-    TrivialResampling: _TrivialResamplingKernel,
+    VoterModel: lambda p, bk: _VoterKernel(p, backend=bk),
+    ThreeMajority: lambda p, bk: _ThreeMajorityKernel(p, backend=bk),
+    TwoChoices: lambda p, bk: _TwoChoicesKernel(p, backend=bk),
+    AntiVoterModel: lambda p, bk: _AntiVoterKernel(p, backend=bk),
+    SISEpidemic: lambda p, bk: _SISKernel(p, backend=bk),
+    RandomRecolouring: lambda p, bk: _RandomRecolouringKernel(
+        p, backend=bk
+    ),
+    TrivialResampling: lambda p, bk: _TrivialResamplingKernel(
+        p, backend=bk
+    ),
 }
 
 
-def kernel_for(protocol: Protocol):
-    """The vectorised kernel for ``protocol``, or None if it has none."""
+def kernel_for(protocol: Protocol, backend: str | Backend | None = None):
+    """The vectorised kernel for ``protocol``, or None if it has none.
+
+    ``backend`` selects the array namespace the kernel computes with
+    (name, resolved :class:`~repro.engine.backend.Backend`, or None for
+    the ``REPRO_BACKEND``/NumPy default).  Kernels run on *any* known
+    backend, including ``array-api-strict``.
+    """
     factory = _KERNEL_FACTORIES.get(type(protocol))
-    return None if factory is None else factory(protocol)
+    if factory is None:
+        return None
+    return factory(protocol, resolve_backend(backend))
 
 
 def has_kernel(protocol: Protocol) -> bool:
@@ -411,19 +507,19 @@ class ArrayPopulationView:
             )
         ]
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         return self._simulation.colour_counts()
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         return self._simulation.dark_counts()
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         return self._simulation.light_counts()
 
-    def colours_view(self) -> np.ndarray:
+    def colours_view(self):
         return self._simulation._colours
 
-    def shades_view(self) -> np.ndarray:
+    def shades_view(self):
         return self._simulation._shades
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -449,7 +545,8 @@ class ArraySimulation:
         scheduler: Activation policy (default uniform; reset at
             construction).  Batched runs require the uniform scheduler.
         rng: Seed or generator driving all randomness (one shared
-            stream for all replications, vectorised draws).
+            stream for all replications, vectorised draws).  Draws are
+            host-resident on every backend — the seeding contract.
         observers: Change-driven instrumentation (single-run mode
             only).  With observers attached, kernel evaluation stays
             vectorised but changes are applied one at a time so each
@@ -463,6 +560,12 @@ class ArraySimulation:
             dynamics depend on the weights only through these coins).
             Incompatible with colour addition (the per-row table cannot
             grow).
+        backend: Array backend for state and kernels — a name, a
+            resolved :class:`~repro.engine.backend.Backend`, or None
+            (``REPRO_BACKEND`` env var, default NumPy).  The step loops
+            need a NumPy-compatible namespace, so ``array-api-strict``
+            is rejected here (use :func:`kernel_for` to exercise the
+            kernel layer on it).
     """
 
     def __init__(
@@ -474,13 +577,20 @@ class ArraySimulation:
         k: int | None = None,
         topology=None,
         scheduler: Scheduler | None = None,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
         observers: Iterable[Observer] = (),
         replications: int | None = None,
         lighten_rows=None,
+        backend: str | Backend | None = None,
     ):
         self.protocol = protocol
-        self._kernel = kernel_for(protocol)
+        self._backend = require_engine_loops(
+            resolve_backend(backend), "ArraySimulation"
+        )
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
+        self._kernel = kernel_for(protocol, backend=bk)
         if self._kernel is None:
             raise ValueError(
                 f"protocol {protocol.name!r} has no vectorised kernel; "
@@ -488,15 +598,15 @@ class ArraySimulation:
             )
         if isinstance(colours, Population):
             if shades is None:
-                shades = np.asarray(colours.shades_view(), dtype=np.int64)
+                shades = xp.asarray(colours.shades_view(), dtype=dt.int64)
             if k is None:
                 k = colours.k
-            colours = np.asarray(colours.colours_view(), dtype=np.int64)
-        colours = np.asarray(colours, dtype=np.int64)
+            colours = xp.asarray(colours.colours_view(), dtype=dt.int64)
+        colours = xp.asarray(colours, dtype=dt.int64)
         if colours.ndim == 1 and replications is not None:
             if replications < 1:
                 raise ValueError("need at least one replication")
-            colours = np.tile(colours, (replications, 1))
+            colours = xp.tile(colours, (replications, 1))
         elif colours.ndim == 2:
             if replications is not None and replications != colours.shape[0]:
                 raise ValueError(
@@ -510,7 +620,7 @@ class ArraySimulation:
         self._n = int(colours.shape[-1])
         if self._n < 2:
             raise ValueError("need at least two agents to interact")
-        if colours.size and colours.min() < 0:
+        if colours.size and int(colours.min()) < 0:
             raise ValueError("colours must be non-negative")
         observed_k = int(colours.max()) + 1 if colours.size else 1
         if k is None:
@@ -522,18 +632,18 @@ class ArraySimulation:
             )
         self._k = int(k)
         if shades is None:
-            shade_map = np.array(
+            shade_map = xp.asarray(
                 [protocol.initial_state(c).shade for c in range(self._k)],
-                dtype=np.int64,
+                dtype=dt.int64,
             )
             shades = shade_map[colours]
         else:
-            shades = np.asarray(shades, dtype=np.int64)
+            shades = xp.asarray(shades, dtype=dt.int64)
             if self._batched and shades.ndim == 1:
-                shades = np.tile(shades, (colours.shape[0], 1))
+                shades = xp.tile(shades, (colours.shape[0], 1))
             if shades.shape != colours.shape:
                 raise ValueError("shades must match the shape of colours")
-            if shades.size and shades.min() < 0:
+            if shades.size and int(shades.min()) < 0:
                 raise ValueError("shades must be non-negative")
         self._colours = colours.copy()
         self._shades = shades.copy()
@@ -549,7 +659,9 @@ class ArraySimulation:
         if self._complete:
             self._offsets = self._targets = None
         elif hasattr(topology, "neighbour_arrays"):
-            self._offsets, self._targets = topology.neighbour_arrays()
+            offsets, targets = topology.neighbour_arrays()
+            self._offsets = xp.asarray(offsets, dtype=dt.int64)
+            self._targets = xp.asarray(targets, dtype=dt.int64)
         else:
             raise ValueError(
                 f"topology {type(topology).__name__} exposes no CSR "
@@ -572,14 +684,14 @@ class ArraySimulation:
                 raise ValueError(
                     "lighten_rows requires batched (R, n) mode"
                 )
-            table = np.asarray(lighten_rows, dtype=np.float64)
+            table = xp.asarray(lighten_rows, dtype=dt.float64)
             expected = (self._colours.shape[0], self._k)
             if table.shape != expected:
                 raise ValueError(
                     f"lighten_rows must have shape {expected}, "
                     f"got {table.shape}"
                 )
-            if (table < 0.0).any() or (table > 1.0).any():
+            if bool((table < 0.0).any()) or bool((table > 1.0).any()):
                 raise ValueError(
                     "lighten probabilities must be in [0, 1]"
                 )
@@ -603,7 +715,7 @@ class ArraySimulation:
         # Live (k,) count tables are maintained only while observers
         # need per-change snapshots; otherwise counts are recomputed on
         # demand with one bincount.
-        self._live_counts: dict[str, np.ndarray] | None = None
+        self._live_counts: dict | None = None
         self._population_view = (
             None if self._batched else ArrayPopulationView(self)
         )
@@ -620,6 +732,11 @@ class ArraySimulation:
     def k(self) -> int:
         """Number of colour slots (fixed for the engine's lifetime)."""
         return self._k
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved array backend this engine computes with."""
+        return self._backend
 
     @property
     def replications(self) -> int:
@@ -649,33 +766,34 @@ class ArraySimulation:
             )
         self.observers.append(observer)
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         """``C_i`` per colour — ``(k,)``, or ``(R, k)`` batched."""
         if self._live_counts is not None:
             return self._live_counts["colour"].copy()
         return self._bincount(None)
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         """``A_i`` (shade > 0) — ``(k,)``, or ``(R, k)`` batched."""
         if self._live_counts is not None:
             return self._live_counts["dark"].copy()
         return self._bincount(self._shades > LIGHT)
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         """``a_i`` (shade == 0) — ``(k,)``, or ``(R, k)`` batched."""
         if self._live_counts is not None:
             return self._live_counts["light"].copy()
         return self._bincount(self._shades == LIGHT)
 
-    def _bincount(self, mask) -> np.ndarray:
+    def _bincount(self, mask):
+        xp = self._backend.xp
         k = self._k
         if not self._batched:
             data = self._colours if mask is None else self._colours[mask]
-            return np.bincount(data, minlength=k)
+            return xp.bincount(data, minlength=k)
         rows = self._colours.shape[0]
-        keys = self._colours + (np.arange(rows) * k)[:, None]
+        keys = self._colours + (xp.arange(rows) * k)[:, None]
         data = keys.ravel() if mask is None else keys[mask]
-        return np.bincount(data, minlength=rows * k).reshape(rows, k)
+        return xp.bincount(data, minlength=rows * k).reshape(rows, k)
 
     # ------------------------------------------------------------------
     # Adversary support (between, never during, ``run`` calls)
@@ -700,16 +818,18 @@ class ArraySimulation:
                 "population growth requires the complete graph; explicit "
                 "topologies cannot gain agents"
             )
+        xp = self._backend.xp
+        dt = self._backend.dtypes
         shade = DARK if dark else LIGHT
         shape = (
             (self.replications, count) if self._batched else (count,)
         )
-        self._colours = np.concatenate(
-            [self._colours, np.full(shape, colour, dtype=np.int64)],
+        self._colours = xp.concatenate(
+            [self._colours, xp.full(shape, colour, dtype=dt.int64)],
             axis=-1,
         )
-        self._shades = np.concatenate(
-            [self._shades, np.full(shape, shade, dtype=np.int64)],
+        self._shades = xp.concatenate(
+            [self._shades, xp.full(shape, shade, dtype=dt.int64)],
             axis=-1,
         )
         self._n += count
@@ -755,12 +875,13 @@ class ArraySimulation:
     def _grow_colour_slots(self, new_k: int) -> None:
         if new_k < self._k:
             raise ValueError("colour slots can only grow")
+        xp = self._backend.xp
         extra = new_k - self._k
         self._k = int(new_k)
         if extra and self._live_counts is not None:
             self._live_counts = {
-                key: np.concatenate(
-                    [table, np.zeros(extra, dtype=table.dtype)]
+                key: xp.concatenate(
+                    [table, xp.zeros(extra, dtype=table.dtype)]
                 )
                 for key, table in self._live_counts.items()
             }
@@ -823,34 +944,38 @@ class ArraySimulation:
 
     def _refill_single(self) -> None:
         """Draw a full block of steps and precompute its conflict map."""
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
         n = self._n
         rng = self.rng
-        initiators = np.asarray(
-            self.scheduler.draw_block(n, _BLOCK, rng), dtype=np.int64
+        initiators = xp.asarray(
+            self.scheduler.draw_block(n, _BLOCK, rng), dtype=dt.int64
         )
-        partner_uniforms = rng.random((_BLOCK, self._arity))
+        partner_uniforms = bk.uniform_block(rng, (_BLOCK, self._arity))
         if self._ncoins:
-            self._buf_coins = rng.random((_BLOCK, self._ncoins))
+            self._buf_coins = bk.uniform_block(rng, (_BLOCK, self._ncoins))
         else:
-            self._buf_coins = np.empty((_BLOCK, 0))
+            self._buf_coins = xp.zeros((_BLOCK, 0), dtype=dt.float64)
         if self._complete:
-            draw = (partner_uniforms * (n - 1)).astype(np.int64)
+            draw = xp.astype(partner_uniforms * (n - 1), dt.int64)
             partners = draw + (draw >= initiators[:, None])
         else:
             degrees = (
                 self._offsets[initiators + 1] - self._offsets[initiators]
             )
-            local = (partner_uniforms * degrees[:, None]).astype(np.int64)
+            local = xp.astype(partner_uniforms * degrees[:, None], dt.int64)
             partners = self._targets[
                 self._offsets[initiators][:, None] + local
             ]
         self._buf_init = initiators
         self._buf_partners = partners
         self._buf_pos = 0
-        self._buf_runmax = _conflict_runmax(initiators, partners)
+        self._buf_runmax = _conflict_runmax(initiators, partners, xp=xp)
 
     def _process_slice(self, lo: int, hi: int) -> None:
         """Apply buffered steps ``[lo, hi)`` in conflict-free segments."""
+        xp = self._backend.xp
         initiators = self._buf_init
         partners = self._buf_partners
         coins = self._buf_coins
@@ -861,7 +986,7 @@ class ArraySimulation:
         start = lo
         while start < hi:
             end = min(
-                hi, int(np.searchsorted(runmax, start, side="left"))
+                hi, int(xp.searchsorted(runmax, start, side="left"))
             )
             u = initiators[start:end]
             v = partners[start:end]
@@ -879,7 +1004,7 @@ class ArraySimulation:
                 targets = u[changed]
                 colours[targets] = new_c[changed]
                 shades[targets] = new_s[changed]
-                self.changes += int(np.count_nonzero(changed))
+                self.changes += int(xp.count_nonzero(changed))
                 self._time += end - start
             start = end
 
@@ -889,9 +1014,10 @@ class ArraySimulation:
         """Apply a segment change-by-change so observers see exact
         mid-trajectory state (the vectorised kernel already fixed the
         outcomes; conflict-freedom makes sequential replay exact)."""
+        xp = self._backend.xp
         base = self._time
         counts = self._live_counts
-        for j in np.flatnonzero(changed):
+        for j in xp.flatnonzero(changed):
             j = int(j)
             agent = int(u[j])
             old = AgentState(int(uc[j]), int(us[j]))
@@ -916,8 +1042,9 @@ class ArraySimulation:
     # Batched mode: one step for all replications per iteration
 
     def _run_batched(self, steps: int) -> None:
+        xp = self._backend.xp
         remaining = steps
-        rows = np.arange(self._colours.shape[0])
+        rows = xp.arange(self._colours.shape[0])
         while remaining > 0:
             if self._buf_pos >= self._batch_block:
                 self._refill_batched()
@@ -929,26 +1056,33 @@ class ArraySimulation:
             remaining -= take
 
     def _refill_batched(self) -> None:
+        bk = self._backend
+        xp = bk.xp
+        dt = bk.dtypes
         n = self._n
         rng = self.rng
         block = self._batch_block
         r = self._colours.shape[0]
-        initiators = np.asarray(
-            self.scheduler.draw_block(n, block * r, rng), dtype=np.int64
+        initiators = xp.asarray(
+            self.scheduler.draw_block(n, block * r, rng), dtype=dt.int64
         ).reshape(block, r)
-        partner_uniforms = rng.random((block, r, self._arity))
+        partner_uniforms = bk.uniform_block(rng, (block, r, self._arity))
         if self._ncoins:
-            self._buf_coins = rng.random((block, r, self._ncoins))
+            self._buf_coins = bk.uniform_block(
+                rng, (block, r, self._ncoins)
+            )
         else:
-            self._buf_coins = np.empty((block, r, 0))
+            self._buf_coins = xp.zeros((block, r, 0), dtype=dt.float64)
         if self._complete:
-            draw = (partner_uniforms * (n - 1)).astype(np.int64)
+            draw = xp.astype(partner_uniforms * (n - 1), dt.int64)
             partners = draw + (draw >= initiators[..., None])
         else:
             degrees = (
                 self._offsets[initiators + 1] - self._offsets[initiators]
             )
-            local = (partner_uniforms * degrees[..., None]).astype(np.int64)
+            local = xp.astype(
+                partner_uniforms * degrees[..., None], dt.int64
+            )
             partners = self._targets[
                 self._offsets[initiators][..., None] + local
             ]
@@ -956,7 +1090,8 @@ class ArraySimulation:
         self._buf_partners = partners
         self._buf_pos = 0
 
-    def _step_batched(self, rows: np.ndarray, t: int) -> None:
+    def _step_batched(self, rows, t: int) -> None:
+        xp = self._backend.xp
         colours = self._colours
         shades = self._shades
         u = self._buf_init[t]
@@ -975,7 +1110,7 @@ class ArraySimulation:
         target_cols = u[changed]
         colours[target_rows, target_cols] = new_c[changed]
         shades[target_rows, target_cols] = new_s[changed]
-        self.changes += int(np.count_nonzero(changed))
+        self.changes += int(xp.count_nonzero(changed))
         self._time += 1
 
     # ------------------------------------------------------------------
@@ -990,16 +1125,18 @@ class ArraySimulation:
         when it has one.  An exhausted buffer is dropped (the next run
         refills at the same stream position either way); the single-run
         conflict map is recomputed on restore, since it is a pure
-        function of the buffered draws.
+        function of the buffered draws.  All arrays cross
+        ``Backend.to_numpy`` so the payload restores on any backend.
         """
+        bk = self._backend
         buffered = (
             hasattr(self, "_buf_init")
             and self._buf_pos < self._batch_block
         )
         weights = getattr(self.protocol, "weights", None)
         fields = {
-            "colours": self._colours.copy(),
-            "shades": self._shades.copy(),
+            "colours": bk.to_numpy(self._colours, copy=True),
+            "shades": bk.to_numpy(self._shades, copy=True),
             "k": int(self._k),
             "n": int(self._n),
             "time": int(self._time),
@@ -1010,9 +1147,11 @@ class ArraySimulation:
             "rng": ckpt.rng_state(self.rng),
         }
         if buffered:
-            fields["buf_init"] = self._buf_init.copy()
-            fields["buf_partners"] = self._buf_partners.copy()
-            fields["buf_coins"] = self._buf_coins.copy()
+            fields["buf_init"] = bk.to_numpy(self._buf_init, copy=True)
+            fields["buf_partners"] = bk.to_numpy(
+                self._buf_partners, copy=True
+            )
+            fields["buf_coins"] = bk.to_numpy(self._buf_coins, copy=True)
         if isinstance(weights, WeightTable):
             fields["weights"] = weights.as_array()
         return ckpt.payload("ArraySimulation", **fields)
@@ -1020,11 +1159,12 @@ class ArraySimulation:
     def restore(self, data: dict) -> "ArraySimulation":
         """Restore a :meth:`snapshot` payload in place."""
         ckpt.check(data, "ArraySimulation")
+        bk = self._backend
         weights = getattr(self.protocol, "weights", None)
         if isinstance(weights, WeightTable) and "weights" in data:
             ckpt.restore_weight_table(weights, data["weights"])
-        colours = ckpt.as_array(data["colours"], np.int64)
-        shades = ckpt.as_array(data["shades"], np.int64)
+        colours = ckpt.as_array(data["colours"], INT64)
+        shades = ckpt.as_array(data["shades"], INT64)
         if colours.ndim != self._colours.ndim or colours.shape != shades.shape:
             raise ValueError(
                 f"state shape {colours.shape} does not match the "
@@ -1040,21 +1180,25 @@ class ArraySimulation:
                 "checkpoint population size does not match the topology"
             )
         self._grow_colour_slots(ckpt.as_int(data["k"]))
-        self._colours = colours
-        self._shades = shades
+        self._colours = bk.from_host(colours)
+        self._shades = bk.from_host(shades)
         self._n = ckpt.as_int(data["n"])
         self._time = ckpt.as_int(data["time"])
         self.changes = ckpt.as_int(data["changes"])
         self._buf_pos = ckpt.as_int(data["buf_pos"])
         if ckpt.as_int(data["buffered"]):
-            self._buf_init = ckpt.as_array(data["buf_init"], np.int64)
-            self._buf_partners = ckpt.as_array(
-                data["buf_partners"], np.int64
+            self._buf_init = bk.from_host(
+                ckpt.as_array(data["buf_init"], INT64)
             )
-            self._buf_coins = ckpt.as_array(data["buf_coins"], np.float64)
+            self._buf_partners = bk.from_host(
+                ckpt.as_array(data["buf_partners"], INT64)
+            )
+            self._buf_coins = bk.from_host(
+                ckpt.as_array(data["buf_coins"], FLOAT64)
+            )
             if not self._batched:
                 self._buf_runmax = _conflict_runmax(
-                    self._buf_init, self._buf_partners
+                    self._buf_init, self._buf_partners, xp=bk.xp
                 )
         else:
             self._buf_pos = max(self._buf_pos, self._batch_block)
@@ -1073,9 +1217,7 @@ class ArraySimulation:
         )
 
 
-def _conflict_runmax(
-    initiators: np.ndarray, partners: np.ndarray
-) -> np.ndarray:
+def _conflict_runmax(initiators, partners, xp=None):
     """Running maximum of each step's latest read-write conflict.
 
     For every step ``t`` of a drawn block, ``maxprev[t]`` is the latest
@@ -1090,15 +1232,21 @@ def _conflict_runmax(
     The latest-write lookup is one sorted search: writes are encoded as
     ``agent * B + step`` (unique, sorted), each read ``(agent, t)``
     queries the largest write key strictly below ``agent * B + t``.
+
+    ``xp`` is the (NumPy-compatible) namespace holding the buffers; the
+    ufunc-style ``maximum.accumulate`` keeps this helper on the
+    engine-loop side of the backend gate.
     """
+    if xp is None:
+        xp = HOST.xp
     block = initiators.shape[0]
-    steps = np.arange(block, dtype=np.int64)
-    write_keys = np.sort(initiators * block + steps)
-    reads = np.concatenate([initiators[:, None], partners], axis=1)
+    steps = xp.arange(block, dtype=INT64)
+    write_keys = xp.sort(initiators * block + steps)
+    reads = xp.concatenate([initiators[:, None], partners], axis=1)
     queries = (reads * block + steps[:, None]).ravel()
-    position = np.searchsorted(write_keys, queries, side="left") - 1
-    candidate = write_keys[np.maximum(position, 0)]
+    position = xp.searchsorted(write_keys, queries, side="left") - 1
+    candidate = write_keys[xp.maximum(position, 0)]
     hit = (position >= 0) & (candidate // block == reads.ravel())
-    prev = np.where(hit, candidate % block, -1)
+    prev = xp.where(hit, candidate % block, -1)
     maxprev = prev.reshape(block, -1).max(axis=1)
-    return np.maximum.accumulate(maxprev)
+    return xp.maximum.accumulate(maxprev)

@@ -58,11 +58,18 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..core.weights import WeightTable
 from . import checkpoint as ckpt
 from .aggregate import resolve_lighten_probabilities
+from .backend import (
+    FLOAT64,
+    HOST,
+    INT64,
+    Backend,
+    Generator,
+    require_engine_loops,
+    resolve_backend,
+)
 from .rng import make_rng
 from .streams import RowStreams, geometric_from_uniform
 
@@ -94,19 +101,24 @@ class BatchedAggregateSimulation:
         light_counts=None,
         *,
         replications: int | None = None,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
         lighten_probabilities: Sequence[float] | None = None,
+        backend: str | Backend | None = None,
     ):
+        self._backend = require_engine_loops(
+            resolve_backend(backend), "BatchedAggregateSimulation"
+        )
+        xp = self._backend.xp
         self.weights = weights
         k = weights.k
-        dark = np.asarray(dark_counts, dtype=np.int64)
+        dark = xp.asarray(dark_counts, dtype=INT64)
         if light_counts is None:
-            light = np.zeros_like(dark)
+            light = xp.zeros(dark.shape, dtype=INT64)
         else:
-            light = np.asarray(light_counts, dtype=np.int64)
-        dark = self._as_matrix(dark, replications, k, "dark_counts")
+            light = xp.asarray(light_counts, dtype=INT64)
+        dark = self._as_matrix(dark, replications, k, "dark_counts", xp)
         replications = dark.shape[0]
-        light = self._as_matrix(light, replications, k, "light_counts")
+        light = self._as_matrix(light, replications, k, "light_counts", xp)
         if light.shape[0] != replications:
             raise ValueError(
                 "dark_counts and light_counts disagree on the number of "
@@ -123,15 +135,15 @@ class BatchedAggregateSimulation:
         if self._n < 2:
             raise ValueError("need at least two agents")
         # One contiguous (R, 2k) state matrix; dark and light are views.
-        self._state = np.concatenate([dark, light], axis=1)
+        self._state = xp.concatenate([dark, light], axis=1)
         self._dark = self._state[:, :k]
         self._light = self._state[:, k:]
-        self._lighten = np.asarray(
+        self._lighten = xp.asarray(
             resolve_lighten_probabilities(weights, lighten_probabilities),
-            dtype=np.float64,
+            dtype=FLOAT64,
         )
         self.rng = make_rng(rng)
-        self._times = np.zeros(replications, dtype=np.int64)
+        self._times = xp.zeros(replications, dtype=INT64)
         # Every replication draws from its own substream (seeded off the
         # base generator), so a row's consumed uniforms depend only on
         # its own event history — the basis of the split-invariance
@@ -139,13 +151,11 @@ class BatchedAggregateSimulation:
         self._streams = RowStreams.from_generator(self.rng, replications)
         # Next active-event arrival per row, carried across run calls
         # when it overshoots the horizon (-1 = none drawn yet).
-        self._pending = np.full(replications, -1, dtype=np.int64)
+        self._pending = xp.full(replications, -1, dtype=INT64)
         self._taps: list = []
 
     @staticmethod
-    def _as_matrix(
-        counts: np.ndarray, replications: int | None, k: int, name: str
-    ) -> np.ndarray:
+    def _as_matrix(counts, replications: int | None, k: int, name: str, xp):
         if counts.ndim == 1:
             if counts.shape[0] != k:
                 raise ValueError(
@@ -157,7 +167,7 @@ class BatchedAggregateSimulation:
                 )
             if replications < 1:
                 raise ValueError("need at least one replication")
-            return np.tile(counts, (replications, 1))
+            return xp.tile(counts, (replications, 1))
         if counts.ndim != 2 or counts.shape[1] != k:
             raise ValueError(
                 f"{name} must have shape (k,) or (R, k) with k={k}"
@@ -188,6 +198,11 @@ class BatchedAggregateSimulation:
         return self._state.shape[0]
 
     @property
+    def backend(self) -> Backend:
+        """The array backend this engine computes on."""
+        return self._backend
+
+    @property
     def time(self) -> int:
         """Common time-step of all replications.
 
@@ -196,26 +211,26 @@ class BatchedAggregateSimulation:
         """
         return int(self._times.max(initial=0))
 
-    def times(self) -> np.ndarray:
+    def times(self):
         """Per-replication clocks, shape ``(R,)``."""
         return self._times.copy()
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         """``A_i`` per replication and colour, shape ``(R, k)``."""
         return self._dark.copy()
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         """``a_i`` per replication and colour, shape ``(R, k)``."""
         return self._light.copy()
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         """``C_i = A_i + a_i`` per replication and colour, ``(R, k)``."""
         return self._dark + self._light
 
     # ------------------------------------------------------------------
     # Per-step mode (used by the equivalence tests)
 
-    def step(self) -> np.ndarray:
+    def step(self):
         """One faithful time-step in every replication.
 
         Each row consumes three uniforms from its own substream, so
@@ -229,14 +244,19 @@ class BatchedAggregateSimulation:
         """
         self._pending[:] = -1  # per-step mode re-examines every step
         self._times += 1
-        rows = np.arange(self._state.shape[0])
+        bk = self._backend
+        rows = bk.xp.arange(self._state.shape[0])
+        uniforms = bk.from_host(
+            self._streams.take(bk.to_numpy(rows), 3)
+        ).T
         return apply_step_rows(
             self._state,
             self._dark,
             self._light,
             self._lighten,
             rows,
-            self._streams.take(rows, 3).T,
+            uniforms,
+            xp=bk.xp,
         )
 
     def run_per_step(self, steps: int) -> "BatchedAggregateSimulation":
@@ -276,11 +296,12 @@ class BatchedAggregateSimulation:
             self._dark,
             self._light,
             self._lighten,
-            np.full(self.replications, denom, dtype=np.float64),
+            self._backend.xp.full(self.replications, denom, dtype=FLOAT64),
             self._streams,
             self._pending,
             self.weights.k,
             tap=self._tap_update if self._taps else None,
+            backend=self._backend,
         )
         self._sync_taps()
         return self
@@ -314,13 +335,16 @@ class BatchedAggregateSimulation:
             raise ValueError("count must be non-negative")
         colour = self.weights.add_colour(weight)
         k = self.weights.k
-        state = np.zeros((self._state.shape[0], 2 * k), dtype=np.int64)
+        xp = self._backend.xp
+        state = xp.zeros((self._state.shape[0], 2 * k), dtype=INT64)
         state[:, : k - 1] = self._dark
         state[:, k : 2 * k - 1] = self._light
         self._state = state
         self._dark = state[:, :k]
         self._light = state[:, k:]
-        self._lighten = np.append(self._lighten, 1.0 / weight)
+        self._lighten = xp.concatenate(
+            [self._lighten, xp.asarray([1.0 / weight], dtype=FLOAT64)]
+        )
         self.add_agents(colour, count, dark=dark)
         return colour
 
@@ -354,8 +378,8 @@ class BatchedAggregateSimulation:
         if reset:
             accumulator.reset(
                 self._times.copy(),
-                self._dark.astype(np.float64),
-                self._light.astype(np.float64),
+                self._dark.astype(FLOAT64),
+                self._light.astype(FLOAT64),
             )
         self._taps.append(accumulator)
 
@@ -363,10 +387,10 @@ class BatchedAggregateSimulation:
         """Drop all attached streaming accumulators."""
         self._taps.clear()
 
-    def _tap_update(self, rows: np.ndarray) -> None:
+    def _tap_update(self, rows) -> None:
         times = self._times[rows]
-        dark = self._dark[rows].astype(np.float64)
-        light = self._light[rows].astype(np.float64)
+        dark = self._dark[rows].astype(FLOAT64)
+        light = self._light[rows].astype(FLOAT64)
         for tap in self._taps:
             tap.update(rows, times, dark, light)
 
@@ -382,14 +406,15 @@ class BatchedAggregateSimulation:
 
     def snapshot(self) -> dict:
         """``repro-ckpt/v1`` payload of all run-relevant state."""
+        bk = self._backend
         return ckpt.payload(
             "BatchedAggregateSimulation",
             weights=self.weights.as_array(),
-            dark=self.dark_counts(),
-            light=self.light_counts(),
-            lighten=self._lighten.copy(),
-            times=self._times.copy(),
-            pending=self._pending.copy(),
+            dark=bk.to_numpy(self._dark, copy=True),
+            light=bk.to_numpy(self._light, copy=True),
+            lighten=bk.to_numpy(self._lighten, copy=True),
+            times=bk.to_numpy(self._times, copy=True),
+            pending=bk.to_numpy(self._pending, copy=True),
             n=int(self._n),
             streams=self._streams.snapshot(),
             rng=ckpt.rng_state(self.rng),
@@ -403,20 +428,21 @@ class BatchedAggregateSimulation:
         """
         ckpt.check(data, "BatchedAggregateSimulation")
         ckpt.restore_weight_table(self.weights, data["weights"])
+        bk = self._backend
         k = self.weights.k
-        dark = ckpt.as_array(data["dark"], np.int64)
-        light = ckpt.as_array(data["light"], np.int64)
+        dark = ckpt.as_array(data["dark"], INT64)
+        light = ckpt.as_array(data["light"], INT64)
         if dark.shape != (self.replications, k) or dark.shape != light.shape:
             raise ValueError(
                 f"count shape {dark.shape} does not match "
                 f"({self.replications}, {k})"
             )
-        self._state = np.concatenate([dark, light], axis=1)
+        self._state = bk.from_host(HOST.xp.concatenate([dark, light], axis=1))
         self._dark = self._state[:, :k]
         self._light = self._state[:, k:]
-        self._lighten = ckpt.as_array(data["lighten"], np.float64)
-        self._times = ckpt.as_array(data["times"], np.int64)
-        self._pending = ckpt.as_array(data["pending"], np.int64)
+        self._lighten = bk.from_host(ckpt.as_array(data["lighten"], FLOAT64))
+        self._times = bk.from_host(ckpt.as_array(data["times"], INT64))
+        self._pending = bk.from_host(ckpt.as_array(data["pending"], INT64))
         self._n = ckpt.as_int(data["n"])
         self._streams.restore(data["streams"])
         ckpt.set_rng_state(self.rng, data["rng"])
@@ -430,13 +456,14 @@ class BatchedAggregateSimulation:
 
 
 def apply_step_rows(
-    state: np.ndarray,
-    dark: np.ndarray,
-    light: np.ndarray,
-    lighten: np.ndarray,
-    rows: np.ndarray,
-    uniforms: np.ndarray,
-) -> np.ndarray:
+    state,
+    dark,
+    light,
+    lighten,
+    rows,
+    uniforms,
+    xp=None,
+):
     """Shared per-step transition of the batched engines: one faithful
     time-step for the ``rows`` of a ``(B, 2k)`` state matrix, mutating
     ``dark``/``light`` in place (``state`` is their concatenation).
@@ -449,21 +476,24 @@ def apply_step_rows(
     through boolean masks.  ``uniforms`` holds the step's three
     ``(len(rows),)`` draws; ``lighten`` is a ``(k,)`` vector
     (homogeneous rows) or a ``(B, k)`` matrix (per-row tables).
-    Returns the per-``rows`` changed mask.
+    Returns the per-``rows`` changed mask.  ``xp`` selects the
+    (NumPy-compatible) namespace; the default is the host.
     """
+    if xp is None:
+        xp = HOST.xp
     k = state.shape[1] // 2
     # Fancy indexing yields a fresh copy, safe to mutate below.
     masses = state[rows]
-    sub = np.arange(rows.size)
-    u_cls = _pick_rows(masses, uniforms[0])
+    sub = xp.arange(rows.size)
+    u_cls = _pick_rows(masses, uniforms[0], xp)
     # Exclude u from its own class before the partner draw.
     masses[sub, u_cls] -= 1
-    v_cls = _pick_rows(masses, uniforms[1])
+    v_cls = _pick_rows(masses, uniforms[1], xp)
     coin = uniforms[2]
     u_dark = u_cls < k
     v_dark = v_cls < k
-    u_col = np.where(u_dark, u_cls, u_cls - k)
-    v_col = np.where(v_dark, v_cls, v_cls - k)
+    u_col = xp.where(u_dark, u_cls, u_cls - k)
+    v_col = xp.where(v_dark, v_cls, v_cls - k)
     adopt = ~u_dark & v_dark
     threshold = (
         lighten[rows, u_col] if lighten.ndim == 2 else lighten[u_col]
@@ -471,26 +501,27 @@ def apply_step_rows(
     lightened = (
         u_dark & v_dark & (u_col == v_col) & (coin < threshold)
     )
-    a_sel = np.flatnonzero(adopt)
+    a_sel = xp.flatnonzero(adopt)
     light[rows[a_sel], u_col[a_sel]] -= 1
     dark[rows[a_sel], v_col[a_sel]] += 1
-    l_sel = np.flatnonzero(lightened)
+    l_sel = xp.flatnonzero(lightened)
     dark[rows[l_sel], u_col[l_sel]] -= 1
     light[rows[l_sel], u_col[l_sel]] += 1
     return adopt | lightened
 
 
 def advance_event_driven(
-    times: np.ndarray,
-    horizon: np.ndarray,
-    dark: np.ndarray,
-    light: np.ndarray,
-    lighten: np.ndarray,
-    denom: np.ndarray,
+    times,
+    horizon,
+    dark,
+    light,
+    lighten,
+    denom,
     streams: RowStreams,
-    pending: np.ndarray,
+    pending,
     k: int,
     tap=None,
+    backend: Backend = HOST,
 ) -> None:
     """Shared event-driven core of the batched engines: advance each
     row to its own ``horizon[r]`` with per-row geometric event jumps,
@@ -518,13 +549,18 @@ def advance_event_driven(
     events with the absolute indices of the rows that just changed
     (their clocks already advanced), letting engines feed streaming
     accumulators from inside the loop.
+
+    ``backend`` supplies the array namespace the loop computes in and
+    the host converters for the stream boundary (``streams`` draws on
+    the CPU on every backend).
     """
+    xp = backend.xp
     row_lighten = lighten.ndim == 2
     total_dark = dark.sum(axis=1)
-    terms = (dark * (dark - 1)).astype(np.float64) * lighten
+    terms = (dark * (dark - 1)).astype(FLOAT64) * lighten
     # Index array of rows still short of the horizon; rows retire when
     # they are absorbed or their next jump overshoots.
-    act = np.flatnonzero(times < horizon)
+    act = xp.flatnonzero(times < horizon)
     while act.size:
         # Row-wise cumulative masses over 3k classes: the first 2k
         # (adopt per light colour, scaled by the dark total, then the
@@ -532,8 +568,8 @@ def advance_event_driven(
         # running total at column 2k-1 *is* the event rate — and the
         # last k hold the dark counts for the partner pick.
         td = total_dark[act]
-        cum = np.cumsum(
-            np.concatenate(
+        cum = xp.cumsum(
+            xp.concatenate(
                 [light[act] * td[:, None], terms[act], dark[act]],
                 axis=1,
             ),
@@ -558,10 +594,12 @@ def advance_event_driven(
         fresh = pending[act] < 0
         if fresh.any():
             rows_f = act[fresh]
-            u_gap = streams.take(rows_f, 1)[:, 0]
-            p = np.minimum(rate[fresh] / denom[rows_f], 1.0)
+            u_gap = backend.from_host(
+                streams.take(backend.to_numpy(rows_f), 1)
+            )[:, 0]
+            p = xp.minimum(rate[fresh] / denom[rows_f], 1.0)
             pending[rows_f] = times[rows_f] + geometric_from_uniform(
-                u_gap, p
+                u_gap, p, xp=xp
             )
         arrival = pending[act]
         # A jump past the horizon means the remaining steps are no-ops:
@@ -585,24 +623,24 @@ def advance_event_driven(
         # One active event per remaining row; two uniforms per row
         # (fused type/colour pick, then the dark-partner pick, which
         # lighten events simply discard).
-        u = streams.take(act, 2).T
-        event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1])
-        cls = np.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
+        u = backend.from_host(streams.take(backend.to_numpy(act), 2)).T
+        event_pick = _below(u[0] * cum[:, 2 * k - 1], cum[:, 2 * k - 1], xp)
+        cls = xp.argmax(cum[:, : 2 * k] > event_pick[:, None], axis=1)
         adopt = cls < k
         # Adopt moves light i -> dark j; lighten moves dark i ->
         # light i — one ±1 delta pair per event.  The partner pick
         # thresholds inside the third block of the shared cumsum.
-        light_col = np.where(adopt, cls, cls - k)
+        light_col = xp.where(adopt, cls, cls - k)
         partner_pick = _below(
-            cum[:, 2 * k - 1] + u[1] * td, cum[:, 3 * k - 1]
+            cum[:, 2 * k - 1] + u[1] * td, cum[:, 3 * k - 1], xp
         )
-        j = np.argmax(cum[:, 2 * k:] > partner_pick[:, None], axis=1)
-        dark_col = np.where(adopt, j, light_col)
-        delta = np.where(adopt, -1, 1)
+        j = xp.argmax(cum[:, 2 * k:] > partner_pick[:, None], axis=1)
+        dark_col = xp.where(adopt, j, light_col)
+        delta = xp.where(adopt, -1, 1)
         light[act, light_col] += delta
         dark[act, dark_col] -= delta
         total_dark[act] -= delta
-        d = dark[act, dark_col].astype(np.float64)
+        d = dark[act, dark_col].astype(FLOAT64)
         terms[act, dark_col] = d * (d - 1.0) * (
             lighten[act, dark_col] if row_lighten else lighten[dark_col]
         )
@@ -613,7 +651,7 @@ def advance_event_driven(
             act = act[~finished]
 
 
-def _pick_rows(masses: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+def _pick_rows(masses, uniforms, xp=None):
     """Row-wise weighted index: for each row r, the first index whose
     cumulative mass exceeds ``uniforms[r]`` times the row total.
 
@@ -625,11 +663,15 @@ def _pick_rows(masses: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
     counterpart of the scalar engine's last-non-empty fallback.  Rows
     must have positive total mass.
     """
-    cum = np.cumsum(masses, axis=1, dtype=np.float64)
-    picks = _below(uniforms * cum[:, -1], cum[:, -1])
-    return np.argmax(cum > picks[:, None], axis=1)
+    if xp is None:
+        xp = HOST.xp
+    cum = xp.cumsum(masses, axis=1, dtype=FLOAT64)
+    picks = _below(uniforms * cum[:, -1], cum[:, -1], xp)
+    return xp.argmax(cum > picks[:, None], axis=1)
 
 
-def _below(picks: np.ndarray, totals: np.ndarray) -> np.ndarray:
+def _below(picks, totals, xp=None):
     """Clamp thresholds strictly below their row totals."""
-    return np.minimum(picks, np.nextafter(totals, -np.inf))
+    if xp is None:
+        xp = HOST.xp
+    return xp.minimum(picks, xp.nextafter(totals, -xp.inf))

@@ -25,11 +25,19 @@ make that possible:
 * ``restore`` rebuilds that state *in place* on a compatibly
   constructed engine, so nothing about the downstream draw sequence
   depends on whether a checkpoint happened.
+
+Payloads are host-side by contract: engines running on a device backend
+cross ``Backend.to_numpy`` before assembling a payload and
+``Backend.from_host`` after :func:`as_array`, so a checkpoint taken on
+one backend restores on any other.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from .backend import HOST, Generator
+
+np = HOST.xp  # host namespace: payloads always serialise as NumPy so
+              # ``repro-ckpt/v1`` stays portable across array backends
 
 #: Payload format tag; bump on incompatible layout changes.
 CKPT_FORMAT = "repro-ckpt/v1"
@@ -65,7 +73,7 @@ def check(data: dict, engine: str) -> dict:
 # RNG bit-generator state
 
 
-def rng_state(rng: np.random.Generator) -> dict:
+def rng_state(rng: Generator) -> dict:
     """JSON-able snapshot of a generator's bit-generator state.
 
     NumPy's ``bit_generator.state`` is already a plain dict of strings
@@ -76,7 +84,7 @@ def rng_state(rng: np.random.Generator) -> dict:
     return _plain_state(rng.bit_generator.state)
 
 
-def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+def set_rng_state(rng: Generator, state: dict) -> None:
     """Restore a generator's bit-generator state in place."""
     name = state.get("bit_generator")
     if name != type(rng.bit_generator).__name__:
@@ -87,7 +95,7 @@ def set_rng_state(rng: np.random.Generator, state: dict) -> None:
     rng.bit_generator.state = state
 
 
-def restore_rng(state: dict) -> np.random.Generator:
+def restore_rng(state: dict) -> Generator:
     """Build a fresh generator from a :func:`rng_state` snapshot."""
     name = state.get("bit_generator")
     factory = getattr(np.random, str(name), None)
@@ -95,7 +103,7 @@ def restore_rng(state: dict) -> np.random.Generator:
         raise ValueError(f"unknown bit generator {name!r}")
     bit_generator = factory()
     bit_generator.state = state
-    return np.random.Generator(bit_generator)
+    return Generator(bit_generator)
 
 
 def _plain_state(value):
@@ -112,7 +120,7 @@ def _plain_state(value):
 # Array/scalar coercion for restore paths
 
 
-def as_array(value, dtype) -> np.ndarray:
+def as_array(value, dtype):
     """Coerce a payload field back to a fresh NumPy array of ``dtype``.
 
     Always copies: restore paths assign the result to engine state

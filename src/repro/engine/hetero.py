@@ -54,10 +54,18 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..core.weights import MIN_WEIGHT, WeightTable
 from . import checkpoint as ckpt
+from .backend import (
+    BOOL,
+    FLOAT64,
+    HOST,
+    INT64,
+    Backend,
+    Generator,
+    require_engine_loops,
+    resolve_backend,
+)
 from .batched import advance_event_driven, apply_step_rows
 from .rng import make_rng
 from .streams import RowStreams
@@ -89,9 +97,14 @@ class HeterogeneousAggregateBatch:
         dark_counts,
         light_counts=None,
         *,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
         lighten_rows=None,
+        backend: str | Backend | None = None,
     ):
+        self._backend = require_engine_loops(
+            resolve_backend(backend), "HeterogeneousAggregateBatch"
+        )
+        xp = self._backend.xp
         tables = [
             row if isinstance(row, WeightTable) else WeightTable(row)
             for row in weight_rows
@@ -99,19 +112,19 @@ class HeterogeneousAggregateBatch:
         if not tables:
             raise ValueError("need at least one row")
         rows = len(tables)
-        self._ks = np.array([table.k for table in tables], dtype=np.int64)
+        self._ks = xp.asarray([table.k for table in tables], dtype=INT64)
         k_max = int(self._ks.max())
-        self._weights = np.zeros((rows, k_max), dtype=np.float64)
+        self._weights = xp.zeros((rows, k_max), dtype=FLOAT64)
         for r, table in enumerate(tables):
             self._weights[r, : table.k] = table.as_array()
         if (self._weights[self._mass_columns()] < MIN_WEIGHT).any():
             raise ValueError(f"weights must be >= {MIN_WEIGHT}")
-        dark = self._rows_to_padded(dark_counts, "dark_counts", np.int64)
+        dark = self._rows_to_padded(dark_counts, "dark_counts", INT64)
         if light_counts is None:
-            light = np.zeros_like(dark)
+            light = xp.zeros(dark.shape, dtype=INT64)
         else:
             light = self._rows_to_padded(
-                light_counts, "light_counts", np.int64
+                light_counts, "light_counts", INT64
             )
         if (dark < 0).any() or (light < 0).any():
             raise ValueError("counts must be non-negative")
@@ -120,39 +133,42 @@ class HeterogeneousAggregateBatch:
             raise ValueError("every row needs at least two agents")
         # One contiguous (B, 2 k_max) state matrix; dark and light are
         # views on the left and right blocks.
-        self._state = np.concatenate([dark, light], axis=1)
+        self._state = xp.concatenate([dark, light], axis=1)
         self._dark = self._state[:, :k_max]
         self._light = self._state[:, k_max:]
         if lighten_rows is None:
-            self._lighten = np.zeros((rows, k_max), dtype=np.float64)
+            self._lighten = xp.zeros((rows, k_max), dtype=FLOAT64)
             mass = self._mass_columns()
             self._lighten[mass] = 1.0 / self._weights[mass]
         else:
             self._lighten = self._rows_to_padded(
-                lighten_rows, "lighten_rows", np.float64
+                lighten_rows, "lighten_rows", FLOAT64
             )
             if (self._lighten < 0.0).any() or (self._lighten > 1.0).any():
                 raise ValueError("lighten probabilities must be in [0, 1]")
         self.rng = make_rng(rng)
-        self._times = np.zeros(rows, dtype=np.int64)
+        self._times = xp.zeros(rows, dtype=INT64)
         self._denom = (
-            self._n.astype(np.float64) * (self._n - 1).astype(np.float64)
+            self._n.astype(FLOAT64) * (self._n - 1).astype(FLOAT64)
         )
         # Per-row substreams and pending arrivals: see the module
         # docstring's split-invariance paragraph.
         self._streams = RowStreams.from_generator(self.rng, rows)
-        self._pending = np.full(rows, -1, dtype=np.int64)
+        self._pending = xp.full(rows, -1, dtype=INT64)
         self._taps: list = []
 
-    def _mass_columns(self) -> np.ndarray:
+    def _mass_columns(self):
         """Boolean ``(B, k_max)`` mask of the non-padding columns."""
-        return np.arange(self.k_max)[None, :] < self._ks[:, None]
+        xp = self._backend.xp
+        return xp.arange(self.k_max)[None, :] < self._ks[:, None]
 
-    def _rows_to_padded(self, values, name: str, dtype) -> np.ndarray:
+    def _rows_to_padded(self, values, name: str, dtype):
         """Zero-pad ragged per-row vectors to ``(B, k_max)``; validate a
         pre-padded matrix instead when one is passed."""
-        rows, k_max = len(self._ks), self.k_max
-        if isinstance(values, np.ndarray) and values.ndim == 2:
+        xp = self._backend.xp
+        rows, k_max = self._ks.shape[0], self.k_max
+        if getattr(values, "ndim", None) == 2:
+            values = xp.asarray(values)
             if values.shape != (rows, k_max):
                 raise ValueError(
                     f"padded {name} must have shape ({rows}, {k_max}), "
@@ -168,9 +184,9 @@ class HeterogeneousAggregateBatch:
             raise ValueError(
                 f"{name} has {len(values)} rows but the batch has {rows}"
             )
-        out = np.zeros((rows, k_max), dtype=dtype)
+        out = xp.zeros((rows, k_max), dtype=dtype)
         for r, row in enumerate(values):
-            row = np.asarray(row, dtype=dtype)
+            row = xp.asarray(row, dtype=dtype)
             if row.ndim != 1 or row.shape[0] != self._ks[r]:
                 raise ValueError(
                     f"{name} row {r} must have length k_r={self._ks[r]}, "
@@ -179,11 +195,12 @@ class HeterogeneousAggregateBatch:
             out[r, : row.shape[0]] = row
         return out
 
-    def _per_row(self, steps, name: str = "steps") -> np.ndarray:
+    def _per_row(self, steps, name: str = "steps"):
         """Broadcast a scalar or per-row step count to ``(B,)``."""
-        steps = np.asarray(steps, dtype=np.int64)
+        xp = self._backend.xp
+        steps = xp.asarray(steps, dtype=INT64)
         if steps.ndim == 0:
-            steps = np.full(self.rows, int(steps), dtype=np.int64)
+            steps = xp.full(self.rows, int(steps), dtype=INT64)
         if steps.shape != (self.rows,):
             raise ValueError(
                 f"{name} must be a scalar or have shape ({self.rows},)"
@@ -192,19 +209,20 @@ class HeterogeneousAggregateBatch:
             raise ValueError(f"{name} must be non-negative")
         return steps
 
-    def _resolve_rows(self, rows) -> np.ndarray:
+    def _resolve_rows(self, rows):
         """Row selection for interventions: None (all rows), a boolean
         mask, or an index array."""
+        xp = self._backend.xp
         if rows is None:
-            return np.arange(self.rows)
-        rows = np.asarray(rows)
-        if rows.dtype == bool:
+            return xp.arange(self.rows)
+        rows = xp.asarray(rows)
+        if rows.dtype == BOOL:
             if rows.shape != (self.rows,):
                 raise ValueError(
                     f"boolean row mask must have shape ({self.rows},)"
                 )
-            return np.flatnonzero(rows)
-        rows = rows.astype(np.int64).reshape(-1)
+            return xp.flatnonzero(rows)
+        rows = rows.astype(INT64).reshape(-1)
         if rows.size and (rows.min() < 0 or rows.max() >= self.rows):
             raise ValueError("row indices out of range")
         return rows
@@ -222,44 +240,49 @@ class HeterogeneousAggregateBatch:
         """Width of the padded colour axis."""
         return self._weights.shape[1]
 
-    def ks(self) -> np.ndarray:
+    @property
+    def backend(self) -> Backend:
+        """The array backend this engine computes on."""
+        return self._backend
+
+    def ks(self):
         """Per-row colour counts ``k_r``, shape ``(B,)``."""
         return self._ks.copy()
 
-    def populations(self) -> np.ndarray:
+    def populations(self):
         """Per-row population sizes ``n_r``, shape ``(B,)``."""
         return self._n.copy()
 
-    def times(self) -> np.ndarray:
+    def times(self):
         """Per-row clocks, shape ``(B,)``."""
         return self._times.copy()
 
-    def weights_matrix(self) -> np.ndarray:
+    def weights_matrix(self):
         """Padded per-row weights, shape ``(B, k_max)`` (padding 0)."""
         return self._weights.copy()
 
-    def lighten_matrix(self) -> np.ndarray:
+    def lighten_matrix(self):
         """Padded per-row lightening coins, ``(B, k_max)`` (padding 0)."""
         return self._lighten.copy()
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         """``A_i`` per row and colour, ``(B, k_max)`` zero-padded."""
         return self._dark.copy()
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         """``a_i`` per row and colour, ``(B, k_max)`` zero-padded."""
         return self._light.copy()
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         """``C_i = A_i + a_i`` per row and colour, ``(B, k_max)``."""
         return self._dark + self._light
 
     # ------------------------------------------------------------------
     # Per-step mode (used by the equivalence tests)
 
-    def step(self) -> np.ndarray:
+    def step(self):
         """One faithful time-step in every row; returns the changed mask."""
-        changed = self._step_rows(np.arange(self.rows))
+        changed = self._step_rows(self._backend.xp.arange(self.rows))
         self._times += 1
         return changed
 
@@ -267,26 +290,30 @@ class HeterogeneousAggregateBatch:
         """Advance each row by its own ``steps`` (scalar or ``(B,)``)
         in faithful per-step mode; rows past their horizon sit out."""
         horizon = self._times + self._per_row(steps)
+        xp = self._backend.xp
         while True:
-            act = np.flatnonzero(self._times < horizon)
+            act = xp.flatnonzero(self._times < horizon)
             if act.size == 0:
                 return self
             self._step_rows(act)
             self._times[act] += 1
 
-    def _step_rows(self, act: np.ndarray) -> np.ndarray:
+    def _step_rows(self, act):
         """One faithful step for the rows in ``act`` (returns per-``act``
         changed mask) through the shared per-step transition
         (:func:`~repro.engine.batched.apply_step_rows`), with the
         lighten coin thresholds indexing the per-row table."""
         self._pending[act] = -1  # per-step mode re-examines every step
+        bk = self._backend
+        uniforms = bk.from_host(self._streams.take(bk.to_numpy(act), 3)).T
         return apply_step_rows(
             self._state,
             self._dark,
             self._light,
             self._lighten,
             act,
-            self._streams.take(act, 3).T,
+            uniforms,
+            xp=bk.xp,
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +351,7 @@ class HeterogeneousAggregateBatch:
             self._pending,
             self.k_max,
             tap=self._tap_update if self._taps else None,
+            backend=self._backend,
         )
         self._sync_taps()
         return self
@@ -352,14 +380,14 @@ class HeterogeneousAggregateBatch:
         block = self._dark if dark else self._light
         block[sel, colour] += count
         self._n[sel] += count
-        self._denom[sel] = self._n[sel].astype(np.float64) * (
+        self._denom[sel] = self._n[sel].astype(FLOAT64) * (
             self._n[sel] - 1
         )
         self._pending[sel] = -1  # rates changed: redraw those arrivals
 
     def add_colour(
         self, weight: float, count: int, dark: bool = True, rows=None
-    ) -> np.ndarray:
+    ):
         """Introduce a brand-new colour with ``count`` supporters in the
         selected rows, widening the padded matrices when a selected row
         is already at ``k_max``.
@@ -374,7 +402,7 @@ class HeterogeneousAggregateBatch:
             raise ValueError(f"weights must be >= {MIN_WEIGHT}")
         sel = self._resolve_rows(rows)
         if sel.size == 0:
-            return np.zeros(0, dtype=np.int64)
+            return self._backend.xp.zeros(0, dtype=INT64)
         if (self._ks[sel] == self.k_max).any():
             self._widen()
         cols = self._ks[sel].copy()
@@ -384,7 +412,7 @@ class HeterogeneousAggregateBatch:
         block[sel, cols] += count
         self._ks[sel] += 1
         self._n[sel] += count
-        self._denom[sel] = self._n[sel].astype(np.float64) * (
+        self._denom[sel] = self._n[sel].astype(FLOAT64) * (
             self._n[sel] - 1
         )
         self._pending[sel] = -1  # rates changed: redraw those arrivals
@@ -411,17 +439,18 @@ class HeterogeneousAggregateBatch:
     def _widen(self) -> None:
         """Grow the padded colour axis by one column (dark and light
         blocks are re-laid out; padding stays zero)."""
+        xp = self._backend.xp
         k = self.k_max
         rows = self.rows
-        state = np.zeros((rows, 2 * (k + 1)), dtype=np.int64)
+        state = xp.zeros((rows, 2 * (k + 1)), dtype=INT64)
         state[:, :k] = self._dark
         state[:, k + 1 : 2 * k + 1] = self._light
         self._state = state
         self._dark = state[:, : k + 1]
         self._light = state[:, k + 1 :]
-        pad = np.zeros((rows, 1), dtype=np.float64)
-        self._weights = np.concatenate([self._weights, pad], axis=1)
-        self._lighten = np.concatenate([self._lighten, pad.copy()], axis=1)
+        pad = xp.zeros((rows, 1), dtype=FLOAT64)
+        self._weights = xp.concatenate([self._weights, pad], axis=1)
+        self._lighten = xp.concatenate([self._lighten, pad.copy()], axis=1)
 
     # ------------------------------------------------------------------
     # Streaming analysis taps
@@ -440,8 +469,8 @@ class HeterogeneousAggregateBatch:
         if reset:
             accumulator.reset(
                 self._times.copy(),
-                self._dark.astype(np.float64),
-                self._light.astype(np.float64),
+                self._dark.astype(FLOAT64),
+                self._light.astype(FLOAT64),
             )
         self._taps.append(accumulator)
 
@@ -449,10 +478,10 @@ class HeterogeneousAggregateBatch:
         """Drop all attached streaming accumulators."""
         self._taps.clear()
 
-    def _tap_update(self, rows: np.ndarray) -> None:
+    def _tap_update(self, rows) -> None:
         times = self._times[rows]
-        dark = self._dark[rows].astype(np.float64)
-        light = self._light[rows].astype(np.float64)
+        dark = self._dark[rows].astype(FLOAT64)
+        light = self._light[rows].astype(FLOAT64)
         for tap in self._taps:
             tap.update(rows, times, dark, light)
 
@@ -468,16 +497,17 @@ class HeterogeneousAggregateBatch:
 
     def snapshot(self) -> dict:
         """``repro-ckpt/v1`` payload of all run-relevant state."""
+        bk = self._backend
         return ckpt.payload(
             "HeterogeneousAggregateBatch",
-            weights=self._weights.copy(),
-            ks=self._ks.copy(),
-            dark=self.dark_counts(),
-            light=self.light_counts(),
-            lighten=self._lighten.copy(),
-            times=self._times.copy(),
-            pending=self._pending.copy(),
-            n=self._n.copy(),
+            weights=bk.to_numpy(self._weights, copy=True),
+            ks=bk.to_numpy(self._ks, copy=True),
+            dark=bk.to_numpy(self._dark, copy=True),
+            light=bk.to_numpy(self._light, copy=True),
+            lighten=bk.to_numpy(self._lighten, copy=True),
+            times=bk.to_numpy(self._times, copy=True),
+            pending=bk.to_numpy(self._pending, copy=True),
+            n=bk.to_numpy(self._n, copy=True),
             streams=self._streams.snapshot(),
             rng=ckpt.rng_state(self.rng),
         )
@@ -489,11 +519,12 @@ class HeterogeneousAggregateBatch:
         the padded matrices are re-widened to the snapshot's ``k_max``.
         """
         ckpt.check(data, "HeterogeneousAggregateBatch")
-        weights = ckpt.as_array(data["weights"], np.float64)
-        ks = ckpt.as_array(data["ks"], np.int64)
-        dark = ckpt.as_array(data["dark"], np.int64)
-        light = ckpt.as_array(data["light"], np.int64)
-        lighten = ckpt.as_array(data["lighten"], np.float64)
+        bk = self._backend
+        weights = ckpt.as_array(data["weights"], FLOAT64)
+        ks = ckpt.as_array(data["ks"], INT64)
+        dark = ckpt.as_array(data["dark"], INT64)
+        light = ckpt.as_array(data["light"], INT64)
+        lighten = ckpt.as_array(data["lighten"], FLOAT64)
         rows = self.rows
         if ks.shape != (rows,) or weights.shape[0] != rows:
             raise ValueError(
@@ -511,18 +542,18 @@ class HeterogeneousAggregateBatch:
             raise ValueError(
                 f"checkpoint matrices disagree on shape: {shapes}"
             )
-        self._weights = weights
-        self._ks = ks
-        self._state = np.concatenate([dark, light], axis=1)
+        self._weights = bk.from_host(weights)
+        self._ks = bk.from_host(ks)
+        self._state = bk.from_host(HOST.xp.concatenate([dark, light], axis=1))
         self._dark = self._state[:, :k_max]
         self._light = self._state[:, k_max:]
-        self._lighten = lighten
-        self._times = ckpt.as_array(data["times"], np.int64)
-        self._pending = ckpt.as_array(data["pending"], np.int64)
-        self._n = ckpt.as_array(data["n"], np.int64)
-        self._denom = self._n.astype(np.float64) * (
+        self._lighten = bk.from_host(lighten)
+        self._times = bk.from_host(ckpt.as_array(data["times"], INT64))
+        self._pending = bk.from_host(ckpt.as_array(data["pending"], INT64))
+        self._n = bk.from_host(ckpt.as_array(data["n"], INT64))
+        self._denom = self._n.astype(FLOAT64) * (
             self._n - 1
-        ).astype(np.float64)
+        ).astype(FLOAT64)
         self._streams.restore(data["streams"])
         ckpt.set_rng_state(self.rng, data["rng"])
         return self

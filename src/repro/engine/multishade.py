@@ -26,11 +26,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from ..core.weights import WeightTable
 from . import checkpoint as ckpt
+from .backend import HOST, INT64, Generator
 from .rng import make_rng
+
+np = HOST.xp  # host namespace: the scalar shade engine is CPU-resident
 
 
 class MultiShadeAggregate:
@@ -48,7 +49,7 @@ class MultiShadeAggregate:
         weights: WeightTable,
         colour_counts: Sequence[int],
         *,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
     ):
         if not weights.is_integer():
             raise ValueError("derandomised protocol requires integer weights")
@@ -89,22 +90,22 @@ class MultiShadeAggregate:
         """Counts per shade ``0..w_i`` for one colour (copy)."""
         return list(self._shades[colour])
 
-    def colour_counts(self) -> np.ndarray:
+    def colour_counts(self):
         """``C_i`` per colour."""
         return np.asarray(
-            [sum(row) for row in self._shades], dtype=np.int64
+            [sum(row) for row in self._shades], dtype=INT64
         )
 
-    def dark_counts(self) -> np.ndarray:
+    def dark_counts(self):
         """Positive-shade (committed) agents per colour, ``P_i``."""
         return np.asarray(
-            [sum(row[1:]) for row in self._shades], dtype=np.int64
+            [sum(row[1:]) for row in self._shades], dtype=INT64
         )
 
-    def light_counts(self) -> np.ndarray:
+    def light_counts(self):
         """Shade-0 (open) agents per colour, ``Z_i``."""
         return np.asarray(
-            [row[0] for row in self._shades], dtype=np.int64
+            [row[0] for row in self._shades], dtype=INT64
         )
 
     # ------------------------------------------------------------------
@@ -193,13 +194,13 @@ class MultiShadeAggregate:
         per-colour offsets so the payload stays a dict of plain arrays.
         """
         flat = [count for row in self._shades for count in row]
-        offsets = np.zeros(self.k + 1, dtype=np.int64)
+        offsets = np.zeros(self.k + 1, dtype=INT64)
         for colour, row in enumerate(self._shades):
             offsets[colour + 1] = offsets[colour] + len(row)
         return ckpt.payload(
             "MultiShadeAggregate",
             weights=self.weights.as_array(),
-            shades=np.asarray(flat, dtype=np.int64),
+            shades=np.asarray(flat, dtype=INT64),
             offsets=offsets,
             time=int(self.time),
             pending=-1 if self._pending is None else int(self._pending),
@@ -210,8 +211,8 @@ class MultiShadeAggregate:
         """Restore a :meth:`snapshot` payload in place."""
         ckpt.check(data, "MultiShadeAggregate")
         ckpt.restore_weight_table(self.weights, data["weights"])
-        flat = ckpt.as_array(data["shades"], np.int64)
-        offsets = ckpt.as_array(data["offsets"], np.int64)
+        flat = ckpt.as_array(data["shades"], INT64)
+        offsets = ckpt.as_array(data["offsets"], INT64)
         if offsets.shape != (self.weights.k + 1,):
             raise ValueError("shade offsets do not match the colour count")
         self._shades = [
@@ -268,7 +269,7 @@ class MultiShadeAggregate:
         return f"MultiShadeAggregate(n={self.n}, k={self.k}, t={self.time})"
 
 
-def _pick(masses: Sequence[float], rng: np.random.Generator) -> int:
+def _pick(masses: Sequence[float], rng: Generator) -> int:
     total = float(sum(masses))
     pick = rng.random() * total
     acc = 0.0

@@ -8,10 +8,11 @@ Snapshot-style recording at fixed intervals is handled separately by
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.state import AgentState
 from ..core.weights import WeightTable
+from .backend import FLOAT64, HOST, INT64
+
+np = HOST.xp  # host namespace: observers instrument the scalar engine
 
 
 class Observer:
@@ -60,15 +61,15 @@ class OccupancyTracker(Observer):
     """
 
     def __init__(self):
-        self._occupancy: np.ndarray | None = None  # (n, k, 2) float64
-        self._last_change: np.ndarray | None = None  # (n,) int64
+        self._occupancy = None  # (n, k, 2) float64
+        self._last_change = None  # (n,) int64
         self._start_time = 0
 
     def on_start(self, simulation) -> None:
         n, k = simulation.population.n, simulation.population.k
         if self._occupancy is None:
-            self._occupancy = np.zeros((n, k, 2), dtype=np.float64)
-            self._last_change = np.full(n, simulation.time, dtype=np.int64)
+            self._occupancy = np.zeros((n, k, 2), dtype=FLOAT64)
+            self._last_change = np.full(n, simulation.time, dtype=INT64)
             self._start_time = simulation.time
         else:
             self._ensure_capacity(n, k)
@@ -104,11 +105,11 @@ class OccupancyTracker(Observer):
     def _ensure_capacity(self, n: int, k: int) -> None:
         rows, cols, _ = self._occupancy.shape
         if n > rows or k > cols:
-            grown = np.zeros((max(n, rows), max(k, cols), 2))
+            grown = np.zeros((max(n, rows), max(k, cols), 2), dtype=FLOAT64)
             grown[:rows, :cols, :] = self._occupancy
             self._occupancy = grown
             if n > rows:
-                last = np.full(n, 0, dtype=np.int64)
+                last = np.full(n, 0, dtype=INT64)
                 last[:rows] = self._last_change
                 # New agents start accumulating from their insertion time;
                 # callers adding agents mid-run should call flush() first.
@@ -133,13 +134,13 @@ class OccupancyTracker(Observer):
             return
         # np.array (not asarray): the tracker mutates these in place,
         # and aliasing the caller's state dict would corrupt it.
-        self._occupancy = np.array(state["occupancy"], dtype=np.float64)
+        self._occupancy = np.array(state["occupancy"], dtype=FLOAT64)
         self._last_change = np.array(
-            state["last_change"], dtype=np.int64
+            state["last_change"], dtype=INT64
         )
         self._start_time = int(state["start_time"])
 
-    def occupancy_fractions(self) -> np.ndarray:
+    def occupancy_fractions(self):
         """Per-agent colour occupancy fractions, shape ``(n, k)``.
 
         Rows sum to 1 once at least one time-step has elapsed.
@@ -150,7 +151,7 @@ class OccupancyTracker(Observer):
             raise ValueError("no elapsed time recorded; call flush() first")
         return totals / horizons
 
-    def shade_occupancy_fractions(self) -> np.ndarray:
+    def shade_occupancy_fractions(self):
         """Per-agent (colour, light/dark) occupancy, shape ``(n, k, 2)``.
 
         ``[..., 0]`` is light time, ``[..., 1]`` dark time; each agent's
@@ -167,15 +168,15 @@ class MinCountTracker(Observer):
     a streaming witness for sustainability (Def 1.1(3))."""
 
     def __init__(self):
-        self.min_colour_counts: np.ndarray | None = None
-        self.min_dark_counts: np.ndarray | None = None
+        self.min_colour_counts = None
+        self.min_dark_counts = None
 
     def on_start(self, simulation) -> None:
         counts = simulation.population.colour_counts()
         darks = simulation.population.dark_counts()
         if self.min_colour_counts is None:
-            self.min_colour_counts = counts.astype(np.int64)
-            self.min_dark_counts = darks.astype(np.int64)
+            self.min_colour_counts = counts.astype(INT64)
+            self.min_dark_counts = darks.astype(INT64)
         else:
             self._refresh(simulation)
 
@@ -211,10 +212,10 @@ class MinCountTracker(Observer):
             self.min_dark_counts = None
             return
         self.min_colour_counts = np.array(
-            state["min_colour"], dtype=np.int64
+            state["min_colour"], dtype=INT64
         )
         self.min_dark_counts = np.array(
-            state["min_dark"], dtype=np.int64
+            state["min_dark"], dtype=INT64
         )
 
 

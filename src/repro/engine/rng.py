@@ -4,32 +4,37 @@ Every stochastic component in the library accepts a
 :class:`numpy.random.Generator`.  These helpers centralise construction
 and deterministic splitting so that experiments are reproducible from a
 single integer seed.
+
+Randomness is host-resident by design: even when an engine computes on
+a device backend, its draws originate from these CPU generators (see
+:mod:`repro.engine.backend`), so the seed-to-trajectory mapping is the
+same on every backend.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-import numpy as np
+from .backend import UINT64, Generator, SeedSequence, default_rng
 
 
-def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def make_rng(seed: int | Generator | None = None) -> Generator:
     """Build a generator from a seed, pass through an existing generator."""
-    if isinstance(seed, np.random.Generator):
+    if isinstance(seed, Generator):
         return seed
-    return np.random.default_rng(seed)
+    return default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+def spawn(rng: Generator, count: int) -> list[Generator]:
     """Split ``rng`` into ``count`` statistically independent children."""
     if count < 0:
         raise ValueError("count must be non-negative")
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+    return [default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
 
 
 def spawn_sequences(
-    seed: int | np.random.SeedSequence | None, count: int
-) -> list[np.random.SeedSequence]:
+    seed: int | SeedSequence | None, count: int
+) -> list[SeedSequence]:
     """``count`` child seed sequences of ``seed``, derived statelessly.
 
     Unlike :func:`spawn`, which advances the parent generator's spawn
@@ -43,22 +48,22 @@ def spawn_sequences(
     """
     if count < 0:
         raise ValueError("count must be non-negative")
-    if isinstance(seed, np.random.SeedSequence):
+    if isinstance(seed, SeedSequence):
         # Copy so the caller's sequence keeps its own spawn counter.
-        sequence = np.random.SeedSequence(
+        sequence = SeedSequence(
             entropy=seed.entropy,
             spawn_key=seed.spawn_key,
             pool_size=seed.pool_size,
         )
     else:
-        sequence = np.random.SeedSequence(seed)
+        sequence = SeedSequence(seed)
     return sequence.spawn(count)
 
 
 def seed_stream(base_seed: int) -> Iterator[int]:
     """Infinite deterministic stream of distinct 63-bit seeds."""
-    sequence = np.random.SeedSequence(base_seed)
+    sequence = SeedSequence(base_seed)
     while True:
         (child,) = sequence.spawn(1)
-        yield int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+        yield int(child.generate_state(1, dtype=UINT64)[0] >> 1)
         sequence = child

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import abc
 
-import numpy as np
+from .backend import HOST, Generator
+
+np = HOST.xp  # host namespace: activation blocks are drawn on the CPU
 
 
 class Scheduler(abc.ABC):
@@ -23,8 +25,8 @@ class Scheduler(abc.ABC):
 
     @abc.abstractmethod
     def draw_block(
-        self, n: int, size: int, rng: np.random.Generator
-    ) -> np.ndarray:
+        self, n: int, size: int, rng: Generator
+    ):
         """Return ``size`` activation indices for a population of ``n``."""
 
     def reset(self) -> None:
@@ -60,8 +62,8 @@ class UniformScheduler(Scheduler):
     name = "uniform"
 
     def draw_block(
-        self, n: int, size: int, rng: np.random.Generator
-    ) -> np.ndarray:
+        self, n: int, size: int, rng: Generator
+    ):
         return rng.integers(0, n, size=size)
 
 
@@ -90,8 +92,8 @@ class RoundRobinScheduler(Scheduler):
         self._next = int(state["next"])
 
     def draw_block(
-        self, n: int, size: int, rng: np.random.Generator
-    ) -> np.ndarray:
+        self, n: int, size: int, rng: Generator
+    ):
         block = (self._next + np.arange(size)) % n
         self._next = int((self._next + size) % n)
         return block

@@ -37,16 +37,17 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-import numpy as np
-
 from ..core.protocol import Protocol
 from ..core.state import AgentState
 from ..core.weights import WeightTable
 from . import checkpoint as ckpt
+from .backend import HOST, INT64, Generator
 from .observers import Observer
 from .population import Population
 from .rng import make_rng
 from .scheduler import Scheduler, UniformScheduler
+
+np = HOST.xp  # host namespace: the agent-level loop is scalar/CPU
 
 _BLOCK = 4096
 
@@ -84,7 +85,7 @@ class Simulation:
         *,
         topology=None,
         scheduler: Scheduler | None = None,
-        rng: int | np.random.Generator | None = None,
+        rng: int | Generator | None = None,
         observers: Iterable[Observer] = (),
     ):
         if population.n < 2:
@@ -98,8 +99,8 @@ class Simulation:
         self.observers: list[Observer] = list(observers)
         self.time = 0
         self.changes = 0
-        self._buf_initiators: np.ndarray | None = None
-        self._buf_partners: np.ndarray | None = None
+        self._buf_initiators = None
+        self._buf_partners = None
         self._buf_pos = 0
         self._buf_n = -1
         if topology is not None and topology.n != population.n:
@@ -223,9 +224,9 @@ class Simulation:
         weights = getattr(self.protocol, "weights", None)
         fields = {
             "colours": np.asarray(
-                population.colours_view(), dtype=np.int64
+                population.colours_view(), dtype=INT64
             ),
-            "shades": np.asarray(population.shades_view(), dtype=np.int64),
+            "shades": np.asarray(population.shades_view(), dtype=INT64),
             "k": int(population.k),
             "time": int(self.time),
             "changes": int(self.changes),
@@ -250,18 +251,18 @@ class Simulation:
         if isinstance(weights, WeightTable) and "weights" in data:
             ckpt.restore_weight_table(weights, data["weights"])
         self.population.restore_states(
-            ckpt.as_array(data["colours"], np.int64),
-            ckpt.as_array(data["shades"], np.int64),
+            ckpt.as_array(data["colours"], INT64),
+            ckpt.as_array(data["shades"], INT64),
             ckpt.as_int(data["k"]),
         )
         self.time = ckpt.as_int(data["time"])
         self.changes = ckpt.as_int(data["changes"])
         if ckpt.as_int(data["buffered"]):
             self._buf_initiators = ckpt.as_array(
-                data["buf_initiators"], np.int64
+                data["buf_initiators"], INT64
             )
             self._buf_partners = (
-                ckpt.as_array(data["buf_partners"], np.int64)
+                ckpt.as_array(data["buf_partners"], INT64)
                 if "buf_partners" in data
                 else None
             )

@@ -23,20 +23,27 @@ The pool, cursors and per-row bit-generator states round-trip through
 :meth:`RowStreams.snapshot`/:meth:`RowStreams.restore` as plain arrays
 (no pickling), so engine checkpoints capture buffered-but-unconsumed
 uniforms exactly.
+
+Streams are host-resident on every backend: the per-row PCG64 states
+*are* the split-invariance contract, so draws happen on the CPU and
+device backends receive the blocks via ``Backend.from_host`` at the
+call site (see :mod:`repro.engine.backend`).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from .backend import FLOAT64, HOST, INT64, UINT64, Generator, PCG64, SeedSequence
+
+np = HOST.xp  # host namespace: streams never live on a device
 
 #: Uniforms pooled per row between refills.
 _POOL_BLOCK = 256
 
-_U64 = np.uint64
+_U64 = UINT64
 _MASK64 = (1 << 64) - 1
 
 
-def geometric_from_uniform(uniforms: np.ndarray, p: np.ndarray) -> np.ndarray:
+def geometric_from_uniform(uniforms, p, xp=None):
     """Inverse-transform ``Geometric(p)`` on ``{1, 2, ...}``.
 
     ``G = 1 + floor(log1p(-U) / log1p(-p))`` maps ``U ~ Uniform[0, 1)``
@@ -44,15 +51,20 @@ def geometric_from_uniform(uniforms: np.ndarray, p: np.ndarray) -> np.ndarray:
     to 1.  Huge jumps (vanishing ``p`` with ``U`` within an ulp of 1)
     are clamped to ``2**62`` steps — far past any representable horizon
     — so the float-to-int cast never overflows.
+
+    ``xp`` selects the (NumPy-compatible) namespace the arithmetic runs
+    in; the default is the host.
     """
-    p = np.asarray(p, dtype=np.float64)
-    uniforms = np.asarray(uniforms, dtype=np.float64)
-    out = np.ones(p.shape, dtype=np.int64)
+    if xp is None:
+        xp = np
+    p = xp.asarray(p, dtype=FLOAT64)
+    uniforms = xp.asarray(uniforms, dtype=FLOAT64)
+    out = xp.ones(p.shape, dtype=INT64)
     rest = p < 1.0
-    gaps = 1.0 + np.floor(
-        np.log1p(-uniforms[rest]) / np.log1p(-p[rest])
+    gaps = 1.0 + xp.floor(
+        xp.log1p(-uniforms[rest]) / xp.log1p(-p[rest])
     )
-    out[rest] = np.minimum(gaps, float(2**62)).astype(np.int64)
+    out[rest] = xp.minimum(gaps, float(2**62)).astype(INT64)
     return out
 
 
@@ -60,20 +72,20 @@ class RowStreams:
     """B independent per-row uniform streams with pooled draws."""
 
     def __init__(self, generators, *, block: int = _POOL_BLOCK):
-        self._gens: list[np.random.Generator] = list(generators)
+        self._gens: list[Generator] = list(generators)
         if not self._gens:
             raise ValueError("need at least one row stream")
         if block < 4:
             raise ValueError("block must hold at least one event's draws")
         self._block = int(block)
-        self._pool = np.zeros((len(self._gens), self._block))
+        self._pool = np.zeros((len(self._gens), self._block), dtype=FLOAT64)
         # Cursors start exhausted; the first take() refills on demand.
-        self._pos = np.full(len(self._gens), self._block, dtype=np.int64)
+        self._pos = np.full(len(self._gens), self._block, dtype=INT64)
 
     @classmethod
     def from_generator(
         cls,
-        rng: np.random.Generator,
+        rng: Generator,
         rows: int,
         *,
         block: int = _POOL_BLOCK,
@@ -92,9 +104,9 @@ class RowStreams:
             endpoint=True,
         )
         gens = [
-            np.random.Generator(
-                np.random.PCG64(
-                    np.random.SeedSequence([int(w) for w in row])
+            Generator(
+                PCG64(
+                    SeedSequence([int(w) for w in row])
                 )
             )
             for row in words
@@ -106,14 +118,17 @@ class RowStreams:
         """Number of independent row streams."""
         return len(self._gens)
 
-    def take(self, rows: np.ndarray, m: int) -> np.ndarray:
+    def take(self, rows, m: int):
         """The next ``m`` uniforms of each selected row, ``(len(rows), m)``.
 
         Rows whose pool cannot serve ``m`` more draws refill first (the
         partial tail is discarded — deterministically, since the refill
         point is a pure function of the row's own take sequence).
+
+        Both the index argument and the returned block are host arrays;
+        device engines convert at the call site.
         """
-        rows = np.asarray(rows, dtype=np.int64)
+        rows = np.asarray(rows, dtype=INT64)
         exhausted = self._pos[rows] + m > self._block
         if exhausted.any():
             for row in rows[exhausted]:
@@ -133,7 +148,7 @@ class RowStreams:
         rows = self.rows
         state = np.zeros((rows, 2), dtype=_U64)
         inc = np.zeros((rows, 2), dtype=_U64)
-        has_uint32 = np.zeros(rows, dtype=np.int64)
+        has_uint32 = np.zeros(rows, dtype=INT64)
         uinteger = np.zeros(rows, dtype=_U64)
         for row, gen in enumerate(self._gens):
             raw = gen.bit_generator.state
@@ -160,11 +175,11 @@ class RowStreams:
                 f"stream pool block {data['block']} does not match the "
                 f"engine's block {self._block}"
             )
-        pool = np.asarray(data["pool"], dtype=np.float64)
-        pos = np.asarray(data["pos"], dtype=np.int64)
+        pool = np.asarray(data["pool"], dtype=FLOAT64)
+        pos = np.asarray(data["pos"], dtype=INT64)
         state = np.asarray(data["state"], dtype=_U64)
         inc = np.asarray(data["inc"], dtype=_U64)
-        has_uint32 = np.asarray(data["has_uint32"], dtype=np.int64)
+        has_uint32 = np.asarray(data["has_uint32"], dtype=INT64)
         uinteger = np.asarray(data["uinteger"], dtype=_U64)
         if pool.shape != (self.rows, self._block):
             raise ValueError(
@@ -190,7 +205,7 @@ class RowStreams:
         """Rebuild a standalone stream set from :meth:`snapshot` data."""
         rows = np.asarray(data["pos"]).shape[0]
         gens = [
-            np.random.Generator(np.random.PCG64(0)) for _ in range(rows)
+            Generator(PCG64(0)) for _ in range(rows)
         ]
         streams = cls(gens, block=int(data["block"]))
         streams.restore(data)
