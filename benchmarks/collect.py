@@ -11,11 +11,18 @@ single artifact with a compact speedup index:
 With ``--trajectory PATH`` the collector additionally appends the
 summary's speedup index as one entry to the committed per-PR history
 (``benchmarks/BENCH_TRAJECTORY.json``) and compares it against the
-previous entry, flagging any benchmark whose speedup dropped by more
-than ``--threshold`` (default 20%).  The comparison is *non-blocking*
-— regressions are printed as warnings and the exit code stays 0 —
-because CI benchmark machines are noisy; the trajectory exists so a
-real drift is visible across several PRs, not to gate a single one.
+newest *same-machine* entry, flagging any benchmark whose speedup
+dropped by more than ``--threshold`` (default 20%).  Every entry
+records a machine signature (``cpu_count`` + platform), because
+speedups are not comparable across machines — a parallel-sweep
+benchmark that hits 2x on a 4-core CI runner is structurally 1x on a
+1-core dev box, which is noise, not a regression.  Entries without a
+matching signature (or legacy entries without one at all) are kept in
+the history but never used as a regression baseline.  The comparison
+is *non-blocking* — regressions are printed as warnings and the exit
+code stays 0 — because CI benchmark machines are noisy; the trajectory
+exists so a real drift is visible across several PRs, not to gate a
+single one.
 
 The collector is deliberately forgiving — a missing results directory
 yields an empty summary and unparsable files are recorded as errors
@@ -27,12 +34,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import platform
 import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY_NAME = "BENCH_SUMMARY.json"
 TRAJECTORY_FORMAT = "repro-bench-trajectory/v1"
+
+
+def machine_signature() -> dict:
+    """The comparability class of a benchmark run: core count plus a
+    coarse platform label (system + architecture — deliberately not
+    the kernel build, which churns without affecting speedups)."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": f"{platform.system()}-{platform.machine()}",
+    }
 
 
 def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
@@ -46,6 +65,7 @@ def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
         "format": "repro-bench-summary/v1",
         "benchmarks": {},
         "speedups": {},
+        "caches": {},
         "errors": {},
     }
     if not results_dir.is_dir():
@@ -67,6 +87,12 @@ def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
                     payload["speedup"] >= payload["target_speedup"]
                 )
             summary["speedups"][path.stem] = entry
+        if isinstance(payload, dict) and isinstance(
+            payload.get("cache"), dict
+        ):
+            # Shard-cache hit/miss counters (E19 and any benchmark
+            # that exercises the result cache).
+            summary["caches"][path.stem] = payload["cache"]
     return summary
 
 
@@ -83,18 +109,38 @@ def load_trajectory(path: pathlib.Path) -> dict:
     return doc
 
 
+def baseline_entry(trajectory: dict, machine: dict | None = None):
+    """The newest trajectory entry recorded on ``machine`` (defaults
+    to this machine), or None.
+
+    Legacy entries without a machine signature never match — they may
+    have run anywhere, so comparing against them reports cross-machine
+    noise as regressions.
+    """
+    machine = machine or machine_signature()
+    for entry in reversed(trajectory["entries"]):
+        if entry.get("machine") == machine:
+            return entry
+    return None
+
+
 def compare_with_last(
-    summary: dict, trajectory: dict, threshold: float = 0.2
+    summary: dict,
+    trajectory: dict,
+    threshold: float = 0.2,
+    machine: dict | None = None,
 ) -> list[str]:
-    """Speedup regressions vs the trajectory's newest entry.
+    """Speedup regressions vs the newest *same-machine* entry.
 
     Returns one human-readable line per benchmark whose speedup fell
     by more than ``threshold`` (fractional); new or vanished benchmarks
-    are not regressions.
+    are not regressions, and with no same-machine baseline in the
+    trajectory nothing is compared at all.
     """
-    if not trajectory["entries"]:
+    baseline = baseline_entry(trajectory, machine)
+    if baseline is None:
         return []
-    previous = trajectory["entries"][-1]["speedups"]
+    previous = baseline["speedups"]
     warnings = []
     for name, entry in sorted(summary["speedups"].items()):
         if name not in previous:
@@ -111,12 +157,18 @@ def compare_with_last(
 
 
 def append_trajectory(
-    summary: dict, path: pathlib.Path, label: str
+    summary: dict, path: pathlib.Path, label: str,
+    machine: dict | None = None,
 ) -> dict:
-    """Append the summary's speedup index as one trajectory entry."""
+    """Append the summary's speedup index as one trajectory entry,
+    stamped with the machine signature it was measured on."""
     trajectory = load_trajectory(path)
     trajectory["entries"].append(
-        {"label": label, "speedups": summary["speedups"]}
+        {
+            "label": label,
+            "machine": machine or machine_signature(),
+            "speedups": summary["speedups"],
+        }
     )
     path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
     return trajectory
@@ -158,12 +210,23 @@ def main(argv: list[str] | None = None) -> int:
                   else f" (BELOW {target:.1f}x target)")
         )
         print(f"  {name}: {entry['speedup']:.2f}x{status}")
+    for name, entry in sorted(summary["caches"].items()):
+        if {"hits", "misses"} <= set(entry):
+            print(
+                f"  {name}: cache {entry['hits']} hit(s) / "
+                f"{entry['misses']} miss(es)"
+            )
     for name, error in sorted(summary["errors"].items()):
         print(f"  {name}: UNREADABLE ({error})", file=sys.stderr)
     if args.trajectory is not None:
-        regressions = compare_with_last(
-            summary, load_trajectory(args.trajectory), args.threshold
-        )
+        history = load_trajectory(args.trajectory)
+        if baseline_entry(history) is None and history["entries"]:
+            print(
+                "  no same-machine baseline in the trajectory; "
+                "skipping the regression comparison "
+                f"(this machine: {machine_signature()})"
+            )
+        regressions = compare_with_last(summary, history, args.threshold)
         for line in regressions:
             print(f"  PERF REGRESSION (non-blocking): {line}")
         trajectory = append_trajectory(summary, args.trajectory, args.label)

@@ -6,6 +6,7 @@ Examples::
     repro run e2 --quick
     repro run e1 e2 --profile quick --jobs 4
     repro run e3 e4 e9 --profile quick --fused
+    repro run e2 e3b --profile quick --cache --cache-dir .repro-cache
     repro run --profile quick --out results
     repro demo --n 2000 --weights 1,2,3 --rounds 2000
     repro demo --n 1000 --replications 100 --batched
@@ -157,6 +158,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    # --cache-dir implies --cache; an explicit --no-cache always wins.
+    cache_enabled = args.cache is True or (
+        args.cache is None and args.cache_dir is not None
+    )
+    cache_dir = args.cache_dir or ".repro-cache"
     checkpoint_every = args.checkpoint_every
     if args.resume and checkpoint_every is None:
         checkpoint_every = 1
@@ -171,6 +177,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if checkpoint_every is not None and checkpoint_every < 1:
         print("--checkpoint-every must be >= 1", file=sys.stderr)
         return 2
+    if cache_enabled and checkpoint_every is not None:
+        # The checkpointed executor already persists every finished
+        # shard to its own file; the content-addressed cache is not
+        # consulted on that path.
+        print(
+            "note: --cache has no effect with --checkpoint-every/"
+            "--resume; the checkpoint file already records finished "
+            "shards",
+            file=sys.stderr,
+        )
+        cache_enabled = False
+    shard_cache = None
+    if cache_enabled:
+        from .experiments.cache import ShardCache
+
+        shard_cache = ShardCache(cache_dir)
     for name in names:
         definition = REGISTRY[name]
         if profile not in definition.profiles:
@@ -199,9 +221,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             else:
                 result = execute(
                     definition.spec(**kwargs), jobs=args.jobs,
-                    fused=args.fused,
+                    fused=args.fused, cache=shard_cache,
                 )
             table = result.table()
+            if result.cache_stats is not None:
+                stats = result.cache_stats
+                print(
+                    f"cache: {stats['hits']} hit(s), "
+                    f"{stats['misses']} miss(es) ({stats['dir']})",
+                    file=sys.stderr,
+                )
         else:
             ignored = [
                 flag
@@ -209,6 +238,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     ("--jobs", args.jobs is not None and args.jobs > 1),
                     ("--fused", args.fused),
                     ("--checkpoint-every", checkpoint_every is not None),
+                    ("--cache", cache_enabled),
                 )
                 if given
             ]
@@ -415,6 +445,21 @@ def build_parser() -> argparse.ArgumentParser:
              "per-shard path (honouring --jobs).  Fused results match "
              "the per-shard path in distribution (per-cell "
              "KS-equivalent), not bit for bit",
+    )
+    p_run.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="consult the content-addressed shard result cache before "
+             "computing and write fresh values back: warm and "
+             "overlapping sweeps only compute new cells.  Keys cover "
+             "the measurement source, the repro code version, the "
+             "backend dtype table, the shard params and the resolved "
+             "seed, so any code or dtype change recomputes instead of "
+             "replaying.  --no-cache forces a full recompute",
+    )
+    p_run.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="directory of the shard result cache (default: "
+             ".repro-cache/; implies --cache)",
     )
     p_run.add_argument(
         "--out", type=str, default=None, metavar="DIR",

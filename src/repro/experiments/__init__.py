@@ -40,6 +40,7 @@ from .replication import (
     replicate_colour_counts,
     summarise,
 )
+from .cache import ShardCache, shard_key, spec_fingerprint
 from .chain import E8_PROFILES, experiment_markov_chain, spec_markov_chain
 from .convergence import (
     E1_PROFILES,
@@ -242,6 +243,9 @@ __all__ = [
     "ShardError",
     "SerialExecutor",
     "ProcessExecutor",
+    "ShardCache",
+    "shard_key",
+    "spec_fingerprint",
     "FusedExecutor",
     "FusedMeasurement",
     "FusedPlan",

@@ -1,0 +1,316 @@
+"""Content-addressed shard result cache for the declarative pipeline.
+
+Every sweep used to recompute all of its shards from scratch, even when
+a grid cell with identical (parameters, seed, measurement, code
+version) had already been computed by a previous run.  This module
+generalises the spec-level resume fingerprint of
+:mod:`repro.experiments.checkpoint` to *per-shard* keys: a
+:class:`ShardCache` is an on-disk store addressed by
+:func:`shard_key`, a stable SHA-256 of
+
+* the **measurement identity** — ``module:qualname`` of the
+  measurement callable plus a hash of its defining module's source;
+* the **code version** — a fingerprint over every ``*.py`` file of the
+  installed ``repro`` package (:func:`package_fingerprint`), so any
+  library change invalidates rather than silently replaying;
+* the **backend selection** — resolved backend name and its dtype
+  table (:func:`backend_fingerprint`), so a dtype-width change can
+  never replay stale bits;
+* the shard's **parameters** (key-order independent: the JSON document
+  is dumped with sorted keys) and its **resolved seed**
+  (``SeedSequence`` entropy + spawn key);
+* the **execution mode** — ``"shard"`` for the bit-identical per-shard
+  paths (serial and process pool share one key space: they compute
+  identical values) and ``"fused:<family>"`` for mega-batch values,
+  which are only distribution-equivalent to the per-shard path and
+  therefore live in their own key space.
+
+Cached values round-trip through JSON exactly like resumed checkpoint
+shards (``repro-plan-ckpt/v1`` precedent), so a warm run's tables are
+byte-identical to a cold run's — asserted end to end by
+``benchmarks/bench_e19_cache.py`` and the warm-vs-cold CI job.
+
+Seed scopes and overlap.  Whether an *overlapping* sweep hits depends
+on the spec's seed scope: ``"cell"`` and ``"direct"`` scopes derive
+each shard's seed from its cell parameters, so shared cells keep their
+keys when the grid grows; ``"stream"`` scope ties seeds to the shard
+index, so only an unchanged plan prefix can hit.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib
+import inspect
+import json
+import os
+import pathlib
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.backend import resolve_backend
+from .export import _plain_tree, spec_to_payload
+from .pipeline import ScenarioSpec, Shard
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CacheStats",
+    "ShardCache",
+    "backend_fingerprint",
+    "lookup_shards",
+    "measurement_fingerprint",
+    "package_fingerprint",
+    "resolve_cache",
+    "shard_key",
+    "spec_fingerprint",
+]
+
+CACHE_FORMAT = "repro-shard-cache/v1"
+
+#: Default cache directory of the CLI's ``--cache`` flag.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints: the invalidation components of a shard key
+
+
+@functools.lru_cache(maxsize=None)
+def package_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` source file of the ``repro`` package.
+
+    The cache's code-version component: editing *any* library module —
+    an engine kernel, a table builder, a seeding helper — changes this
+    fingerprint and therefore every shard key, so stale values are
+    recomputed, never replayed.  Hashed once per process.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@functools.lru_cache(maxsize=None)
+def _module_source_hash(module_name: str) -> str | None:
+    """SHA-256 of a module's source text, or None when unavailable
+    (interactive definitions, frozen modules)."""
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception:
+            return None
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return None
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def measurement_fingerprint(measure) -> dict:
+    """Identity of a measurement callable: its ``module:qualname``
+    reference plus a hash of its defining module's source, so editing
+    the measurement (or a helper beside it) invalidates its entries
+    even when the measurement lives outside the ``repro`` package."""
+    return {
+        "ref": f"{measure.__module__}:{measure.__qualname__}",
+        "source": _module_source_hash(measure.__module__),
+    }
+
+
+def _dtype_label(dtype) -> str:
+    """Canonical name of a backend dtype object (``'int64'``, ...)."""
+    try:
+        return str(np.dtype(dtype))
+    except TypeError:
+        return str(dtype)
+
+
+def backend_fingerprint(backend=None) -> dict:
+    """The resolved backend's name and dtype table.
+
+    Part of every shard key: values computed under one backend or
+    dtype-width configuration are never replayed under another.
+    """
+    resolved = resolve_backend(backend)
+    dtypes = resolved.dtypes
+    return {
+        "name": resolved.name,
+        "dtypes": {
+            "int64": _dtype_label(dtypes.int64),
+            "float64": _dtype_label(dtypes.float64),
+            "uint64": _dtype_label(dtypes.uint64),
+            "bool": _dtype_label(dtypes.bool_),
+        },
+    }
+
+
+def spec_fingerprint(spec: ScenarioSpec) -> str:
+    """Stable hash of the spec's serialised form (grid, fixed params,
+    replications, seeding rule) — the checkpoint resume-compatibility
+    key, canonical home since the per-shard generalisation."""
+    doc = json.dumps(spec_to_payload(spec), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def _seed_payload(seed: np.random.SeedSequence) -> dict:
+    """JSON form of a resolved shard seed (same fields the plan
+    artifacts record, plus the pool size for completeness)."""
+    return {
+        "entropy": _plain_tree(seed.entropy),
+        "spawn_key": [int(key) for key in seed.spawn_key],
+        "pool_size": int(seed.pool_size),
+    }
+
+
+def shard_key(
+    spec: ScenarioSpec,
+    shard: Shard,
+    *,
+    mode: str = "shard",
+    backend=None,
+    code_version: str | None = None,
+) -> str:
+    """Content address of one shard's measurement value.
+
+    The key is a SHA-256 over a sorted-keys JSON document, so it is
+    independent of dict insertion order and of Python hash
+    randomisation (``PYTHONHASHSEED``), and it changes whenever the
+    measurement source, the library code version, the backend dtype
+    table, the shard parameters, the resolved seed or the execution
+    mode change.  ``code_version`` overrides the package fingerprint
+    (tests use this to model a library edit).
+    """
+    doc = {
+        "format": CACHE_FORMAT,
+        "mode": mode,
+        "measurement": measurement_fingerprint(spec.measure),
+        "code": (
+            code_version if code_version is not None
+            else package_fingerprint()
+        ),
+        "backend": backend_fingerprint(backend),
+        "params": _plain_tree(dict(shard.params)),
+        "seed": _seed_payload(shard.seed),
+    }
+    text = json.dumps(doc, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`ShardCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ShardCache:
+    """Content-addressed on-disk store of shard measurement values.
+
+    Entries live at ``<directory>/<key[:2]>/<key>.json`` (two-level
+    fan-out keeps directory listings manageable for big sweeps); each
+    file is a self-describing ``repro-shard-cache/v1`` document holding
+    the measurement value and the compute wall-clock.  Writes are
+    atomic (temp file + rename), so concurrent runs sharing a cache
+    directory can only ever observe complete entries; unreadable,
+    foreign-format or key-mismatched files are treated as misses and
+    overwritten on the next store.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = pathlib.Path(directory)
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardCache({str(self.directory)!r})"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of a key's entry."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored ``{"value", "seconds"}`` of ``key``, or None."""
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if doc.get("format") != CACHE_FORMAT or doc.get("key") != key:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return {
+            "value": doc["value"],
+            "seconds": float(doc.get("seconds", 0.0)),
+        }
+
+    def put(
+        self, key: str, value: dict, seconds: float, *,
+        experiment: str | None = None,
+    ) -> pathlib.Path:
+        """Store a freshly computed value under ``key`` (atomic)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "experiment": experiment,
+            "seconds": float(seconds),
+            "value": _plain_tree(value),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc) + "\n")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+
+def resolve_cache(
+    cache: "ShardCache | str | os.PathLike | None",
+) -> ShardCache | None:
+    """Pass a :class:`ShardCache` through; wrap a path; None stays None."""
+    if cache is None or isinstance(cache, ShardCache):
+        return cache
+    return ShardCache(cache)
+
+
+def lookup_shards(
+    store: ShardCache,
+    spec: ScenarioSpec,
+    shards,
+    *,
+    mode: str = "shard",
+) -> tuple[dict, dict, list]:
+    """Partition shards into cache hits and misses.
+
+    Returns ``(keys, hits, misses)``: ``keys`` maps each shard index to
+    its content address, ``hits`` maps hit indices to their stored
+    ``{"value", "seconds"}`` entries, and ``misses`` lists the shards
+    to compute, in the given order.
+    """
+    keys: dict[int, str] = {}
+    hits: dict[int, dict] = {}
+    misses: list = []
+    for shard in shards:
+        key = shard_key(spec, shard, mode=mode)
+        keys[shard.index] = key
+        entry = store.get(key)
+        if entry is None:
+            misses.append(shard)
+        else:
+            hits[shard.index] = entry
+    return keys, hits, misses

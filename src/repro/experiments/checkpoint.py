@@ -19,13 +19,15 @@ rejects the flag combination.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pathlib
 import time
 
-from .export import spec_to_payload
+# Canonical home of the fingerprint moved to the cache module when the
+# spec-level resume key was generalised to per-shard content addresses;
+# re-exported here for back-compat.
+from .cache import spec_fingerprint  # noqa: F401
 from .pipeline import (
     ExperimentPlan,
     PlanResult,
@@ -37,13 +39,6 @@ from .pipeline import (
 )
 
 PLAN_CKPT_FORMAT = "repro-plan-ckpt/v1"
-
-
-def spec_fingerprint(spec: ScenarioSpec) -> str:
-    """Stable hash of the spec's serialised form (grid, fixed params,
-    replications, seeding rule) — the resume-compatibility key."""
-    doc = json.dumps(spec_to_payload(spec), sort_keys=True)
-    return hashlib.sha256(doc.encode()).hexdigest()
 
 
 def load_plan_checkpoint(path: str | pathlib.Path) -> dict:

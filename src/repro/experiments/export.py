@@ -139,6 +139,12 @@ def plan_to_json(
         "spec": spec_to_payload(result.spec),
         "jobs": result.jobs,
         "elapsed_seconds": result.elapsed_seconds,
+        # Per-run shard-cache hit/miss counters (None when the run did
+        # not consult a cache) — the serving-traffic observability the
+        # result cache is sized by.
+        "cache": _plain_tree(result.cache_stats)
+        if result.cache_stats is not None
+        else None,
         "shards": [
             {
                 "index": entry.shard.index,

@@ -187,6 +187,16 @@ def fused_rng(shards: Sequence[Shard]) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy=entropy))
 
 
+def _group_members(shards: Sequence[Shard]) -> str:
+    """One line per member shard of a mega-batch group, so a failed
+    group is diagnosable without re-running serially."""
+    return "\n".join(
+        f"  shard {shard.index} (cell {shard.cell}, replication "
+        f"{shard.replication}): params {dict(shard.params)!r}"
+        for shard in shards
+    )
+
+
 class FusedExecutor:
     """Run a fused plan: mega-batch jobs through their fused engines,
     fallback shards through an ordinary shard executor (serial by
@@ -194,16 +204,30 @@ class FusedExecutor:
     fallback shards are exactly the independent per-shard work that
     benefits from parallelism.
 
+    With a :class:`~repro.experiments.cache.ShardCache` each group is
+    partitioned into hits and misses before its engine is built: only
+    the miss rows run through the fused engine (the miss subset forms
+    its own :func:`fused_rng` group stream — distribution-equivalent,
+    the established fused contract), cached and fresh values are
+    scattered back in shard order, and fresh values are written back
+    under the group's ``fused:<family>`` key space.  Fallback shards
+    cache under the per-shard (``"shard"``) key space they share with
+    the serial and process paths.
+
     Timing semantics: a mega-batch job is one engine call, so its
-    shards have no independent wall-clocks — each shard of the group
-    records the group's elapsed time divided evenly across its members
-    (an attribution, not a measurement; fallback shards keep real
-    per-shard timings).  Plan artifacts therefore show uniform
-    ``seconds`` across a fused group.
+    shards have no independent wall-clocks — each computed shard of
+    the group records the engine call's elapsed time divided evenly
+    across the rows that actually ran (an attribution, not a
+    measurement; fallback shards keep real per-shard timings, cache
+    hits report their stored original compute time).
     """
 
-    def __init__(self, shard_executor=None):
+    def __init__(self, shard_executor=None, *, cache=None):
         self.shard_executor = shard_executor or SerialExecutor()
+        self.cache = cache
+        #: Per-run hit/miss counters of the last :meth:`run_plan` call
+        #: (None when no cache is attached).
+        self.cache_stats: dict | None = None
 
     @property
     def jobs(self) -> int:
@@ -212,53 +236,116 @@ class FusedExecutor:
 
     def run_plan(self, fused_plan: FusedPlan) -> list[tuple[dict, float]]:
         spec = fused_plan.plan.spec
+        store = self.cache
         outcomes: list[tuple[dict, float] | None] = [None] * len(
             fused_plan.plan.shards
         )
+        hits = misses = 0
         fallback: list[Shard] = []
         for job in fused_plan.jobs:
             if job.impl is None:
                 fallback.extend(job.shards)
                 continue
+            members = list(job.shards)
+            if store is not None:
+                from .cache import lookup_shards
+
+                keys, cached, to_run = lookup_shards(
+                    store, spec, members,
+                    mode=f"fused:{job.impl.family}",
+                )
+                for index, entry in cached.items():
+                    outcomes[index] = (
+                        entry["value"], float(entry["seconds"])
+                    )
+                hits += len(cached)
+                misses += len(to_run)
+            else:
+                keys, to_run = {}, members
+            if not to_run:
+                continue
             start = time.perf_counter()
             try:
-                values = job.impl.run_group(spec, list(job.shards))
+                values = job.impl.run_group(spec, to_run)
             except Exception:
                 # A mega-batch group fails as one engine call — there
                 # is no single failing shard, so the error is
-                # attributed to the group's first shard and says so.
+                # attributed to the group's first shard; every member
+                # shard's params are listed for diagnosis.
                 raise ShardError(
                     spec.name,
-                    job.shards[0],
-                    f"mega-batch group of {len(job.shards)} shards "
-                    "failed as one engine call (error attributed to "
-                    "the group's first shard):\n"
+                    to_run[0],
+                    f"mega-batch group of {len(to_run)} shards failed "
+                    "as one engine call (error attributed to the "
+                    "group's first shard); group members:\n"
+                    + _group_members(to_run)
+                    + "\n"
                     + traceback.format_exc(),
                 ) from None
             elapsed = time.perf_counter() - start
-            if len(values) != len(job.shards):
+            if len(values) != len(to_run):
                 raise ShardError(
                     spec.name,
-                    job.shards[0],
+                    to_run[0],
                     f"fused implementation returned {len(values)} values "
-                    f"for {len(job.shards)} shards",
+                    f"for {len(to_run)} shards; group members:\n"
+                    + _group_members(to_run),
                 )
-            # Even attribution of the group's wall-clock (see the
-            # class docstring) — fused shards share one engine call.
-            per_shard = elapsed / len(job.shards)
-            for shard, value in zip(job.shards, values):
+            # Even attribution of the engine call's wall-clock (see
+            # the class docstring) across the rows that actually ran.
+            per_shard = elapsed / len(to_run)
+            for shard, value in zip(to_run, values):
+                if store is not None:
+                    store.put(
+                        keys[shard.index], value, per_shard,
+                        experiment=spec.name,
+                    )
                 outcomes[shard.index] = (value, per_shard)
         if fallback:
-            tasks = [(shard.params, shard.seed) for shard in fallback]
-            shard_outcomes = self.shard_executor.run_shards(
-                spec.measure, tasks
+            if store is not None:
+                from .cache import lookup_shards
+
+                keys, cached, to_run = lookup_shards(
+                    store, spec, fallback
+                )
+                for index, entry in cached.items():
+                    outcomes[index] = (
+                        entry["value"], float(entry["seconds"])
+                    )
+                hits += len(cached)
+                misses += len(to_run)
+            else:
+                keys, to_run = {}, fallback
+            tasks = [(shard.params, shard.seed) for shard in to_run]
+            shard_outcomes = (
+                self.shard_executor.run_shards(spec.measure, tasks)
+                if tasks
+                else []
             )
+            failure: ShardError | None = None
             for shard, (value, error, seconds) in zip(
-                fallback, shard_outcomes
+                to_run, shard_outcomes
             ):
                 if error is not None:
-                    raise ShardError(spec.name, shard, error)
+                    failure = ShardError(spec.name, shard, error)
+                    break
+                if store is not None:
+                    store.put(
+                        keys[shard.index], value, seconds,
+                        experiment=spec.name,
+                    )
                 outcomes[shard.index] = (value, seconds)
+            if failure is not None:
+                raise failure
+        if store is not None:
+            self.cache_stats = {
+                "enabled": True,
+                "hits": hits,
+                "misses": misses,
+                "dir": str(store.directory),
+            }
+        else:
+            self.cache_stats = None
         return outcomes
 
 
@@ -267,14 +354,18 @@ def execute_fused(
     *,
     jobs: int | None = None,
     executor=None,
+    cache=None,
 ) -> PlanResult:
     """Fused counterpart of :func:`~repro.experiments.pipeline.execute`.
 
     Expands the spec, fuses compatible shards into mega-batch jobs and
     merges the results back into shard order.  Mega-batch jobs run
     in-process (each is one engine call); ``jobs``/``executor`` apply
-    to the fallback shards, which are ordinary per-shard work.
-    Usually reached through ``execute(..., fused=True)``.
+    to the fallback shards, which are ordinary per-shard work.  With
+    ``cache`` set (a :class:`~repro.experiments.cache.ShardCache` or a
+    directory path) each group runs only its cache misses — an
+    overlapping sweep computes only the new cells.  Usually reached
+    through ``execute(..., fused=True)``.
     """
     if isinstance(spec_or_plan, ScenarioSpec):
         expanded = expand_plan(spec_or_plan)
@@ -283,7 +374,11 @@ def execute_fused(
     fused_plan = fuse(expanded)
     if executor is None:
         executor = make_executor(jobs)
-    runner = FusedExecutor(executor)
+    if cache is not None:
+        from .cache import resolve_cache
+
+        cache = resolve_cache(cache)
+    runner = FusedExecutor(executor, cache=cache)
     start = time.perf_counter()
     outcomes = runner.run_plan(fused_plan)
     elapsed = time.perf_counter() - start
@@ -297,6 +392,7 @@ def execute_fused(
         results=results,
         jobs=runner.jobs,
         elapsed_seconds=elapsed,
+        cache_stats=runner.cache_stats,
     )
 
 

@@ -190,6 +190,9 @@ class PlanResult:
     results: list[ShardResult]
     jobs: int
     elapsed_seconds: float
+    #: Per-run hit/miss counters when a shard cache was consulted
+    #: (``{"enabled", "hits", "misses", "dir"}``); None otherwise.
+    cache_stats: dict | None = None
 
     def values(self) -> list[dict]:
         """Measurement values in shard order."""
@@ -312,12 +315,55 @@ def make_executor(jobs: int | None):
     return ProcessExecutor(jobs)
 
 
+def _run_cached(spec, expanded, executor, store):
+    """Cache-aware shard execution: consult the store per shard, run
+    only the misses through the executor and write them back.
+
+    Hit shards replay their stored value (JSON round-tripped, exactly
+    like resumed checkpoint shards) and report the *original* compute
+    wall-clock as ``seconds``.  On a failed miss, the misses completed
+    before it are stored before the :class:`ShardError` propagates, so
+    a failed sweep's progress still warms the cache.
+    """
+    from .cache import lookup_shards
+
+    keys, hits, misses = lookup_shards(store, spec, expanded.shards)
+    tasks = [(shard.params, shard.seed) for shard in misses]
+    outcomes = executor.run_shards(spec.measure, tasks) if misses else []
+    fresh: dict[int, tuple[dict, float]] = {}
+    failure: ShardError | None = None
+    for shard, (value, error, seconds) in zip(misses, outcomes):
+        if error is not None:
+            failure = ShardError(spec.name, shard, error)
+            break
+        store.put(keys[shard.index], value, seconds, experiment=spec.name)
+        fresh[shard.index] = (value, seconds)
+    if failure is not None:
+        raise failure
+    results = []
+    for shard in expanded.shards:
+        if shard.index in hits:
+            entry = hits[shard.index]
+            value, seconds = entry["value"], float(entry["seconds"])
+        else:
+            value, seconds = fresh[shard.index]
+        results.append(ShardResult(shard=shard, value=value, seconds=seconds))
+    stats = {
+        "enabled": True,
+        "hits": len(hits),
+        "misses": len(misses),
+        "dir": str(store.directory),
+    }
+    return results, stats
+
+
 def execute(
     spec_or_plan: ScenarioSpec | ExperimentPlan,
     *,
     jobs: int | None = None,
     executor=None,
     fused: bool = False,
+    cache=None,
 ) -> PlanResult:
     """Run a spec (or a pre-expanded plan) and merge the shard results.
 
@@ -329,17 +375,29 @@ def execute(
     remaining fallback shards run per shard through ``jobs``/
     ``executor`` as usual.
 
+    With ``cache`` set (a :class:`~repro.experiments.cache.ShardCache`
+    or a directory path) every shard is looked up by its content
+    address (:func:`~repro.experiments.cache.shard_key`) before
+    computing; only the misses run, fresh values are written back, and
+    the returned :class:`PlanResult` carries per-run hit/miss counts in
+    ``cache_stats``.  Hit shards replay bit-identically on the
+    serial/process paths; on the fused path each mega-batch group runs
+    only its miss rows (cached and fresh values are scattered back in
+    shard order).
+
     Raises :class:`ShardError` for the lowest-index failed shard, with
     the experiment name and the shard's parameters in the message.  On
     the fused path a mega-batch group fails as one engine call, so its
-    :class:`ShardError` names the *group's first shard* (and says so);
-    fallback shards run after the mega-batch jobs, so their failure
-    order follows job order, not shard index.
+    :class:`ShardError` names the *group's first shard* and lists every
+    member shard's params; fallback shards run after the mega-batch
+    jobs, so their failure order follows job order, not shard index.
     """
     if fused:
         from .fusion import execute_fused
 
-        return execute_fused(spec_or_plan, jobs=jobs, executor=executor)
+        return execute_fused(
+            spec_or_plan, jobs=jobs, executor=executor, cache=cache
+        )
     if isinstance(spec_or_plan, ScenarioSpec):
         expanded = plan(spec_or_plan)
     else:
@@ -347,19 +405,32 @@ def execute(
     spec = expanded.spec
     if executor is None:
         executor = make_executor(jobs)
-    tasks = [(shard.params, shard.seed) for shard in expanded.shards]
     start = time.perf_counter()
-    outcomes = executor.run_shards(spec.measure, tasks)
+    if cache is None:
+        tasks = [(shard.params, shard.seed) for shard in expanded.shards]
+        outcomes = executor.run_shards(spec.measure, tasks)
+        results = []
+        for shard, (value, error, seconds) in zip(
+            expanded.shards, outcomes
+        ):
+            if error is not None:
+                raise ShardError(spec.name, shard, error)
+            results.append(
+                ShardResult(shard=shard, value=value, seconds=seconds)
+            )
+        cache_stats = None
+    else:
+        from .cache import resolve_cache
+
+        results, cache_stats = _run_cached(
+            spec, expanded, executor, resolve_cache(cache)
+        )
     elapsed = time.perf_counter() - start
-    results = []
-    for shard, (value, error, seconds) in zip(expanded.shards, outcomes):
-        if error is not None:
-            raise ShardError(spec.name, shard, error)
-        results.append(ShardResult(shard=shard, value=value, seconds=seconds))
     return PlanResult(
         spec=spec,
         cells=expanded.cells,
         results=results,
         jobs=executor.jobs,
         elapsed_seconds=elapsed,
+        cache_stats=cache_stats,
     )

@@ -101,6 +101,83 @@ class TestCompare:
             current, trajectory, threshold=0.05
         )
 
+    def test_append_stamps_machine_signature(self, collect_module, tmp_path):
+        path = tmp_path / "traj.json"
+        doc = collect_module.append_trajectory(
+            summary_with({"a": 2.0}), path, "base"
+        )
+        machine = doc["entries"][0]["machine"]
+        assert machine == collect_module.machine_signature()
+        assert set(machine) == {"cpu_count", "platform"}
+
+    def test_cross_machine_baseline_is_skipped(self, collect_module):
+        """A 4-core runner's speedups are not a baseline for a 1-core
+        box — a structural 4x->1x drop is noise, not a regression."""
+        four_core = {"cpu_count": 4, "platform": "Linux-x86_64"}
+        one_core = {"cpu_count": 1, "platform": "Linux-x86_64"}
+        trajectory = {
+            "format": collect_module.TRAJECTORY_FORMAT,
+            "entries": [
+                {
+                    "label": "ci",
+                    "machine": four_core,
+                    "speedups": {"a": {"speedup": 4.0}},
+                }
+            ],
+        }
+        current = summary_with({"a": 1.1})
+        assert (
+            collect_module.compare_with_last(
+                current, trajectory, machine=one_core
+            )
+            == []
+        )
+        assert collect_module.compare_with_last(
+            current, trajectory, machine=four_core
+        )
+
+    def test_legacy_unstamped_entries_never_serve_as_baseline(
+        self, collect_module
+    ):
+        trajectory = {
+            "format": collect_module.TRAJECTORY_FORMAT,
+            "entries": [
+                {"label": "pr7", "speedups": {"a": {"speedup": 4.0}}}
+            ],
+        }
+        assert collect_module.baseline_entry(trajectory) is None
+        assert (
+            collect_module.compare_with_last(
+                summary_with({"a": 1.0}), trajectory
+            )
+            == []
+        )
+
+    def test_baseline_is_newest_same_machine_entry(self, collect_module):
+        mine = {"cpu_count": 1, "platform": "Linux-x86_64"}
+        other = {"cpu_count": 8, "platform": "Darwin-arm64"}
+        trajectory = {
+            "format": collect_module.TRAJECTORY_FORMAT,
+            "entries": [
+                {"label": "old", "machine": mine,
+                 "speedups": {"a": {"speedup": 4.0}}},
+                {"label": "mid", "machine": mine,
+                 "speedups": {"a": {"speedup": 2.0}}},
+                {"label": "new-other", "machine": other,
+                 "speedups": {"a": {"speedup": 9.0}}},
+            ],
+        }
+        baseline = collect_module.baseline_entry(trajectory, machine=mine)
+        assert baseline["label"] == "mid"
+        # vs "mid" (2.0x) a 1.9x run is fine; vs "old" (4.0x) it would
+        # have been flagged.
+        assert (
+            collect_module.compare_with_last(
+                summary_with({"a": 1.9}), trajectory, machine=mine
+            )
+            == []
+        )
+
     def test_cli_trajectory_flow(self, collect_module, tmp_path, capsys):
         results = tmp_path / "results"
         results.mkdir()
@@ -121,3 +198,27 @@ class TestCompare:
         assert "PERF REGRESSION" in out
         doc = collect_module.load_trajectory(traj)
         assert len(doc["entries"]) == 2
+
+
+class TestCacheCounters:
+    def test_collect_indexes_cache_counters(self, collect_module, tmp_path):
+        (tmp_path / "e19_cache_timing.json").write_text(
+            json.dumps(
+                {"speedup": 50.0, "cache": {"hits": 96, "misses": 0}}
+            )
+        )
+        (tmp_path / "e17_timing.json").write_text(
+            json.dumps({"speedup": 3.0})
+        )
+        summary = collect_module.collect(tmp_path)
+        assert summary["caches"] == {
+            "e19_cache_timing": {"hits": 96, "misses": 0}
+        }
+
+    def test_main_prints_cache_lines(self, collect_module, tmp_path, capsys):
+        (tmp_path / "e19_cache_timing.json").write_text(
+            json.dumps({"cache": {"hits": 12, "misses": 4}})
+        )
+        assert collect_module.main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache 12 hit(s) / 4 miss(es)" in out

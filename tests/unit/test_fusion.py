@@ -133,6 +133,26 @@ class TestFusedExecution:
         with pytest.raises(ShardError, match="fused boom"):
             execute(echo_spec, fused=True)
 
+    def test_group_error_lists_every_member_shard(self, echo_spec):
+        """A mega-batch group fails as one engine call; its error must
+        enumerate every member shard's params, not just the first — the
+        first shard's cell is rarely the one that broke the batch."""
+        def boom(spec, shards):
+            raise RuntimeError("fused boom")
+
+        register_fused(
+            _echo_measure,
+            FusedMeasurement("test", lambda p: "all", boom),
+        )
+        with pytest.raises(ShardError) as excinfo:
+            execute(echo_spec, fused=True)
+        message = str(excinfo.value)
+        assert "group members:" in message
+        for a in (1, 2, 3):
+            assert f"'a': {a}" in message
+        for shard in plan(echo_spec).shards:
+            assert f"shard {shard.index} (cell {shard.cell}" in message
+
     def test_wrong_value_count_is_rejected(self, echo_spec):
         register_fused(
             _echo_measure,
@@ -140,8 +160,9 @@ class TestFusedExecution:
                 "test", lambda p: "all", lambda spec, shards: [{}]
             ),
         )
-        with pytest.raises(ShardError, match="returned 1 values"):
+        with pytest.raises(ShardError, match="returned 1 values") as excinfo:
             execute(echo_spec, fused=True)
+        assert "group members:" in str(excinfo.value)
 
 
 class TestFusedRng:
