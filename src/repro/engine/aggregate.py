@@ -109,6 +109,7 @@ class AggregateSimulation:
         self.rng = make_rng(rng)
         self.time = 0
         self._pending: int | None = None
+        # repro-lint: disable=RL3 -- observer callbacks, re-registered by the owner after restore()
         self._taps: list = []
         if self.n < 2:
             raise ValueError("need at least two agents")

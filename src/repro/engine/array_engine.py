@@ -715,6 +715,7 @@ class ArraySimulation:
         # Live (k,) count tables are maintained only while observers
         # need per-change snapshots; otherwise counts are recomputed on
         # demand with one bincount.
+        # repro-lint: disable=RL301 -- pure cache; restore() invalidates it, rebuilt on first query
         self._live_counts: dict | None = None
         self._population_view = (
             None if self._batched else ArrayPopulationView(self)

@@ -135,6 +135,7 @@ class BatchedAggregateSimulation:
         if self._n < 2:
             raise ValueError("need at least two agents")
         # One contiguous (R, 2k) state matrix; dark and light are views.
+        # repro-lint: disable=RL301 -- serialised via its _dark/_light views; restore() rebuilds it
         self._state = xp.concatenate([dark, light], axis=1)
         self._dark = self._state[:, :k]
         self._light = self._state[:, k:]
@@ -152,6 +153,7 @@ class BatchedAggregateSimulation:
         # Next active-event arrival per row, carried across run calls
         # when it overshoots the horizon (-1 = none drawn yet).
         self._pending = xp.full(replications, -1, dtype=INT64)
+        # repro-lint: disable=RL3 -- observer callbacks, re-registered by the owner after restore()
         self._taps: list = []
 
     @staticmethod

@@ -133,6 +133,7 @@ class HeterogeneousAggregateBatch:
             raise ValueError("every row needs at least two agents")
         # One contiguous (B, 2 k_max) state matrix; dark and light are
         # views on the left and right blocks.
+        # repro-lint: disable=RL301 -- serialised via its _dark/_light views; restore() rebuilds it
         self._state = xp.concatenate([dark, light], axis=1)
         self._dark = self._state[:, :k_max]
         self._light = self._state[:, k_max:]
@@ -148,6 +149,7 @@ class HeterogeneousAggregateBatch:
                 raise ValueError("lighten probabilities must be in [0, 1]")
         self.rng = make_rng(rng)
         self._times = xp.zeros(rows, dtype=INT64)
+        # repro-lint: disable=RL301 -- derived from the serialised _n; restore() recomputes it
         self._denom = (
             self._n.astype(FLOAT64) * (self._n - 1).astype(FLOAT64)
         )
@@ -155,6 +157,7 @@ class HeterogeneousAggregateBatch:
         # docstring's split-invariance paragraph.
         self._streams = RowStreams.from_generator(self.rng, rows)
         self._pending = xp.full(rows, -1, dtype=INT64)
+        # repro-lint: disable=RL3 -- observer callbacks, re-registered by the owner after restore()
         self._taps: list = []
 
     def _mass_columns(self):

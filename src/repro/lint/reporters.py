@@ -1,0 +1,93 @@
+"""Rendering lint findings: ``text`` (human), ``json`` (tooling),
+``github`` (workflow error annotations)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .findings import Finding
+
+
+def render_text(findings: list[Finding]) -> str:
+    lines = [
+        f"{finding.location()}: {finding.code} {finding.message}"
+        for finding in findings
+    ]
+    count = len(findings)
+    lines.append(
+        "no findings" if count == 0
+        else f"{count} finding{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": _display_path(finding.path),
+                    "relpath": finding.relpath,
+                    "line": finding.line,
+                    "col": finding.col + 1,
+                    "code": finding.code,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "count": len(findings),
+        },
+        indent=2,
+    )
+
+
+def render_github(findings: list[Finding]) -> str:
+    """``::error`` workflow commands, one per finding.
+
+    GitHub splits the command from the message at ``::``; commas and
+    newlines inside property values are escaped per the workflow
+    command spec.
+    """
+    lines = []
+    for finding in findings:
+        path = _escape_property(_display_path(finding.path))
+        title = _escape_property(f"repro-lint {finding.code}")
+        message = _escape_data(f"{finding.code} {finding.message}")
+        lines.append(
+            f"::error file={path},line={finding.line},"
+            f"col={finding.col + 1},title={title}::{message}"
+        )
+    if not lines:
+        return ""
+    return "\n".join(lines)
+
+
+def render(findings: list[Finding], fmt: str) -> str:
+    renderer = {
+        "text": render_text,
+        "json": render_json,
+        "github": render_github,
+    }.get(fmt)
+    if renderer is None:
+        raise ValueError(f"unknown lint output format: {fmt!r}")
+    return renderer(findings)
+
+
+def _display_path(path: pathlib.Path) -> str:
+    """cwd-relative when possible (what editors and CI expect)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _escape_data(value: str) -> str:
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _escape_property(value: str) -> str:
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")

@@ -1,0 +1,187 @@
+"""RL3 — checkpoint-completeness rules (the ``repro-ckpt/v1`` contract).
+
+Any class offering ``snapshot()``/``restore()`` promises that a
+restored object replays *identically*.  The classic way that promise
+rots: someone adds a stateful ``self._x`` to ``__init__``, mutates it
+during stepping, and forgets to thread it through the checkpoint
+payload.  Nothing fails until a resumed run silently diverges.
+
+Detection, per class that defines both ``snapshot`` and ``restore``:
+
+1. collect every underscore field directly assigned in ``__init__``
+   (``self._x = ...`` / annotated / unpacked);
+2. keep the *mutable* ones — fields also written outside
+   ``__init__``/``restore`` (rebind, ``+=``, subscript store, ``del``,
+   or a mutating method call such as ``.append``/``.update``/
+   ``.fill``).  Fields never touched after construction are static
+   configuration and need no serialisation;
+3. require each mutable field to be referenced in the transitive
+   closure of ``snapshot`` (else ``RL301``) and of ``restore`` (else
+   ``RL302``).  The closure follows ``self.method()`` calls defined on
+   the same class, so a snapshot that serialises ``_dark`` via
+   ``self.dark_counts()`` counts.
+
+Findings anchor at the field's ``__init__`` assignment — that is where
+the waiver belongs, next to the field it is justifying.  The analysis
+is single-file and inheritance-blind by design: an engine that splits
+``__init__`` and ``snapshot`` across a class hierarchy should carry a
+waiver explaining where the field is handled.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..registry import rule
+from ..walker import (
+    SourceModule,
+    class_methods,
+    self_attribute,
+    self_attribute_base,
+)
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear",
+    "add", "discard", "update", "setdefault", "popitem",
+    "sort", "reverse", "fill", "partial_fill", "put", "itemset",
+})
+
+
+@rule
+def check_checkpoints(module: SourceModule):
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            yield from _check_class(module, node)
+
+
+def _check_class(module: SourceModule, cls: ast.ClassDef):
+    methods = class_methods(cls)
+    snapshot = methods.get("snapshot")
+    restore = methods.get("restore")
+    init = methods.get("__init__")
+    if snapshot is None or restore is None or init is None:
+        return
+
+    assigned = _init_assignments(init)
+    if not assigned:
+        return
+
+    mutated = _mutated_fields(methods)
+    snapshot_refs = _closure_references(snapshot, methods)
+    restore_refs = _closure_references(restore, methods)
+
+    for name, node in assigned.items():
+        if name not in mutated:
+            continue
+        if name not in snapshot_refs:
+            yield Finding(
+                path=module.path,
+                relpath=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                code="RL301",
+                message=(
+                    f"mutable field `self.{name}` of {cls.name} is "
+                    "never serialised in snapshot() — a resumed run "
+                    "will diverge (repro-ckpt/v1)"
+                ),
+            )
+        if name not in restore_refs:
+            yield Finding(
+                path=module.path,
+                relpath=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                code="RL302",
+                message=(
+                    f"mutable field `self.{name}` of {cls.name} is "
+                    "never restored in restore() — a resumed run "
+                    "will diverge (repro-ckpt/v1)"
+                ),
+            )
+
+
+def _init_assignments(init: ast.FunctionDef) -> dict[str, ast.AST]:
+    """Underscore fields directly assigned in ``__init__``.
+
+    Maps field name -> first assignment node (the waiver anchor).
+    """
+    fields: dict[str, ast.AST] = {}
+
+    def record(target: ast.AST, node: ast.AST):
+        name = self_attribute(target)
+        if name is not None and name.startswith("_"):
+            fields.setdefault(name, node)
+
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        record(element, node)
+                else:
+                    record(target, node)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            record(node.target, node)
+    return fields
+
+
+def _mutated_fields(methods: dict[str, ast.FunctionDef]) -> set[str]:
+    """Fields written outside ``__init__``/``restore``."""
+    mutated: set[str] = set()
+    for name, method in methods.items():
+        if name in ("__init__", "restore"):
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets = []
+                for target in node.targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        targets.extend(target.elts)
+                    else:
+                        targets.append(target)
+                for target in targets:
+                    field = self_attribute_base(target)
+                    if field is not None:
+                        mutated.add(field)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                field = self_attribute_base(node.target)
+                if field is not None:
+                    mutated.add(field)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    field = self_attribute_base(target)
+                    if field is not None:
+                        mutated.add(field)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in MUTATORS
+                ):
+                    field = self_attribute_base(node.func.value)
+                    if field is not None:
+                        mutated.add(field)
+    return mutated
+
+
+def _closure_references(
+    entry: ast.FunctionDef, methods: dict[str, ast.FunctionDef]
+) -> set[str]:
+    """``self._x`` names reachable from ``entry`` through self-calls."""
+    refs: set[str] = set()
+    visited: set[str] = set()
+    queue = [entry]
+    while queue:
+        method = queue.pop()
+        if method.name in visited:
+            continue
+        visited.add(method.name)
+        for node in ast.walk(method):
+            attr = self_attribute(node) if isinstance(node, ast.Attribute) else None
+            if attr is not None:
+                refs.add(attr)
+                if attr in methods:  # self.helper() / property access
+                    queue.append(methods[attr])
+    return refs

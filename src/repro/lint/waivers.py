@@ -1,0 +1,67 @@
+"""Inline waiver parsing: ``# repro-lint: disable=CODE[,CODE]``.
+
+A waiver comment suppresses findings whose code matches one of its
+(prefix-semantics) selectors:
+
+* on the same line as the finding — the usual form, appended to the
+  offending statement's first line (multi-line statements report at
+  their first line, so that is where the waiver goes);
+* on a comment-only line — applies to the next line, for statements
+  too long to carry a trailing comment.
+
+Anything after the selector list is free-form justification; the
+repo convention is ``disable=CODE -- why this is safe``.  Waivers are
+parsed with :mod:`tokenize`, so comments inside strings never count.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from .findings import selector_matches
+
+_WAIVER = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9]+(?:\s*,\s*[A-Za-z0-9]+)*)"
+)
+
+
+def extract_waivers(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> selector set for every waiver comment.
+
+    A waiver on a comment-only line is attached to the *following*
+    line as well as its own, so both anchoring styles work.
+    """
+    waivers: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _WAIVER.search(token.string)
+            if match is None:
+                continue
+            selectors = {
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            line = token.start[0]
+            waivers.setdefault(line, set()).update(selectors)
+            before = token.line[: token.start[1]]
+            if not before.strip():  # comment-only line: cover the next
+                waivers.setdefault(line + 1, set()).update(selectors)
+    except tokenize.TokenError:
+        pass  # the AST parse reports the syntax error (RL000)
+    return {line: frozenset(codes) for line, codes in waivers.items()}
+
+
+def is_waived(
+    waivers: dict[int, frozenset[str]], line: int, code: str
+) -> bool:
+    """Whether a finding of ``code`` on ``line`` is waived."""
+    for selector in waivers.get(line, ()):
+        if selector_matches(selector, code):
+            return True
+    return False

@@ -1,0 +1,31 @@
+"""Planted RL2 violations: stdlib random, global numpy RNG state,
+wall-clock reads (aliased import), and unseeded generator
+construction.  The seeded construction and perf_counter are the
+sanctioned forms and must stay silent."""
+
+import random  # planted: RL202
+import time as _clock
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample():
+    np.random.seed(7)  # planted: RL201
+    return np.random.rand(3)  # planted: RL201
+
+
+def stamp():
+    return _clock.time()  # planted: RL203
+
+
+def duration():
+    return _clock.perf_counter()
+
+
+def fresh_rng():
+    return default_rng()  # planted: RL204
+
+
+def seeded_rng(seed):
+    return default_rng(seed)

@@ -1,0 +1,6 @@
+"""Sanctioned seam module: the one place numpy may be imported."""
+
+import numpy as np
+
+INT64 = np.int64
+FLOAT64 = np.float64

@@ -1,0 +1,33 @@
+"""Planted RL3 violations: a snapshot/restore engine with a stepped
+counter missing from both payloads, and a cache missing from
+snapshot only.  ``_events`` is complete — snapshot reaches it through
+``_event_payload()`` (the transitive self-call closure) — and
+``_config`` is never mutated, so neither may be flagged."""
+
+
+class PlantedEngine:
+    def __init__(self, rows):
+        self._config = {"rows": rows}
+        self._clock = 0  # planted: RL301,RL302
+        self._events = []
+        self._cache = None  # planted: RL301
+
+    def step(self):
+        self._clock += 1
+        self._events.append(self._clock)
+        self._cache = None
+
+    def totals(self):
+        if self._cache is None:
+            self._cache = len(self._events)
+        return self._cache
+
+    def _event_payload(self):
+        return list(self._events)
+
+    def snapshot(self):
+        return {"events": self._event_payload()}
+
+    def restore(self, state):
+        self._events = list(state["events"])
+        self._cache = None

@@ -1,0 +1,31 @@
+"""Planted RL4 violations: a kernel using a NumPy-only op and ``out=``
+mutation, and an un-gated class using a non-standard op.  The gated
+class and the xp-parameter function use the same ops legitimately and
+must stay silent."""
+
+from .backend import require_engine_loops
+
+
+class PlantedKernel:
+    def step(self, state, xp):
+        hist = xp.bincount(state)  # planted: RL401
+        xp.add(state, 1, out=state)  # planted: RL402
+        return hist
+
+
+class UngatedHelper:
+    def widen(self, arrays, xp):
+        return xp.concatenate(arrays)  # planted: RL403
+
+
+class GatedHelper:
+    def __init__(self, backend=None):
+        self._backend = require_engine_loops(backend)
+
+    def widen(self, arrays):
+        xp = self._backend.xp
+        return xp.concatenate(arrays)
+
+
+def histogram(state, xp):
+    return xp.bincount(state)

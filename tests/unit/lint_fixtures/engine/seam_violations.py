@@ -1,0 +1,19 @@
+"""Planted RL1 violations — the exact forms the old regex guard
+missed: aliased import, parenthesised multi-line from-import, dynamic
+``__import__``, and dtype access through the alias."""
+
+import numpy as _np  # planted: RL101
+from numpy import (  # planted: RL101
+    asarray,
+    zeros,
+)
+
+handle = __import__("numpy")  # planted: RL102
+
+
+def make_buffer(rows):
+    return zeros(rows, dtype=_np.int64)  # planted: RL103
+
+
+def widen(values):
+    return asarray(values)

@@ -1,0 +1,5 @@
+"""A violation carrying an inline waiver — must produce no findings."""
+
+import numpy as np  # repro-lint: disable=RL101 -- fixture: exercises the waiver path
+
+BUFFER = np.asarray([0])

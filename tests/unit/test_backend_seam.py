@@ -1,86 +1,82 @@
-"""Static guard for the backend seam.
+"""Static guard for the backend seam — now delegated to ``repro.lint``.
 
 ``src/repro/engine/`` and ``src/repro/analysis/streaming.py`` must
 obtain their array namespace and dtypes from ``repro.engine.backend``
-— the *only* sanctioned ``import numpy`` site in those layers.  This
-test greps the sources so the seam cannot silently erode in later PRs:
-a direct numpy import or a raw ``np.`` dtype literal anywhere else in
-the scope is a failure naming the offending file and line.
-
-Allowed by design: ``np.random`` *attribute access* (e.g. the
-checkpoint layer's ``getattr(np.random, name)`` legacy-state lookup
-through the host alias) and host aliases like ``np = HOST.xp`` — the
-guard targets the import statement and dtype literals specifically.
+— the *only* sanctioned ``import numpy`` site in those layers.  The
+detection used to live here as line-oriented regexes; it is now the
+AST-based RL1 rule family (:mod:`repro.lint.rules.seam`), which also
+catches the forms the regexes missed — aliased imports
+(``import numpy as _np``), parenthesised multi-line
+``from numpy import (...)`` and dynamic ``__import__("numpy")``.
+This test keeps the pytest gate (the seam cannot erode even where CI
+skips the dedicated lint job) and guards the guard: the scope must be
+populated, the sanctioned module must really import numpy, and the
+rules must still fire on planted violations.
 """
 
-import re
+import textwrap
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+import repro
+from repro.lint import run_lint
+from repro.lint.rules.seam import SANCTIONED, in_seam_scope
 
-#: The seam scope: every engine module plus the streaming analysis
-#: accumulators.  ``backend.py`` is the one sanctioned numpy importer.
-SANCTIONED = "backend.py"
-
-#: ``import numpy`` / ``from numpy import ...`` at any indentation.
-_IMPORT = re.compile(r"^\s*(?:import|from)\s+numpy\b")
-
-#: Raw dtype literals spelled through an ``np.`` (or ``numpy.``)
-#: prefix; dtypes must come from the backend's dtype table or the
-#: host constants re-exported by ``repro.engine.backend``.
-_DTYPE = re.compile(
-    r"\b(?:np|numpy)\.(?:u?int\d+|float\d+|bool_|complex\d+)\b"
-)
+SRC = Path(repro.__file__).resolve().parent
 
 
-def _scope_files() -> list[Path]:
-    files = sorted((SRC / "engine").glob("*.py"))
-    files.append(SRC / "analysis" / "streaming.py")
-    return files
-
-
-def _violations(pattern: re.Pattern) -> list[str]:
-    found = []
-    for path in _scope_files():
-        if path.name == SANCTIONED and path.parent.name == "engine":
-            continue
-        for lineno, line in enumerate(
-            path.read_text().splitlines(), start=1
-        ):
-            if pattern.search(line):
-                found.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
-    return found
+def test_seam_is_clean():
+    offenders = run_lint(select=["RL1"])
+    assert not offenders, (
+        "backend-seam violations — route arrays and dtypes through "
+        "repro.engine.backend:\n"
+        + "\n".join(f"{f.location()}: {f.code} {f.message}" for f in offenders)
+    )
 
 
 def test_scope_is_populated():
     """Guard the guard: if the layout moves, fail loudly rather than
     silently scanning nothing."""
-    files = _scope_files()
-    assert len(files) >= 10, files
-    assert all(path.is_file() for path in files), files
-    assert any(path.name == SANCTIONED for path in files)
-
-
-def test_no_direct_numpy_imports_outside_backend():
-    offenders = _violations(_IMPORT)
-    assert not offenders, (
-        "direct numpy import outside engine/backend.py — route through "
-        "repro.engine.backend instead:\n" + "\n".join(offenders)
-    )
-
-
-def test_no_raw_dtype_literals_outside_backend():
-    offenders = _violations(_DTYPE)
-    assert not offenders, (
-        "raw np. dtype literal outside engine/backend.py — use the "
-        "backend dtype table (backend.dtypes.int64, ...) or the host "
-        "constants (INT64, FLOAT64, ...) instead:\n"
-        + "\n".join(offenders)
-    )
+    scoped = [
+        path
+        for path in sorted(SRC.rglob("*.py"))
+        if in_seam_scope(path.relative_to(SRC).as_posix())
+    ]
+    assert len(scoped) >= 9, scoped
+    assert (SRC / SANCTIONED).is_file()
+    assert not in_seam_scope(SANCTIONED)
 
 
 def test_backend_module_is_the_numpy_importer():
     """The sanctioned module really does import numpy (sanity check
     that the allow-list entry is not stale)."""
-    lines = (SRC / "engine" / SANCTIONED).read_text().splitlines()
-    assert any(_IMPORT.search(line) for line in lines)
+    assert any(
+        line.startswith(("import numpy", "from numpy"))
+        for line in (SRC / SANCTIONED).read_text().splitlines()
+    )
+
+
+def test_rule_fires_on_the_historic_regex_gaps(tmp_path):
+    """Regression: the three import forms the regex guard missed."""
+    source = textwrap.dedent(
+        """\
+        import numpy as _np
+        from numpy import (
+            int64,
+            zeros,
+        )
+        handle = __import__("numpy")
+        WIDTH = _np.float64
+        """
+    )
+    target = tmp_path / "engine" / "module.py"
+    target.parent.mkdir()
+    target.write_text(source)
+    found = {
+        (f.line, f.code) for f in run_lint([tmp_path], root=tmp_path)
+    }
+    assert found == {
+        (1, "RL101"),  # aliased import
+        (2, "RL101"),  # parenthesised multi-line from-import
+        (6, "RL102"),  # dynamic __import__
+        (7, "RL103"),  # dtype literal through the alias
+    }
