@@ -26,7 +26,7 @@ import numpy as np
 from .core.properties import assess_goodness
 from .core.weights import WeightTable
 from .experiments import REGISTRY, run_aggregate
-from .experiments.export import save_plan, table_to_json
+from .experiments.export import save_plan, save_requeue, table_to_json
 from .experiments.pipeline import execute
 from .experiments.report import format_table
 
@@ -145,6 +145,51 @@ def _resolve_profile(args: argparse.Namespace) -> str | None:
     return args.profile or ("quick" if args.quick else "full")
 
 
+def _retry_policy(args: argparse.Namespace):
+    """RetryPolicy from --retries/--shard-timeout/--retry-backoff, or
+    None when no retry flag was given."""
+    if (
+        args.retries is None
+        and args.shard_timeout is None
+        and args.retry_backoff is None
+    ):
+        return None
+    from .experiments.faults import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.retries if args.retries is not None else 1,
+        timeout_s=args.shard_timeout,
+        backoff_s=(
+            args.retry_backoff if args.retry_backoff is not None else 0.0
+        ),
+    )
+
+
+def _print_fault_summary(report: dict) -> None:
+    """One stderr line per noteworthy fault-tolerance event."""
+    retried = sum(
+        1
+        for entry in report.get("shards", {}).values()
+        if entry["attempts"] > 1 and entry["ok"]
+    )
+    parts = [
+        f"faults: {report['completed']}/{report['total']} shard(s) "
+        "completed"
+    ]
+    if retried:
+        parts.append(f"{retried} recovered by retry")
+    if report.get("degraded_groups"):
+        parts.append(
+            f"{len(report['degraded_groups'])} fused group(s) degraded "
+            "to per-shard execution"
+        )
+    if report.get("failed"):
+        parts.append(
+            f"failed shards: {', '.join(map(str, report['failed']))}"
+        )
+    print("; ".join(parts), file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = _resolve_profile(args)
     if profile is None:
@@ -157,6 +202,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     unknown = [name for name in names if name not in REGISTRY]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    try:
+        retry = _retry_policy(args)
+    except ValueError as error:
+        print(f"invalid retry policy: {error}", file=sys.stderr)
         return 2
     # --cache-dir implies --cache; an explicit --no-cache always wins.
     cache_enabled = args.cache is True or (
@@ -188,6 +238,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         cache_enabled = False
+    if args.max_failures is not None and args.max_failures < 0:
+        print("--max-failures must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_failures is not None and checkpoint_every is not None:
+        # The checkpointed path is fail-fast by design: a failed shard
+        # stops the run with its progress flushed, and the next
+        # invocation resumes from there.
+        print(
+            "--max-failures is incompatible with --checkpoint-every/"
+            "--resume",
+            file=sys.stderr,
+        )
+        return 2
     shard_cache = None
     if cache_enabled:
         from .experiments.cache import ShardCache
@@ -204,6 +267,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         kwargs = dict(definition.profiles[profile])
         if definition.spec is not None:
+            spec = definition.spec(**kwargs)
+            target = spec
+            fault_plan = None
+            if args.inject_faults:
+                # The fault plan draws probabilistic targets from the
+                # spec's own seed machinery, so it needs the expanded
+                # shard count up front.
+                from .experiments.faults import FaultPlan
+                from .experiments.pipeline import plan as expand_plan
+
+                target = expand_plan(spec)
+                try:
+                    fault_plan = FaultPlan.from_spec(
+                        args.inject_faults,
+                        shards=len(target.shards),
+                        base_seed=spec.base_seed,
+                    )
+                except ValueError as error:
+                    print(
+                        f"invalid --inject-faults: {error}",
+                        file=sys.stderr,
+                    )
+                    return 2
             if checkpoint_every is not None:
                 from .experiments.checkpoint import execute_checkpointed
 
@@ -212,18 +298,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     / f"{name}-{profile}.ckpt.json"
                 )
                 result = execute_checkpointed(
-                    definition.spec(**kwargs),
+                    target,
                     checkpoint=ckpt_path,
                     jobs=args.jobs,
                     every=checkpoint_every,
                     resume=args.resume,
+                    retry=retry,
+                    faults=fault_plan,
                 )
             else:
                 result = execute(
-                    definition.spec(**kwargs), jobs=args.jobs,
+                    target, jobs=args.jobs,
                     fused=args.fused, cache=shard_cache,
+                    retry=retry, faults=fault_plan,
+                    max_failures=args.max_failures,
                 )
-            table = result.table()
+            if result.fault_report and result.fault_report.get("failed"):
+                # Partial run: some cells are missing replications, so
+                # the spec's table builder may legitimately refuse —
+                # the artifact/requeue file still captures everything.
+                try:
+                    table = result.table()
+                except Exception as error:
+                    table = None
+                    print(
+                        f"note: partial results ({name}); table not "
+                        f"rendered: {error}",
+                        file=sys.stderr,
+                    )
+            else:
+                table = result.table()
             if result.cache_stats is not None:
                 stats = result.cache_stats
                 print(
@@ -231,6 +335,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"{stats['misses']} miss(es) ({stats['dir']})",
                     file=sys.stderr,
                 )
+            if result.fault_report is not None:
+                _print_fault_summary(result.fault_report)
+                requeue_dir = args.out if args.out is not None else "."
+                requeue_path = save_requeue(
+                    result, requeue_dir, profile=profile
+                )
+                if requeue_path is not None:
+                    print(f"requeue file: {requeue_path}", file=sys.stderr)
         else:
             ignored = [
                 flag
@@ -239,6 +351,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     ("--fused", args.fused),
                     ("--checkpoint-every", checkpoint_every is not None),
                     ("--cache", cache_enabled),
+                    ("--inject-faults", bool(args.inject_faults)),
+                    ("--max-failures", args.max_failures is not None),
+                    ("--retries", retry is not None),
                 )
                 if given
             ]
@@ -250,8 +365,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
             result = None
             table = definition.run(**kwargs)
-        print(table.render())
-        print()
+        if table is not None:
+            print(table.render())
+            print()
         if args.out is not None:
             directory = pathlib.Path(args.out)
             if result is not None:
@@ -412,6 +528,28 @@ def _parse_selectors(values: list[str] | None) -> list[str]:
     return out
 
 
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from .experiments.cache import verify_cache
+
+    report = verify_cache(args.cache_dir, quarantine=args.quarantine)
+    print(
+        f"cache {report['dir']}: {report['scanned']} entr"
+        f"{'y' if report['scanned'] == 1 else 'ies'} scanned, "
+        f"{report['ok']} ok, {len(report['bad'])} bad"
+        + (
+            f", {report['quarantined']} quarantined"
+            if args.quarantine
+            else ""
+        )
+    )
+    for entry in report["bad"]:
+        line = f"  bad: {entry['path']} ({entry['reason']})"
+        if "quarantined_to" in entry:
+            line += f" -> {entry['quarantined_to']}"
+        print(line)
+    return 1 if report["bad"] else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import render, run_lint
 
@@ -512,7 +650,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for --checkpoint-every/--resume files "
              "(default: checkpoints/)",
     )
+    p_run.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry each failed shard up to N total attempts from the "
+             "same (params, seed), so recovered runs stay bit-identical "
+             "to clean ones",
+    )
+    p_run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="per-shard deadline in seconds on the process-pool path: "
+             "a shard still running at its deadline has its worker "
+             "killed and is requeued (counts as one attempt)",
+    )
+    p_run.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="S",
+        help="delay before a shard's first retry, doubling per further "
+             "attempt (default: retry immediately)",
+    )
+    p_run.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="tolerate up to N permanently failed shards: healthy "
+             "shards complete, the partial table and a "
+             "<experiment>-<profile>.requeue.json file are written, "
+             "and the fault report lands in the --out artifact "
+             "(default: fail fast on the first ShardError)",
+    )
+    p_run.add_argument(
+        "--inject-faults", type=str, default=None, metavar="SPEC",
+        help="deterministic fault injection for drills and tests: "
+             "comma-separated 'KIND:TARGET[:OPT...]' entries with KIND "
+             "one of raise/hang/crash/corrupt/fuse-raise/tear-cache/"
+             "tear-ckpt, TARGET 'iIDX' (exact shards, e.g. i0 or "
+             "'i1|3|5') or 'pPROB' (each shard independently with "
+             "probability PROB, drawn from the spec's own seed), and "
+             "options 'attempts=N' (fault fires on the first N "
+             "attempts; default 1 = transient) and 'seconds=S' (hang "
+             "duration), e.g. 'raise:p0.2:attempts=1,crash:i3'",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and maintain the shard result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_verify = cache_sub.add_parser(
+        "verify",
+        help="scan a cache directory and report corrupt entries",
+        description=(
+            "Walks every content-addressed entry of a shard cache "
+            "directory, validating JSON, the repro-shard-cache/v1 "
+            "format marker, the stored key against the filename and "
+            "the value payload.  Exits 1 when bad entries are found, "
+            "0 on a clean cache."
+        ),
+    )
+    p_cache_verify.add_argument(
+        "--cache-dir", type=str, default=".repro-cache", metavar="DIR",
+        help="cache directory to scan (default: .repro-cache/)",
+    )
+    p_cache_verify.add_argument(
+        "--quarantine", action="store_true",
+        help="move bad entries to <dir>/quarantine/ instead of only "
+             "reporting them",
+    )
+    p_cache_verify.set_defaults(func=_cmd_cache_verify)
 
     p_demo = sub.add_parser(
         "demo", help="run one Diversification instance and report goodness"

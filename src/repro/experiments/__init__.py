@@ -40,7 +40,7 @@ from .replication import (
     replicate_colour_counts,
     summarise,
 )
-from .cache import ShardCache, shard_key, spec_fingerprint
+from .cache import ShardCache, shard_key, spec_fingerprint, verify_cache
 from .chain import E8_PROFILES, experiment_markov_chain, spec_markov_chain
 from .convergence import (
     E1_PROFILES,
@@ -58,6 +58,12 @@ from .fairness import (
     experiment_fairness,
     run_fairness,
     spec_fairness,
+)
+from .faults import (
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    ShardOutcome,
 )
 from .fusion import (
     FusedExecutor,
@@ -246,6 +252,11 @@ __all__ = [
     "ShardCache",
     "shard_key",
     "spec_fingerprint",
+    "verify_cache",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "ShardOutcome",
     "FusedExecutor",
     "FusedMeasurement",
     "FusedPlan",

@@ -47,6 +47,7 @@ import json
 import os
 import pathlib
 import sys
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,7 @@ __all__ = [
     "resolve_cache",
     "shard_key",
     "spec_fingerprint",
+    "verify_cache",
 ]
 
 CACHE_FORMAT = "repro-shard-cache/v1"
@@ -215,6 +217,22 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
+
+
+def _entry_problem(doc, key: str | None) -> str | None:
+    """Why a parsed cache document is unusable, or None if it is fine.
+    ``key`` is the expected content address (None during a directory
+    scan, where the filename supplies it)."""
+    if not isinstance(doc, dict):
+        return f"not a JSON object ({type(doc).__name__})"
+    if doc.get("format") != CACHE_FORMAT:
+        return f"foreign format {doc.get('format')!r}"
+    if key is not None and doc.get("key") != key:
+        return f"key mismatch (stored {doc.get('key')!r})"
+    if not isinstance(doc.get("value"), dict):
+        return "missing or non-object 'value'"
+    return None
 
 
 class ShardCache:
@@ -224,10 +242,15 @@ class ShardCache:
     fan-out keeps directory listings manageable for big sweeps); each
     file is a self-describing ``repro-shard-cache/v1`` document holding
     the measurement value and the compute wall-clock.  Writes are
-    atomic (temp file + rename), so concurrent runs sharing a cache
-    directory can only ever observe complete entries; unreadable,
-    foreign-format or key-mismatched files are treated as misses and
-    overwritten on the next store.
+    atomic (temp file + rename), so this library's own runs can only
+    ever observe complete entries — but a crash between an external
+    writer's truncate and write, filesystem damage, or the fault
+    harness's ``tear-cache`` injection can still leave a torn file
+    behind.  :meth:`get` treats any such entry (unparseable JSON,
+    foreign format, key mismatch, missing value) as a miss and moves
+    the bad file to ``<directory>/quarantine/`` with a warning, so one
+    torn write can never poison every warm run that hits it; the next
+    store rewrites the entry in place.
     """
 
     def __init__(self, directory: str | os.PathLike):
@@ -241,15 +264,49 @@ class ShardCache:
         """On-disk location of a key's entry."""
         return self.directory / key[:2] / f"{key}.json"
 
+    def quarantine(self, path: pathlib.Path, reason: str) -> pathlib.Path:
+        """Move a bad entry to ``<directory>/quarantine/`` (collision-
+        safe) and warn, so corruption is preserved for diagnosis
+        instead of crashing or silently replaying."""
+        qdir = self.directory / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = qdir / f"{path.name}.{serial}"
+        os.replace(path, target)
+        self.stats.quarantined += 1
+        warnings.warn(
+            f"quarantined corrupt cache entry {path.name} -> "
+            f"{target.relative_to(self.directory)} ({reason}); "
+            "treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return target
+
     def get(self, key: str) -> dict | None:
-        """The stored ``{"value", "seconds"}`` of ``key``, or None."""
+        """The stored ``{"value", "seconds"}`` of ``key``, or None.
+
+        A present-but-corrupt entry counts as a miss and is quarantined
+        (see the class docstring); a missing file is a plain miss.
+        """
         path = self.path_for(key)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
             self.stats.misses += 1
             return None
-        if doc.get("format") != CACHE_FORMAT or doc.get("key") != key:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as err:
+            self.quarantine(path, f"invalid JSON: {err}")
+            self.stats.misses += 1
+            return None
+        problem = _entry_problem(doc, key)
+        if problem is not None:
+            self.quarantine(path, problem)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -314,3 +371,55 @@ def lookup_shards(
         else:
             hits[shard.index] = entry
     return keys, hits, misses
+
+
+def verify_cache(
+    directory: str | os.PathLike, *, quarantine: bool = False
+) -> dict:
+    """Scan a cache directory and report bad entries.
+
+    Walks every ``<2-hex>/<key>.json`` entry, validating JSON, format,
+    stored-key-vs-filename agreement and the value payload.  Returns
+    ``{"dir", "scanned", "ok", "bad": [{"path", "reason"}, ...],
+    "quarantined"}``.  With ``quarantine=True`` each bad entry is moved
+    to ``<directory>/quarantine/`` (what :meth:`ShardCache.get` would
+    do lazily on the next hit); the default only reports.  Files
+    already under ``quarantine/`` and stray temp files are skipped.
+    """
+    store = ShardCache(directory)
+    root = store.directory
+    report = {
+        "dir": str(root),
+        "scanned": 0,
+        "ok": 0,
+        "bad": [],
+        "quarantined": 0,
+    }
+    if not root.is_dir():
+        return report
+    for path in sorted(root.glob("??/*.json")):
+        key = path.stem
+        if path.parent.name != key[:2] or len(key) != 64:
+            continue
+        report["scanned"] += 1
+        reason = None
+        try:
+            doc = json.loads(path.read_text())
+        except OSError as err:  # pragma: no cover - racing deletion
+            reason = f"unreadable: {err}"
+        except json.JSONDecodeError as err:
+            reason = f"invalid JSON: {err}"
+        else:
+            reason = _entry_problem(doc, key)
+        if reason is None:
+            report["ok"] += 1
+            continue
+        entry = {"path": str(path.relative_to(root)), "reason": reason}
+        if quarantine:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                target = store.quarantine(path, reason)
+            entry["quarantined_to"] = str(target.relative_to(root))
+            report["quarantined"] += 1
+        report["bad"].append(entry)
+    return report

@@ -23,11 +23,13 @@ import json
 import os
 import pathlib
 import time
+import warnings
 
 # Canonical home of the fingerprint moved to the cache module when the
 # spec-level resume key was generalised to per-shard content addresses;
 # re-exported here for back-compat.
 from .cache import spec_fingerprint  # noqa: F401
+from .faults import NO_RETRY, FaultPlan, RetryPolicy
 from .pipeline import (
     ExperimentPlan,
     PlanResult,
@@ -36,6 +38,7 @@ from .pipeline import (
     ShardResult,
     make_executor,
     plan,
+    shard_tasks,
 )
 
 PLAN_CKPT_FORMAT = "repro-plan-ckpt/v1"
@@ -54,10 +57,56 @@ def load_plan_checkpoint(path: str | pathlib.Path) -> dict:
 
 def _flush(path: pathlib.Path, doc: dict) -> None:
     """Atomically rewrite the checkpoint (write-temp + rename), so a
-    crash mid-flush never leaves a truncated file behind."""
+    crash mid-flush never leaves a truncated file behind.  The previous
+    flush is kept next to it as ``<name>.bak`` — the "last intact
+    flush" that resume falls back to if the main file is ever found
+    torn (e.g. a crash between an external writer's truncate and
+    write, or filesystem damage)."""
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(doc, indent=2) + "\n")
+    if path.exists():
+        os.replace(path, path.with_suffix(path.suffix + ".bak"))
     os.replace(tmp, path)
+
+
+def _load_resume(path: pathlib.Path) -> dict | None:
+    """Load a checkpoint for resume, tolerating a torn file.
+
+    A file with invalid JSON (torn by a crash mid-write or injected by
+    the fault harness) is renamed ``<name>.corrupt`` and the previous
+    flush (``<name>.bak``) is tried in its place; if that is missing or
+    equally unreadable, returns None — the caller restarts from
+    scratch rather than crashing.  A *parseable* file with the wrong
+    format or an incompatible fingerprint still raises: that is a
+    caller mistake, not corruption.
+    """
+    try:
+        return load_plan_checkpoint(path)
+    except json.JSONDecodeError:
+        pass
+    corrupt = path.with_suffix(path.suffix + ".corrupt")
+    os.replace(path, corrupt)
+    backup = path.with_suffix(path.suffix + ".bak")
+    if backup.exists():
+        try:
+            doc = json.loads(backup.read_text())
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and doc.get("format") == PLAN_CKPT_FORMAT:
+            warnings.warn(
+                f"{path}: torn checkpoint moved to {corrupt.name}; "
+                f"resuming from the last intact flush ({backup.name})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return doc
+    warnings.warn(
+        f"{path}: torn checkpoint moved to {corrupt.name}; no intact "
+        "flush to fall back to — restarting from scratch",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None
 
 
 def execute_checkpointed(
@@ -68,6 +117,8 @@ def execute_checkpointed(
     executor=None,
     every: int = 1,
     resume: bool = True,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> PlanResult:
     """Run a spec with per-shard checkpointing to ``checkpoint``.
 
@@ -79,6 +130,15 @@ def execute_checkpointed(
     a shard failure the completed work is flushed *before* the
     :class:`~repro.experiments.pipeline.ShardError` propagates, so the
     failed invocation's progress is never lost.
+
+    A torn checkpoint (invalid JSON — crash mid-write, disk damage, or
+    the fault harness's ``tear-ckpt`` injection) does not kill the
+    resume: the bad file is renamed ``.corrupt`` and execution resumes
+    from the previous flush (kept as ``.bak``), or restarts from
+    scratch when none survives.  ``retry`` applies a
+    :class:`~repro.experiments.faults.RetryPolicy` per shard and
+    ``faults`` injects a :class:`~repro.experiments.faults.FaultPlan`,
+    exactly as in :func:`~repro.experiments.pipeline.execute`.
 
     Returns the same :class:`~repro.experiments.pipeline.PlanResult`
     as an uninterrupted :func:`~repro.experiments.pipeline.execute`
@@ -100,22 +160,24 @@ def execute_checkpointed(
     fingerprint = spec_fingerprint(spec)
     completed: dict[int, dict] = {}
     if resume and path.exists():
-        doc = load_plan_checkpoint(path)
-        if doc.get("fingerprint") != fingerprint:
-            raise ValueError(
-                f"{path}: checkpoint was taken from a different "
-                f"{doc.get('experiment')!r} spec; refusing to resume "
-                "(pass resume=False to start over)"
-            )
-        if int(doc.get("total_shards", -1)) != len(expanded.shards):
-            raise ValueError(
-                f"{path}: checkpoint covers "
-                f"{doc.get('total_shards')} shards but the plan has "
-                f"{len(expanded.shards)}"
-            )
-        completed = {
-            int(index): entry for index, entry in doc["completed"].items()
-        }
+        doc = _load_resume(path)
+        if doc is not None:
+            if doc.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"{path}: checkpoint was taken from a different "
+                    f"{doc.get('experiment')!r} spec; refusing to resume "
+                    "(pass resume=False to start over)"
+                )
+            if int(doc.get("total_shards", -1)) != len(expanded.shards):
+                raise ValueError(
+                    f"{path}: checkpoint covers "
+                    f"{doc.get('total_shards')} shards but the plan has "
+                    f"{len(expanded.shards)}"
+                )
+            completed = {
+                int(index): entry
+                for index, entry in doc["completed"].items()
+            }
     doc = {
         "format": PLAN_CKPT_FORMAT,
         "experiment": spec.name,
@@ -134,16 +196,24 @@ def execute_checkpointed(
     failure: ShardError | None = None
     for chunk_start in range(0, len(remaining), every):
         chunk = remaining[chunk_start : chunk_start + every]
-        tasks = [(shard.params, shard.seed) for shard in chunk]
-        outcomes = executor.run_shards(spec.measure, tasks)
-        for shard, (value, error, seconds) in zip(chunk, outcomes):
-            if error is not None:
-                failure = ShardError(spec.name, shard, error)
+        tasks = shard_tasks(chunk, faults)
+        outcomes = executor.run_shards(
+            spec.measure, tasks, retry or NO_RETRY
+        )
+        for shard, outcome in zip(chunk, outcomes):
+            if outcome is None:
                 break
-            entry = {"value": value, "seconds": seconds}
+            if outcome.error is not None:
+                failure = ShardError.from_outcome(spec.name, shard, outcome)
+                break
+            entry = {"value": outcome.value, "seconds": outcome.seconds}
             completed[shard.index] = entry
             doc["completed"][str(shard.index)] = entry
         _flush(path, doc)
+        if faults is not None:
+            faults.tear_checkpoint(
+                path, [shard.index for shard in chunk]
+            )
         if failure is not None:
             raise failure
     elapsed = time.perf_counter() - start

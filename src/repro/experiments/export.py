@@ -26,6 +26,7 @@ from .table import ExperimentTable
 
 PLAN_FORMAT = "repro-plan/v1"
 CKPT_STORE_FORMAT = "repro-ckpt-store/v1"
+REQUEUE_FORMAT = "repro-requeue/v1"
 
 
 def _plain(value):
@@ -145,6 +146,12 @@ def plan_to_json(
         "cache": _plain_tree(result.cache_stats)
         if result.cache_stats is not None
         else None,
+        # Retry/failure/degradation history (None when the run had no
+        # fault-tolerance knobs engaged) — see
+        # :func:`repro.experiments.pipeline.build_fault_report`.
+        "faults": _plain_tree(result.fault_report)
+        if result.fault_report is not None
+        else None,
         "shards": [
             {
                 "index": entry.shard.index,
@@ -183,6 +190,40 @@ def save_plan(
     stem = result.spec.name + (f"-{profile}" if profile else "")
     path = directory / f"{stem}.json"
     path.write_text(plan_to_json(result, table, profile=profile) + "\n")
+    return path
+
+
+def save_requeue(
+    result: PlanResult,
+    directory: str | pathlib.Path,
+    *,
+    profile: str | None = None,
+) -> pathlib.Path | None:
+    """Write the failed shards of a partially-completed run to
+    ``directory/<name>[-<profile>].requeue.json``, or None when the
+    run had no permanent failures.
+
+    Each entry is self-contained (params + resolved seed + the final
+    error), so a later run — or the future distributed executor's
+    requeue path — can re-execute exactly the missing shards and merge
+    them bit-identically into the partial table.
+    """
+    report = result.fault_report
+    if report is None or not report.get("requeue"):
+        return None
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = result.spec.name + (f"-{profile}" if profile else "")
+    path = directory / f"{stem}.requeue.json"
+    doc = {
+        "format": REQUEUE_FORMAT,
+        "experiment": result.spec.name,
+        "profile": profile,
+        "spec": spec_to_payload(result.spec),
+        "failed": _plain_tree(report.get("failed", [])),
+        "shards": _plain_tree(report["requeue"]),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
     return path
 
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..core.weights import WeightTable
 from ..engine.hetero import HeterogeneousAggregateBatch
+from .faults import NO_RETRY, FaultPlan, InjectedFault, RetryPolicy
 from .pipeline import (
     ExperimentPlan,
     PlanResult,
@@ -55,8 +56,10 @@ from .pipeline import (
     Shard,
     ShardError,
     ShardResult,
+    build_fault_report,
     make_executor,
     plan as expand_plan,
+    shard_tasks,
 )
 
 __all__ = [
@@ -222,17 +225,112 @@ class FusedExecutor:
     hits report their stored original compute time).
     """
 
-    def __init__(self, shard_executor=None, *, cache=None):
+    def __init__(self, shard_executor=None, *, cache=None, retry=None,
+                 faults=None, max_failures=None):
         self.shard_executor = shard_executor or SerialExecutor()
         self.cache = cache
+        self.retry: RetryPolicy | None = retry
+        self.faults: FaultPlan | None = faults
+        self.max_failures = max_failures
         #: Per-run hit/miss counters of the last :meth:`run_plan` call
         #: (None when no cache is attached).
         self.cache_stats: dict | None = None
+        #: ``(shard, ShardOutcome)`` pairs of the last run's per-shard
+        #: (fallback + degraded) work, for the fault report.
+        self.shard_pairs: list = []
+        #: Mega-batch groups that exhausted their fused attempts and
+        #: degraded to per-shard execution in the last run.
+        self.degraded_groups: list[dict] = []
 
     @property
     def jobs(self) -> int:
         """Worker processes available to the fallback shards."""
         return self.shard_executor.jobs
+
+    @property
+    def _degrading(self) -> bool:
+        """Graceful degradation is armed whenever any fault-tolerance
+        knob (retry, fault injection, failure budget) is supplied."""
+        return (
+            self.retry is not None
+            or self.faults is not None
+            or self.max_failures is not None
+        )
+
+    def _store_fresh(self, store, key, shard, value, seconds, *,
+                     experiment):
+        if self.faults is not None:
+            self.faults.cache_put(
+                store, shard.index, key, value, seconds,
+                experiment=experiment,
+            )
+        else:
+            store.put(key, value, seconds, experiment=experiment)
+
+    def _run_group(self, spec, impl, to_run, keys, store, outcomes):
+        """One mega-batch group: up to two fused attempts when
+        degradation is armed, then surrender the members to the
+        per-shard fallback path (returned) instead of raising."""
+        policy = self.retry or NO_RETRY
+        tries = 2 if self._degrading and policy.max_attempts >= 2 else 1
+        detail = ""
+        for attempt in range(1, tries + 1):
+            start = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    injected = self.faults.group_fault(
+                        [shard.index for shard in to_run], attempt
+                    )
+                    if injected is not None:
+                        raise InjectedFault(injected)
+                values = impl.run_group(spec, to_run)
+            except Exception:
+                detail = traceback.format_exc()
+                continue
+            elapsed = time.perf_counter() - start
+            if len(values) != len(to_run):
+                raise ShardError(
+                    spec.name,
+                    to_run[0],
+                    f"fused implementation returned {len(values)} values "
+                    f"for {len(to_run)} shards; group members:\n"
+                    + _group_members(to_run),
+                )
+            # Even attribution of the engine call's wall-clock (see
+            # the class docstring) across the rows that actually ran.
+            per_shard = elapsed / len(to_run)
+            for shard, value in zip(to_run, values):
+                if store is not None:
+                    self._store_fresh(
+                        store, keys[shard.index], shard, value,
+                        per_shard, experiment=spec.name,
+                    )
+                outcomes[shard.index] = (value, per_shard)
+            return []
+        if not self._degrading:
+            # A mega-batch group fails as one engine call — there is
+            # no single failing shard, so the error is attributed to
+            # the group's first shard; every member shard's params are
+            # listed for diagnosis.
+            raise ShardError(
+                spec.name,
+                to_run[0],
+                f"mega-batch group of {len(to_run)} shards failed "
+                "as one engine call (error attributed to the "
+                "group's first shard); group members:\n"
+                + _group_members(to_run)
+                + "\n"
+                + detail,
+            )
+        self.degraded_groups.append(
+            {
+                "family": impl.family,
+                "shards": [shard.index for shard in to_run],
+                "fused_attempts": tries,
+                "error": detail,
+            }
+        )
+        return list(to_run)
 
     def run_plan(self, fused_plan: FusedPlan) -> list[tuple[dict, float]]:
         spec = fused_plan.plan.spec
@@ -240,6 +338,8 @@ class FusedExecutor:
         outcomes: list[tuple[dict, float] | None] = [None] * len(
             fused_plan.plan.shards
         )
+        self.shard_pairs = []
+        self.degraded_groups = []
         hits = misses = 0
         fallback: list[Shard] = []
         for job in fused_plan.jobs:
@@ -264,44 +364,13 @@ class FusedExecutor:
                 keys, to_run = {}, members
             if not to_run:
                 continue
-            start = time.perf_counter()
-            try:
-                values = job.impl.run_group(spec, to_run)
-            except Exception:
-                # A mega-batch group fails as one engine call — there
-                # is no single failing shard, so the error is
-                # attributed to the group's first shard; every member
-                # shard's params are listed for diagnosis.
-                raise ShardError(
-                    spec.name,
-                    to_run[0],
-                    f"mega-batch group of {len(to_run)} shards failed "
-                    "as one engine call (error attributed to the "
-                    "group's first shard); group members:\n"
-                    + _group_members(to_run)
-                    + "\n"
-                    + traceback.format_exc(),
-                ) from None
-            elapsed = time.perf_counter() - start
-            if len(values) != len(to_run):
-                raise ShardError(
-                    spec.name,
-                    to_run[0],
-                    f"fused implementation returned {len(values)} values "
-                    f"for {len(to_run)} shards; group members:\n"
-                    + _group_members(to_run),
-                )
-            # Even attribution of the engine call's wall-clock (see
-            # the class docstring) across the rows that actually ran.
-            per_shard = elapsed / len(to_run)
-            for shard, value in zip(to_run, values):
-                if store is not None:
-                    store.put(
-                        keys[shard.index], value, per_shard,
-                        experiment=spec.name,
-                    )
-                outcomes[shard.index] = (value, per_shard)
+            fallback.extend(
+                self._run_group(spec, job.impl, to_run, keys, store,
+                                outcomes)
+            )
         if fallback:
+            # Degraded group members join the ordinary fallback shards
+            # here and cache under the per-shard ("shard") key space.
             if store is not None:
                 from .cache import lookup_shards
 
@@ -316,26 +385,41 @@ class FusedExecutor:
                 misses += len(to_run)
             else:
                 keys, to_run = {}, fallback
-            tasks = [(shard.params, shard.seed) for shard in to_run]
+            tasks = shard_tasks(to_run, self.faults)
             shard_outcomes = (
-                self.shard_executor.run_shards(spec.measure, tasks)
+                self.shard_executor.run_shards(
+                    spec.measure, tasks, self.retry or NO_RETRY,
+                    stop_on_failure=self.max_failures is None,
+                )
                 if tasks
                 else []
             )
             failure: ShardError | None = None
-            for shard, (value, error, seconds) in zip(
-                to_run, shard_outcomes
-            ):
-                if error is not None:
-                    failure = ShardError(spec.name, shard, error)
-                    break
+            for shard, outcome in zip(to_run, shard_outcomes):
+                if outcome is None:
+                    continue
+                self.shard_pairs.append((shard, outcome))
+                if outcome.error is not None:
+                    if failure is None:
+                        failure = ShardError.from_outcome(
+                            spec.name, shard, outcome
+                        )
+                    continue
                 if store is not None:
-                    store.put(
-                        keys[shard.index], value, seconds,
-                        experiment=spec.name,
+                    self._store_fresh(
+                        store, keys[shard.index], shard, outcome.value,
+                        outcome.seconds, experiment=spec.name,
                     )
-                outcomes[shard.index] = (value, seconds)
-            if failure is not None:
+                outcomes[shard.index] = (outcome.value, outcome.seconds)
+            if failure is not None and (
+                self.max_failures is None
+                or sum(
+                    1
+                    for _, outcome in self.shard_pairs
+                    if outcome.error is not None
+                )
+                > int(self.max_failures)
+            ):
                 raise failure
         if store is not None:
             self.cache_stats = {
@@ -355,6 +439,9 @@ def execute_fused(
     jobs: int | None = None,
     executor=None,
     cache=None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    max_failures: int | None = None,
 ) -> PlanResult:
     """Fused counterpart of :func:`~repro.experiments.pipeline.execute`.
 
@@ -366,6 +453,14 @@ def execute_fused(
     directory path) each group runs only its cache misses — an
     overlapping sweep computes only the new cells.  Usually reached
     through ``execute(..., fused=True)``.
+
+    With any of ``retry``/``faults``/``max_failures`` set, graceful
+    degradation is armed: a failed mega-batch group retries once fused
+    (when the policy allows a second attempt) and then degrades to
+    per-shard execution instead of killing the sweep, the degraded
+    shards ride the ordinary fallback path (per-shard retry policy,
+    per-shard cache key space), and the returned result carries a
+    ``fault_report`` recording degradations, retries and failures.
     """
     if isinstance(spec_or_plan, ScenarioSpec):
         expanded = expand_plan(spec_or_plan)
@@ -378,14 +473,44 @@ def execute_fused(
         from .cache import resolve_cache
 
         cache = resolve_cache(cache)
-    runner = FusedExecutor(executor, cache=cache)
+    track_faults = (
+        retry is not None or faults is not None or max_failures is not None
+    )
+    runner = FusedExecutor(
+        executor, cache=cache, retry=retry, faults=faults,
+        max_failures=max_failures,
+    )
     start = time.perf_counter()
     outcomes = runner.run_plan(fused_plan)
     elapsed = time.perf_counter() - start
     results = [
         ShardResult(shard=shard, value=value, seconds=seconds)
-        for shard, (value, seconds) in zip(expanded.shards, outcomes)
+        for shard, (value, seconds) in (
+            (shard, outcome)
+            for shard, outcome in zip(expanded.shards, outcomes)
+            if outcome is not None
+        )
     ]
+    fault_report = None
+    if track_faults:
+        fault_report = build_fault_report(
+            retry, faults, runner.shard_pairs,
+            degraded_groups=runner.degraded_groups,
+            max_failures=max_failures,
+        )
+        # Fused-computed shards never appear in shard_pairs; count them
+        # into the totals so the report covers the whole plan.
+        fused_ok = sum(
+            1
+            for shard, outcome in zip(expanded.shards, outcomes)
+            if outcome is not None
+        ) - sum(
+            1
+            for _, pair_outcome in runner.shard_pairs
+            if pair_outcome.error is None
+        )
+        fault_report["total"] = len(expanded.shards)
+        fault_report["completed"] += fused_ok
     return PlanResult(
         spec=expanded.spec,
         cells=expanded.cells,
@@ -393,6 +518,7 @@ def execute_fused(
         jobs=runner.jobs,
         elapsed_seconds=elapsed,
         cache_stats=runner.cache_stats,
+        fault_report=fault_report,
     )
 
 

@@ -38,15 +38,23 @@ experiment loops, so migrated experiments keep their exact tables:
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import time
-import traceback
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..engine.rng import spawn_sequences
+from .faults import (
+    NO_RETRY,
+    FaultPlan,
+    RetryPolicy,
+    ShardOutcome,
+    WorkerFailure,
+    run_attempt,
+    run_pool_shards,
+    run_serial_shards,
+)
 from .table import ExperimentTable
 
 SEED_SCOPES = ("stream", "cell", "direct")
@@ -193,6 +201,17 @@ class PlanResult:
     #: Per-run hit/miss counters when a shard cache was consulted
     #: (``{"enabled", "hits", "misses", "dir"}``); None otherwise.
     cache_stats: dict | None = None
+    #: Fault-tolerance record of the run (retry policy, per-shard
+    #: attempts/errors, degraded fused groups, permanently failed
+    #: shards and their requeue entries); None when the run used the
+    #: legacy fail-fast contract with no policy or injection attached.
+    fault_report: dict | None = None
+
+    def failed_indices(self) -> list[int]:
+        """Indices of permanently failed shards (empty on full runs)."""
+        if self.fault_report is None:
+            return []
+        return list(self.fault_report.get("failed", []))
 
     def values(self) -> list[dict]:
         """Measurement values in shard order."""
@@ -218,35 +237,55 @@ class PlanResult:
 
 
 class ShardError(RuntimeError):
-    """A shard failed; names the experiment and the shard parameters."""
+    """A shard failed; names the experiment and the shard parameters.
 
-    def __init__(self, experiment: str, shard: Shard, detail: str):
+    The worker's original formatted traceback is preserved in the
+    message and on ``traceback_text`` (and the exception's
+    ``__cause__`` carries it as a
+    :class:`~repro.experiments.faults.WorkerFailure`), so a pool
+    failure is debuggable without re-running serially.  ``attempts``
+    records how many tries the retry policy spent on the shard.
+    """
+
+    def __init__(
+        self, experiment: str, shard: Shard, detail: str, *,
+        attempts: int = 1,
+    ):
         self.experiment = experiment
         self.params = dict(shard.params)
         self.shard = shard
+        self.attempts = int(attempts)
+        self.traceback_text = detail
+        suffix = f" after {attempts} attempts" if attempts > 1 else ""
         super().__init__(
             f"experiment {experiment!r} shard {shard.index} "
             f"(cell {shard.cell}, replication {shard.replication}, "
-            f"params {self.params!r}) failed:\n{detail}"
+            f"params {self.params!r}) failed{suffix}:\n{detail}"
+        )
+        self.__cause__ = WorkerFailure(detail)
+
+    @classmethod
+    def from_outcome(
+        cls, experiment: str, shard: Shard, outcome: ShardOutcome
+    ) -> "ShardError":
+        return cls(
+            experiment, shard, outcome.error, attempts=outcome.attempts
         )
 
 
 def _run_shard(measure, task) -> tuple[dict | None, str | None, float]:
-    """Worker body: run one measurement, never raise across the pool."""
-    params, seed = task
-    start = time.perf_counter()
-    try:
-        value = measure(dict(params), np.random.default_rng(seed))
-        return value, None, time.perf_counter() - start
-    except Exception:
-        return None, traceback.format_exc(), time.perf_counter() - start
+    """Single-attempt worker body (kept as the executors' unit of
+    work; retries re-enter it with the same ``(params, seed)``)."""
+    params, seed = task[0], task[1]
+    return run_attempt(measure, params, seed)
 
 
-# The pool workers receive the measurement once, through the pool
-# initializer, instead of once per shard: ``Pool.imap`` pickles its
-# function argument with *every* task, so keeping the measurement out
-# of the per-shard tuple shrinks each shard's payload to
-# ``(params, seed)`` (asserted in ``tests/unit/test_fusion.py``).
+# Legacy ``multiprocessing.Pool`` initializer pair, kept for the slim
+# task-payload contract (the measurement travels once per worker, each
+# shard ships only ``(params, seed)`` — asserted in
+# ``tests/unit/test_fusion.py``).  The supervised pool of
+# :func:`repro.experiments.faults.run_pool_shards` keeps the same
+# payload shape: the measurement is passed once at worker spawn.
 _WORKER_MEASURE = None
 
 
@@ -262,33 +301,43 @@ def _run_worker_shard(task):
 class SerialExecutor:
     """Run shards one after another in the calling process.
 
-    Stops at the first failed shard (like the legacy experiment loops)
-    instead of finishing the remaining — possibly minutes-long — work
-    before the failure surfaces.
+    With the default no-retry policy it stops at the first failed
+    shard (like the legacy experiment loops); a
+    :class:`~repro.experiments.faults.RetryPolicy` adds per-shard
+    retries with backoff, and ``stop_on_failure=False`` (the
+    ``max_failures`` path) keeps going past permanently failed shards.
     """
 
     jobs = 1
 
-    def run_shards(self, measure, tasks: Sequence) -> list:
-        outcomes = []
-        for task in tasks:
-            outcome = _run_shard(measure, task)
-            outcomes.append(outcome)
-            if outcome[1] is not None:
-                break
-        return outcomes
+    def run_shards(
+        self,
+        measure,
+        tasks: Sequence,
+        policy: RetryPolicy | None = None,
+        *,
+        stop_on_failure: bool = True,
+    ) -> list[ShardOutcome | None]:
+        return run_serial_shards(
+            measure, tasks, policy or NO_RETRY,
+            stop_on_failure=stop_on_failure,
+        )
 
 
 class ProcessExecutor:
-    """Run shards across a ``multiprocessing`` pool of ``jobs`` workers.
+    """Run shards across ``jobs`` supervised worker processes.
 
-    ``Pool.imap`` yields outputs in task order, so the merge is
-    order-independent of the actual completion schedule; like the
-    serial executor, no new shards are consumed once a failure is seen
-    (the pool is torn down, abandoning in-flight work).  The
-    measurement callable travels once per worker (pool initializer),
-    not once per shard: each shard ships only its ``(params, seed)``
-    pair.
+    Dispatch is asynchronous (one in-flight task per worker) through
+    :func:`repro.experiments.faults.run_pool_shards`: dead workers are
+    detected and their in-flight shards requeued, hung shards are
+    killed at the policy deadline, and failed attempts retry from the
+    same ``(params, seed)`` task so results stay bit-identical to a
+    clean run.  Outcomes are merged by task position, so the merge is
+    order-independent of the completion schedule; with the default
+    policy no new shards run once a failure is seen (in-flight work is
+    abandoned), matching the serial executor.  The measurement
+    callable travels once per worker, not once per shard: each shard
+    ships only its slim ``(params, seed[, faults])`` task.
     """
 
     def __init__(self, jobs: int):
@@ -296,16 +345,18 @@ class ProcessExecutor:
             raise ValueError("ProcessExecutor needs jobs >= 2")
         self.jobs = int(jobs)
 
-    def run_shards(self, measure, tasks: Sequence) -> list:
-        outcomes = []
-        with multiprocessing.Pool(
-            self.jobs, initializer=_init_worker, initargs=(measure,)
-        ) as pool:
-            for outcome in pool.imap(_run_worker_shard, tasks, chunksize=1):
-                outcomes.append(outcome)
-                if outcome[1] is not None:
-                    break
-        return outcomes
+    def run_shards(
+        self,
+        measure,
+        tasks: Sequence,
+        policy: RetryPolicy | None = None,
+        *,
+        stop_on_failure: bool = True,
+    ) -> list[ShardOutcome | None]:
+        return run_pool_shards(
+            measure, tasks, self.jobs, policy or NO_RETRY,
+            stop_on_failure=stop_on_failure,
+        )
 
 
 def make_executor(jobs: int | None):
@@ -315,46 +366,173 @@ def make_executor(jobs: int | None):
     return ProcessExecutor(jobs)
 
 
-def _run_cached(spec, expanded, executor, store):
+def shard_tasks(shards: Sequence[Shard], faults: FaultPlan | None) -> list:
+    """Slim executor tasks: ``(params, seed)`` plus the shard's
+    injected worker faults when a :class:`FaultPlan` is attached."""
+    if faults is None:
+        return [(shard.params, shard.seed) for shard in shards]
+    return [
+        (shard.params, shard.seed, faults.worker_faults(shard.index))
+        for shard in shards
+    ]
+
+
+def requeue_entry(shard: Shard, outcome: ShardOutcome) -> dict:
+    """Self-contained description of a failed shard, enough to requeue
+    it in a later run (params + resolved seed, the same fields plan
+    artifacts record)."""
+    return {
+        "index": shard.index,
+        "cell": shard.cell,
+        "replication": shard.replication,
+        "params": dict(shard.params),
+        "seed": {
+            "entropy": shard.seed.entropy,
+            "spawn_key": [int(key) for key in shard.seed.spawn_key],
+        },
+        "attempts": outcome.attempts,
+        "error": outcome.error,
+    }
+
+
+def build_fault_report(
+    policy: RetryPolicy | None,
+    faults: FaultPlan | None,
+    pairs: Sequence[tuple[Shard, ShardOutcome | None]],
+    *,
+    degraded_groups: Sequence[dict] = (),
+    max_failures: int | None = None,
+) -> dict:
+    """The ``PlanResult.fault_report`` payload: retry policy, per-shard
+    attempt records (only shards that retried or failed), degraded
+    fused groups and requeue entries for the permanent failures."""
+    shards_section: dict[str, dict] = {}
+    failed: list[int] = []
+    requeue: list[dict] = []
+    completed = 0
+    for shard, outcome in pairs:
+        if outcome is None:
+            continue
+        if outcome.error is None:
+            completed += 1
+        else:
+            failed.append(shard.index)
+            requeue.append(requeue_entry(shard, outcome))
+        if outcome.attempts > 1 or outcome.error is not None:
+            shards_section[str(shard.index)] = {
+                "attempts": outcome.attempts,
+                "ok": outcome.error is None,
+                "seconds": outcome.seconds,
+                "errors": list(outcome.attempt_errors)
+                + ([outcome.error] if outcome.error else []),
+            }
+    return {
+        "policy": policy.to_payload() if policy is not None else None,
+        "injected": faults.spec_text if faults is not None else None,
+        "max_failures": max_failures,
+        "total": len(pairs),
+        "completed": completed,
+        "failed": failed,
+        "shards": shards_section,
+        "degraded_groups": list(degraded_groups),
+        "requeue": requeue,
+    }
+
+
+def _merge_outcomes(
+    spec,
+    shards: Sequence[Shard],
+    outcomes: Sequence[ShardOutcome | None],
+    *,
+    max_failures: int | None,
+) -> tuple[list[ShardResult], list[tuple[Shard, ShardOutcome]]]:
+    """Turn aligned outcomes into results, enforcing the failure
+    budget: raises the lowest-index failure when no budget is set or
+    the budget is exceeded; otherwise returns the healthy results and
+    the tolerated failures."""
+    results: list[ShardResult] = []
+    failures: list[tuple[Shard, ShardOutcome]] = []
+    for shard, outcome in zip(shards, outcomes):
+        if outcome is None:
+            continue
+        if outcome.error is not None:
+            failures.append((shard, outcome))
+        else:
+            results.append(
+                ShardResult(
+                    shard=shard,
+                    value=outcome.value,
+                    seconds=outcome.seconds,
+                )
+            )
+    if failures and (
+        max_failures is None or len(failures) > int(max_failures)
+    ):
+        shard, outcome = failures[0]
+        raise ShardError.from_outcome(spec.name, shard, outcome)
+    return results, failures
+
+
+def _run_cached(spec, expanded, executor, store, *, retry, faults,
+                max_failures):
     """Cache-aware shard execution: consult the store per shard, run
     only the misses through the executor and write them back.
 
     Hit shards replay their stored value (JSON round-tripped, exactly
     like resumed checkpoint shards) and report the *original* compute
-    wall-clock as ``seconds``.  On a failed miss, the misses completed
-    before it are stored before the :class:`ShardError` propagates, so
-    a failed sweep's progress still warms the cache.
+    wall-clock as ``seconds``.  Every successful miss is stored even
+    when another miss fails, so a failed sweep's progress still warms
+    the cache.
     """
     from .cache import lookup_shards
 
     keys, hits, misses = lookup_shards(store, spec, expanded.shards)
-    tasks = [(shard.params, shard.seed) for shard in misses]
-    outcomes = executor.run_shards(spec.measure, tasks) if misses else []
-    fresh: dict[int, tuple[dict, float]] = {}
-    failure: ShardError | None = None
-    for shard, (value, error, seconds) in zip(misses, outcomes):
-        if error is not None:
-            failure = ShardError(spec.name, shard, error)
-            break
-        store.put(keys[shard.index], value, seconds, experiment=spec.name)
-        fresh[shard.index] = (value, seconds)
-    if failure is not None:
-        raise failure
+    tasks = shard_tasks(misses, faults)
+    outcomes = (
+        executor.run_shards(
+            spec.measure, tasks, retry,
+            stop_on_failure=max_failures is None,
+        )
+        if misses
+        else []
+    )
+    for shard, outcome in zip(misses, outcomes):
+        if outcome is None or outcome.error is not None:
+            continue
+        if faults is not None:
+            faults.cache_put(
+                store, shard.index, keys[shard.index], outcome.value,
+                outcome.seconds, experiment=spec.name,
+            )
+        else:
+            store.put(
+                keys[shard.index], outcome.value, outcome.seconds,
+                experiment=spec.name,
+            )
+    miss_results, failures = _merge_outcomes(
+        spec, misses, outcomes, max_failures=max_failures
+    )
+    fresh = {result.shard.index: result for result in miss_results}
     results = []
     for shard in expanded.shards:
         if shard.index in hits:
             entry = hits[shard.index]
-            value, seconds = entry["value"], float(entry["seconds"])
-        else:
-            value, seconds = fresh[shard.index]
-        results.append(ShardResult(shard=shard, value=value, seconds=seconds))
+            results.append(
+                ShardResult(
+                    shard=shard,
+                    value=entry["value"],
+                    seconds=float(entry["seconds"]),
+                )
+            )
+        elif shard.index in fresh:
+            results.append(fresh[shard.index])
     stats = {
         "enabled": True,
         "hits": len(hits),
         "misses": len(misses),
         "dir": str(store.directory),
     }
-    return results, stats
+    return results, stats, list(zip(misses, outcomes)), failures
 
 
 def execute(
@@ -364,6 +542,9 @@ def execute(
     executor=None,
     fused: bool = False,
     cache=None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    max_failures: int | None = None,
 ) -> PlanResult:
     """Run a spec (or a pre-expanded plan) and merge the shard results.
 
@@ -385,18 +566,32 @@ def execute(
     only its miss rows (cached and fresh values are scattered back in
     shard order).
 
+    Fault tolerance.  ``retry`` applies a
+    :class:`~repro.experiments.faults.RetryPolicy` per shard (retried
+    shards re-run from the same ``(params, seed)``, so recovered runs
+    are bit-identical to clean ones); ``faults`` injects a
+    :class:`~repro.experiments.faults.FaultPlan` for drills and tests;
+    ``max_failures=N`` tolerates up to N permanently failed shards —
+    the healthy shards complete, the result carries the partial values
+    plus a ``fault_report`` naming the failures (with requeue entries),
+    and only a budget overrun raises.  When any of the three is given
+    the returned ``PlanResult.fault_report`` records the run's retry/
+    failure/degradation history.
+
     Raises :class:`ShardError` for the lowest-index failed shard, with
-    the experiment name and the shard's parameters in the message.  On
-    the fused path a mega-batch group fails as one engine call, so its
-    :class:`ShardError` names the *group's first shard* and lists every
-    member shard's params; fallback shards run after the mega-batch
-    jobs, so their failure order follows job order, not shard index.
+    the experiment name, the shard's parameters and the worker's
+    original traceback in the message.  On the fused path a mega-batch
+    group fails as one engine call, so its :class:`ShardError` names
+    the *group's first shard* and lists every member shard's params;
+    fallback shards run after the mega-batch jobs, so their failure
+    order follows job order, not shard index.
     """
     if fused:
         from .fusion import execute_fused
 
         return execute_fused(
-            spec_or_plan, jobs=jobs, executor=executor, cache=cache
+            spec_or_plan, jobs=jobs, executor=executor, cache=cache,
+            retry=retry, faults=faults, max_failures=max_failures,
         )
     if isinstance(spec_or_plan, ScenarioSpec):
         expanded = plan(spec_or_plan)
@@ -405,27 +600,36 @@ def execute(
     spec = expanded.spec
     if executor is None:
         executor = make_executor(jobs)
+    track_faults = (
+        retry is not None or faults is not None or max_failures is not None
+    )
     start = time.perf_counter()
     if cache is None:
-        tasks = [(shard.params, shard.seed) for shard in expanded.shards]
-        outcomes = executor.run_shards(spec.measure, tasks)
-        results = []
-        for shard, (value, error, seconds) in zip(
-            expanded.shards, outcomes
-        ):
-            if error is not None:
-                raise ShardError(spec.name, shard, error)
-            results.append(
-                ShardResult(shard=shard, value=value, seconds=seconds)
-            )
+        tasks = shard_tasks(expanded.shards, faults)
+        outcomes = executor.run_shards(
+            spec.measure, tasks, retry,
+            stop_on_failure=max_failures is None,
+        )
+        results, failures = _merge_outcomes(
+            spec, expanded.shards, outcomes, max_failures=max_failures
+        )
+        pairs = list(zip(expanded.shards, outcomes))
         cache_stats = None
     else:
         from .cache import resolve_cache
 
-        results, cache_stats = _run_cached(
-            spec, expanded, executor, resolve_cache(cache)
+        results, cache_stats, pairs, failures = _run_cached(
+            spec, expanded, executor, resolve_cache(cache),
+            retry=retry, faults=faults, max_failures=max_failures,
         )
     elapsed = time.perf_counter() - start
+    fault_report = (
+        build_fault_report(
+            retry, faults, pairs, max_failures=max_failures
+        )
+        if track_faults
+        else None
+    )
     return PlanResult(
         spec=spec,
         cells=expanded.cells,
@@ -433,4 +637,5 @@ def execute(
         jobs=executor.jobs,
         elapsed_seconds=elapsed,
         cache_stats=cache_stats,
+        fault_report=fault_report,
     )

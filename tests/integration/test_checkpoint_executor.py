@@ -160,6 +160,82 @@ class TestCompatibility:
             )
 
 
+class TestTornCheckpoint:
+    """Satellite S2: resume tolerates a torn repro-plan-ckpt/v1 file."""
+
+    def test_torn_file_resumes_from_last_intact_flush(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        spec = make_spec()
+        first = execute_checkpointed(spec, checkpoint=path)
+        # Tear the main file mid-write; the previous flush survives as
+        # .bak (it covers all but the last shard with every=1).
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        backup = json.loads((tmp_path / "run.ckpt.json.bak").read_text())
+        assert len(backup["completed"]) == 5
+        CALLS.clear()
+        with pytest.warns(RuntimeWarning, match="last intact flush"):
+            resumed = execute_checkpointed(spec, checkpoint=path)
+        assert resumed.values() == first.values()
+        # Only the one shard missing from the .bak flush re-ran.
+        assert len(CALLS) == 1
+        assert (tmp_path / "run.ckpt.json.corrupt").exists()
+
+    def test_torn_file_without_backup_restarts_from_scratch(
+        self, tmp_path
+    ):
+        path = tmp_path / "run.ckpt.json"
+        spec = make_spec()
+        first = execute_checkpointed(spec, checkpoint=path)
+        path.write_text('{"format": "repro-plan-ckpt/v1", "comp')
+        (tmp_path / "run.ckpt.json.bak").unlink()
+        CALLS.clear()
+        with pytest.warns(RuntimeWarning, match="restarting from scratch"):
+            resumed = execute_checkpointed(spec, checkpoint=path)
+        assert resumed.values() == first.values()
+        assert len(CALLS) == 6  # everything re-ran
+
+    def test_torn_backup_also_restarts(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        spec = make_spec()
+        first = execute_checkpointed(spec, checkpoint=path)
+        path.write_text("{ torn")
+        (tmp_path / "run.ckpt.json.bak").write_text("{ also torn")
+        with pytest.warns(RuntimeWarning, match="restarting from scratch"):
+            resumed = execute_checkpointed(spec, checkpoint=path)
+        assert resumed.values() == first.values()
+
+    def test_injected_tear_then_resume_recovers(self, tmp_path):
+        # End-to-end drill: the fault harness tears the checkpoint
+        # after the final flush (earlier tears would be healed by the
+        # next full rewrite); a later resume survives it.
+        from repro.experiments.faults import FaultPlan
+
+        path = tmp_path / "run.ckpt.json"
+        spec = make_spec()
+        faults = FaultPlan.from_spec("tear-ckpt:i5", shards=6)
+        first = execute_checkpointed(spec, checkpoint=path, faults=faults)
+        with pytest.raises(json.JSONDecodeError):
+            load_plan_checkpoint(path)
+        with pytest.warns(RuntimeWarning, match="torn checkpoint"):
+            resumed = execute_checkpointed(spec, checkpoint=path)
+        assert resumed.values() == first.values()
+        assert resumed.values() == execute(spec).values()
+
+    def test_retry_policy_applies_on_checkpointed_path(self, tmp_path):
+        from repro.experiments.faults import FaultPlan, RetryPolicy
+
+        spec = make_spec()
+        faults = FaultPlan.from_spec("raise:i1:attempts=1", shards=6)
+        result = execute_checkpointed(
+            spec,
+            checkpoint=tmp_path / "run.ckpt.json",
+            retry=RetryPolicy(max_attempts=2),
+            faults=faults,
+        )
+        assert result.values() == execute(spec).values()
+
+
 class TestCliFlags:
     def test_parser_accepts_checkpoint_flags(self):
         from repro.cli import build_parser

@@ -366,3 +366,97 @@ class TestDemoSchedule:
         assert code == 0
         out = capsys.readouterr().out
         assert "agent/array engine" in out
+
+
+class TestFaultToleranceCli:
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "e8", "--quick",
+                "--retries", "3",
+                "--shard-timeout", "2.5",
+                "--retry-backoff", "0.1",
+                "--max-failures", "1",
+                "--inject-faults", "raise:i0:attempts=1",
+            ]
+        )
+        assert args.retries == 3
+        assert args.shard_timeout == 2.5
+        assert args.retry_backoff == 0.1
+        assert args.max_failures == 1
+        assert args.inject_faults == "raise:i0:attempts=1"
+
+    def test_injected_transient_fault_with_retries_matches_clean(
+        self, capsys
+    ):
+        assert main(["run", "e8", "--quick"]) == 0
+        clean_out = capsys.readouterr().out
+        assert main(
+            ["run", "e8", "--quick",
+             "--inject-faults", "raise:i0:attempts=1",
+             "--retries", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == clean_out  # byte-identical table
+        assert "faults: 1/1 shard(s) completed" in captured.err
+        assert "1 recovered by retry" in captured.err
+
+    def test_invalid_fault_spec_is_a_usage_error(self, capsys):
+        assert main(
+            ["run", "e8", "--quick", "--inject-faults", "melt:i0"]
+        ) == 2
+        assert "invalid --inject-faults" in capsys.readouterr().err
+
+    def test_invalid_retry_policy_is_a_usage_error(self, capsys):
+        assert main(["run", "e8", "--quick", "--retries", "0"]) == 2
+        assert "invalid retry policy" in capsys.readouterr().err
+
+    def test_max_failures_writes_requeue_file(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["run", "e8", "--quick",
+             "--inject-faults", "raise:i0:attempts=99",
+             "--retries", "2", "--max-failures", "1",
+             "--out", str(out_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "failed shards: 0" in captured.err
+        requeue_path = out_dir / "e8-quick.requeue.json"
+        assert requeue_path.exists()
+        doc = json.loads(requeue_path.read_text())
+        assert doc["format"] == "repro-requeue/v1"
+        assert doc["shards"][0]["index"] == 0
+        assert doc["shards"][0]["attempts"] == 2
+        # The plan artifact still landed, with the fault report inside.
+        payload = json.loads((out_dir / "e8-quick.json").read_text())
+        assert payload["faults"]["failed"] == [0]
+
+    def test_max_failures_incompatible_with_checkpointing(self, capsys):
+        assert main(
+            ["run", "e8", "--quick", "--max-failures", "1",
+             "--checkpoint-every", "1"]
+        ) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_cache_verify_reports_and_quarantines(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Warm the cache, then tear one entry.
+        assert main(
+            ["run", "e8", "--quick", "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "1 entry scanned, 1 ok, 0 bad" in capsys.readouterr().out
+        entries = list(cache_dir.glob("??/*.json"))
+        entries[0].write_text("{ torn")
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "1 bad" in out and "invalid JSON" in out
+        assert main(
+            ["cache", "verify", "--cache-dir", str(cache_dir),
+             "--quarantine"]
+        ) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+        assert (cache_dir / "quarantine").is_dir()
+        # After quarantining, the scan is clean again.
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0

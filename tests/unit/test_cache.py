@@ -16,6 +16,7 @@ from repro.experiments.cache import (
     package_fingerprint,
     resolve_cache,
     shard_key,
+    verify_cache,
 )
 from repro.experiments.pipeline import ScenarioSpec, Shard, plan
 
@@ -58,13 +59,21 @@ class TestShardCacheStore:
         assert path == tmp_path / key[:2] / f"{key}.json"
         assert path.exists()
 
-    def test_corrupt_entry_is_a_miss(self, spec, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, spec,
+                                                     tmp_path):
         store = ShardCache(tmp_path)
         shard = plan(spec).shards[0]
         key = shard_key(spec, shard)
         store.put(key, {"v": 1}, 0.0)
         store.path_for(key).write_text("{ not json")
-        assert store.get(key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.get(key) is None
+        # The bad file moved aside: the slot is free and re-storable.
+        assert not store.path_for(key).exists()
+        assert (tmp_path / "quarantine" / f"{key}.json").exists()
+        assert store.stats.quarantined == 1
+        store.put(key, {"v": 1}, 0.0)
+        assert store.get(key)["value"] == {"v": 1}
 
     def test_foreign_format_or_key_mismatch_is_a_miss(
         self, spec, tmp_path
@@ -75,13 +84,42 @@ class TestShardCacheStore:
         path = store.path_for(key)
         path.parent.mkdir(parents=True)
         path.write_text(json.dumps({"format": "nope", "key": key}))
-        assert store.get(key) is None
+        with pytest.warns(RuntimeWarning, match="foreign format"):
+            assert store.get(key) is None
         path.write_text(
             json.dumps(
                 {"format": CACHE_FORMAT, "key": "other", "value": {}}
             )
         )
-        assert store.get(key) is None
+        with pytest.warns(RuntimeWarning, match="key mismatch"):
+            assert store.get(key) is None
+        # Collision-safe quarantine names: both bad files survive.
+        quarantined = sorted(
+            entry.name for entry in (tmp_path / "quarantine").iterdir()
+        )
+        assert quarantined == [f"{key}.json", f"{key}.json.1"]
+
+    def test_missing_value_payload_is_a_miss(self, spec, tmp_path):
+        store = ShardCache(tmp_path)
+        shard = plan(spec).shards[0]
+        key = shard_key(spec, shard)
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"format": CACHE_FORMAT, "key": key}))
+        with pytest.warns(RuntimeWarning, match="value"):
+            assert store.get(key) is None
+
+    def test_missing_file_is_a_plain_miss_without_warning(
+        self, spec, tmp_path
+    ):
+        import warnings as warnings_module
+
+        store = ShardCache(tmp_path)
+        shard = plan(spec).shards[0]
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert store.get(shard_key(spec, shard)) is None
+        assert store.stats.quarantined == 0
 
     def test_entry_is_self_describing(self, spec, tmp_path):
         store = ShardCache(tmp_path)
@@ -182,3 +220,60 @@ class TestLookupShards:
         assert set(hits) == {shards[2].index}
         assert hits[shards[2].index]["value"] == {"v": 7}
         assert misses == [s for s in shards if s.index != shards[2].index]
+
+
+class TestVerifyCache:
+    def _populated(self, spec, tmp_path):
+        store = ShardCache(tmp_path)
+        shards = plan(spec).shards
+        keys = [shard_key(spec, shard) for shard in shards]
+        for key in keys:
+            store.put(key, {"v": 1}, 0.1, experiment=spec.name)
+        return store, keys
+
+    def test_clean_cache_reports_all_ok(self, spec, tmp_path):
+        store, keys = self._populated(spec, tmp_path)
+        report = verify_cache(tmp_path)
+        assert report["scanned"] == len(keys)
+        assert report["ok"] == len(keys)
+        assert report["bad"] == []
+
+    def test_bad_entries_reported_with_reasons(self, spec, tmp_path):
+        store, keys = self._populated(spec, tmp_path)
+        store.path_for(keys[0]).write_text("{ torn")
+        doc = json.loads(store.path_for(keys[1]).read_text())
+        doc["key"] = "wrong"
+        store.path_for(keys[1]).write_text(json.dumps(doc))
+        report = verify_cache(tmp_path)
+        assert report["ok"] == len(keys) - 2
+        reasons = {entry["reason"].split(":")[0] for entry in report["bad"]}
+        assert any("JSON" in reason for reason in reasons)
+        assert any("mismatch" in reason for reason in reasons)
+        # Report-only by default: nothing moved.
+        assert report["quarantined"] == 0
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_quarantine_moves_bad_entries(self, spec, tmp_path):
+        store, keys = self._populated(spec, tmp_path)
+        store.path_for(keys[0]).write_text("{ torn")
+        report = verify_cache(tmp_path, quarantine=True)
+        assert report["quarantined"] == 1
+        assert not store.path_for(keys[0]).exists()
+        assert (tmp_path / "quarantine" / f"{keys[0]}.json").exists()
+        # A second scan is clean.
+        again = verify_cache(tmp_path)
+        assert again["bad"] == []
+        assert again["scanned"] == len(keys) - 1
+
+    def test_missing_directory_is_empty_report(self, tmp_path):
+        report = verify_cache(tmp_path / "nope")
+        assert report["scanned"] == 0
+        assert report["bad"] == []
+
+    def test_stray_files_are_skipped(self, spec, tmp_path):
+        store, keys = self._populated(spec, tmp_path)
+        (tmp_path / "README.txt").write_text("not an entry")
+        (store.path_for(keys[0]).parent / "stray.json").write_text("{}")
+        report = verify_cache(tmp_path)
+        assert report["scanned"] == len(keys)
+        assert report["bad"] == []
